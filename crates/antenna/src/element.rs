@@ -1,0 +1,150 @@
+//! Single-element radiation patterns.
+//!
+//! Array-level quantities (beamwidth, retrodirective gain) are the product of
+//! an *element pattern* and an *array factor*. This module provides the
+//! element side: an [`ElementPattern`] trait plus the two implementations the
+//! stack uses — a mathematical [`Isotropic`] reference and the
+//! [`PatchElement`] model matching the microstrip patches the mmTag prototype
+//! is built from (§7).
+
+use mmtag_rf::units::{Angle, Dbi};
+
+/// A single antenna element's power gain pattern over a one-dimensional
+/// angle cut (the array's scan plane).
+pub trait ElementPattern {
+    /// Linear power gain (relative to isotropic) toward `theta` measured from
+    /// the element's broadside.
+    fn gain(&self, theta: Angle) -> f64;
+
+    /// Peak linear gain, used for normalization. Default: gain at broadside.
+    fn peak_gain(&self) -> f64 {
+        self.gain(Angle::ZERO)
+    }
+
+    /// Field (amplitude) factor toward `theta`: `√gain`.
+    fn field(&self, theta: Angle) -> f64 {
+        self.gain(theta).sqrt()
+    }
+}
+
+/// An isotropic radiator: unit gain everywhere. The reference against which
+/// dBi is defined; used in tests to isolate pure array-factor behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Isotropic;
+
+impl ElementPattern for Isotropic {
+    fn gain(&self, _theta: Angle) -> f64 {
+        1.0
+    }
+}
+
+/// A rectangular microstrip patch element.
+///
+/// A patch radiates a broad single-lobe pattern above its ground plane and
+/// (ideally) nothing behind it. The standard engineering model for a pattern
+/// cut is `G(θ) = G₀·cosᵖ(θ)` for `|θ| < 90°`, with a small back-lobe floor:
+///
+/// * `peak_gain` — boresight gain; typical printed patches are 5–7 dBi,
+/// * `rolloff_exponent` — `p` in `cosᵖ`, controlling pattern width. `p = 2`
+///   gives the textbook ~90° element half-power beamwidth of a patch,
+/// * `back_lobe` — gain floor behind the ground plane (spillover and edge
+///   diffraction make a real patch not perfectly silent at the back).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PatchElement {
+    /// Boresight gain.
+    pub peak_gain: Dbi,
+    /// Exponent `p` of the `cosᵖ θ` power rolloff.
+    pub rolloff_exponent: f64,
+    /// Back-hemisphere gain floor relative to isotropic (linear).
+    pub back_lobe: f64,
+}
+
+impl PatchElement {
+    /// The patch used throughout the mmTag models: 5 dBi peak, `cos²`
+    /// rolloff, −20 dBi back lobe. Matches a standard inset-fed patch on
+    /// Rogers 4835 at 24 GHz (§7).
+    pub fn mmtag_default() -> Self {
+        PatchElement {
+            peak_gain: Dbi::new(5.0),
+            rolloff_exponent: 2.0,
+            back_lobe: 1e-2,
+        }
+    }
+}
+
+impl Default for PatchElement {
+    fn default() -> Self {
+        Self::mmtag_default()
+    }
+}
+
+impl ElementPattern for PatchElement {
+    fn gain(&self, theta: Angle) -> f64 {
+        let t = theta.normalized().radians();
+        if t.abs() < std::f64::consts::FRAC_PI_2 {
+            let c = t.cos();
+            self.peak_gain.linear() * c.powf(self.rolloff_exponent)
+        } else {
+            self.back_lobe
+        }
+    }
+
+    fn peak_gain(&self) -> f64 {
+        self.peak_gain.linear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_is_unit_everywhere() {
+        for deg in [-180.0, -90.0, -30.0, 0.0, 45.0, 179.0] {
+            assert_eq!(Isotropic.gain(Angle::from_degrees(deg)), 1.0);
+        }
+    }
+
+    #[test]
+    fn patch_peak_at_boresight() {
+        let p = PatchElement::mmtag_default();
+        let g0 = p.gain(Angle::ZERO);
+        assert!((10.0 * g0.log10() - 5.0).abs() < 1e-9);
+        for deg in [10.0, 30.0, 60.0, 89.0] {
+            assert!(p.gain(Angle::from_degrees(deg)) < g0);
+        }
+    }
+
+    #[test]
+    fn patch_pattern_is_symmetric() {
+        let p = PatchElement::mmtag_default();
+        for deg in [5.0, 20.0, 45.0, 70.0] {
+            let a = p.gain(Angle::from_degrees(deg));
+            let b = p.gain(Angle::from_degrees(-deg));
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn patch_half_power_beamwidth_is_about_90_degrees() {
+        // cos²θ drops to half power at θ = 45° ⇒ HPBW = 90°, the textbook
+        // value for a patch element cut.
+        let p = PatchElement::mmtag_default();
+        let ratio = p.gain(Angle::from_degrees(45.0)) / p.peak_gain();
+        assert!((ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn patch_back_lobe_is_floor() {
+        let p = PatchElement::mmtag_default();
+        assert_eq!(p.gain(Angle::from_degrees(120.0)), 1e-2);
+        assert_eq!(p.gain(Angle::from_degrees(-170.0)), 1e-2);
+    }
+
+    #[test]
+    fn field_is_sqrt_of_gain() {
+        let p = PatchElement::mmtag_default();
+        let th = Angle::from_degrees(30.0);
+        assert!((p.field(th).powi(2) - p.gain(th)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,4 @@
+//! E18: capacitor-buffered burst operation.
+fn main() {
+    println!("{}", mmtag_bench::extensions::fig_storage().render());
+}

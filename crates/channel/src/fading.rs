@@ -1,0 +1,172 @@
+//! Small-scale fading.
+//!
+//! A beam-aligned mmWave backscatter link is strongly Rician: the aligned
+//! beam carries one dominant component and the narrow beamwidths suppress
+//! most scatter. We provide a Rician power-envelope sampler (Rayleigh as the
+//! `K = 0` special case) for robustness experiments — e.g. how much fade
+//! margin the Fig. 7 rate thresholds need in a real room.
+
+use mmtag_rf::units::Db;
+use mmtag_rf::Complex;
+use rand::Rng;
+
+/// A Rician fading channel with linear K-factor `k` (dominant/scattered
+/// power ratio). The mean power gain is normalized to 1 (0 dB).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RicianFading {
+    k: f64,
+}
+
+impl RicianFading {
+    /// Creates a Rician fader from a linear K-factor (≥ 0).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `k`.
+    pub fn new(k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "K-factor must be ≥ 0");
+        RicianFading { k }
+    }
+
+    /// From a K-factor in dB.
+    pub fn from_k_db(k: Db) -> Self {
+        Self::new(k.linear())
+    }
+
+    /// Rayleigh fading (no dominant component).
+    pub fn rayleigh() -> Self {
+        Self::new(0.0)
+    }
+
+    /// Beam-aligned mmWave LOS: K ≈ 10 dB is typical of measured indoor
+    /// mmWave links with aligned horns.
+    pub fn mmwave_los() -> Self {
+        Self::from_k_db(Db::new(10.0))
+    }
+
+    /// The linear K-factor.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// Samples one complex channel coefficient `h` with `E[|h|²] = 1`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Complex {
+        // h = √(K/(K+1)) + √(1/(K+1))·CN(0,1)
+        let los = (self.k / (self.k + 1.0)).sqrt();
+        let sigma = (0.5 / (self.k + 1.0)).sqrt();
+        let g = Complex::new(sample_gaussian(rng) * sigma, sample_gaussian(rng) * sigma);
+        Complex::new(los, 0.0) + g
+    }
+
+    /// Samples the power gain `|h|²` (linear, mean 1).
+    pub fn sample_power<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample(rng).norm_sqr()
+    }
+
+    /// Monte-Carlo outage probability: fraction of fades deeper than
+    /// `margin` dB below the mean, over `trials` samples.
+    pub fn outage_probability<R: Rng + ?Sized>(
+        &self,
+        margin: Db,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(trials > 0, "need at least one trial");
+        let threshold = 10f64.powf(-margin.db() / 10.0);
+        let mut outages = 0usize;
+        for _ in 0..trials {
+            if self.sample_power(rng) < threshold {
+                outages += 1;
+            }
+        }
+        outages as f64 / trials as f64
+    }
+}
+
+/// Box–Muller standard normal sample.
+fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_power_is_unity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for fader in [
+            RicianFading::rayleigh(),
+            RicianFading::mmwave_los(),
+            RicianFading::new(100.0),
+        ] {
+            let n = 200_000;
+            let mean: f64 =
+                (0..n).map(|_| fader.sample_power(&mut rng)).sum::<f64>() / n as f64;
+            assert!((mean - 1.0).abs() < 0.02, "K={}: mean={mean}", fader.k());
+        }
+    }
+
+    #[test]
+    fn rayleigh_outage_matches_closed_form() {
+        // Rayleigh power is exponential: P(|h|² < t) = 1 − e^(−t).
+        let mut rng = StdRng::seed_from_u64(42);
+        let fader = RicianFading::rayleigh();
+        let p = fader.outage_probability(Db::new(10.0), 200_000, &mut rng);
+        let expected = 1.0 - (-0.1f64).exp(); // t = 10^(−1)
+        assert!((p - expected).abs() < 0.005, "got {p}, want {expected}");
+    }
+
+    #[test]
+    fn higher_k_means_fewer_deep_fades() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let deep = Db::new(10.0);
+        let ray = RicianFading::rayleigh().outage_probability(deep, 100_000, &mut rng);
+        let rice = RicianFading::mmwave_los().outage_probability(deep, 100_000, &mut rng);
+        assert!(
+            rice < ray / 10.0,
+            "K=10 dB outage {rice} must be ≪ Rayleigh {ray}"
+        );
+    }
+
+    #[test]
+    fn strong_k_concentrates_near_unity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let fader = RicianFading::new(1000.0);
+        for _ in 0..1000 {
+            let p = fader.sample_power(&mut rng);
+            assert!((0.8..1.25).contains(&p), "K=1000 sample {p}");
+        }
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10)
+                .map(|_| RicianFading::mmwave_los().sample_power(&mut rng))
+                .collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10)
+                .map(|_| RicianFading::mmwave_los().sample_power(&mut rng))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "K-factor")]
+    fn negative_k_is_a_bug() {
+        let _ = RicianFading::new(-1.0);
+    }
+}

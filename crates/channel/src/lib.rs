@@ -1,0 +1,34 @@
+//! # mmtag-channel — mmWave propagation and the backscatter link budget
+//!
+//! The paper's range experiment (Fig. 7) is, at its core, a two-way link
+//! budget: the reader's signal spreads out to the tag, is re-radiated by the
+//! Van Atta aperture, and spreads back. This crate owns everything between
+//! the two antennas:
+//!
+//! * [`fspl`] — Friis free-space path loss (one-way),
+//! * [`radar`] — the two-way backscatter budget (`d⁻⁴` law) with explicit,
+//!   calibrated gain/loss terms; regenerates Fig. 7's signal-power curve,
+//! * [`noise`] — thermal noise floors with noise figure, exactly the three
+//!   horizontal lines of Fig. 7,
+//! * [`atmosphere`] — gaseous absorption, relevant when retuning to 60 GHz
+//!   (§7 footnote 3),
+//! * [`multipath`] — explicit ray combination for the LOS/NLOS behaviour §4
+//!   describes ("when the LOS path is blocked, the tag and the reader
+//!   chooses an NLOS path"),
+//! * [`fading`] — Rician small-scale fading for robustness studies,
+//! * [`delay`] — delay spread and coherence bandwidth: the ISI check a
+//!   Gbps-wide OOK symbol needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atmosphere;
+pub mod delay;
+pub mod fading;
+pub mod fspl;
+pub mod multipath;
+pub mod noise;
+pub mod radar;
+
+pub use noise::NoiseModel;
+pub use radar::BackscatterLink;

@@ -1,0 +1,107 @@
+//! Receiver noise floors — the three horizontal lines of Fig. 7.
+//!
+//! §8, footnote 4: "The receiver noise floor is computed based on typical
+//! Noise Figure (i.e. NF=5) of mmWave receivers, bandwidth, and thermal noise
+//! at the room temperature (i.e. 300 K)." That is:
+//!
+//! ```text
+//! N = 10·log10(kT/1mW) + 10·log10(B) + NF
+//!   ≈ −173.8 dBm/Hz + 10·log10(B) + 5 dB
+//! ```
+//!
+//! giving ≈ −76 / −86 / −96 dBm at 2 GHz / 200 MHz / 20 MHz — the floors the
+//! paper's rate annotations are read against.
+
+use mmtag_rf::constants::BOLTZMANN;
+use mmtag_rf::units::{Bandwidth, Db, Dbm, Temperature};
+
+/// A receiver noise model: temperature plus noise figure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Physical temperature of the receive chain's source resistance.
+    pub temperature: Temperature,
+    /// Receiver noise figure.
+    pub noise_figure: Db,
+}
+
+impl NoiseModel {
+    /// The paper's receiver: NF = 5 dB at 300 K.
+    pub fn mmtag_reader() -> Self {
+        NoiseModel {
+            temperature: Temperature::ROOM,
+            noise_figure: Db::new(5.0),
+        }
+    }
+
+    /// Noise power spectral density including NF, dBm/Hz.
+    pub fn density_dbm_per_hz(&self) -> f64 {
+        let kt_mw = BOLTZMANN * self.temperature.kelvin() / 1e-3;
+        10.0 * kt_mw.log10() + self.noise_figure.db()
+    }
+
+    /// Integrated noise floor over `bandwidth`.
+    pub fn floor(&self, bandwidth: Bandwidth) -> Dbm {
+        Dbm::new(self.density_dbm_per_hz() + 10.0 * bandwidth.hz().log10())
+    }
+
+    /// SNR of a received power over `bandwidth`.
+    pub fn snr(&self, received: Dbm, bandwidth: Bandwidth) -> Db {
+        received - self.floor(bandwidth)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::mmtag_reader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_floor_2ghz_is_about_minus_76dbm() {
+        let n = NoiseModel::mmtag_reader().floor(Bandwidth::from_ghz(2.0));
+        assert!((n.dbm() - (-75.8)).abs() < 0.3, "floor = {n}");
+    }
+
+    #[test]
+    fn fig7_floor_200mhz_is_about_minus_86dbm() {
+        let n = NoiseModel::mmtag_reader().floor(Bandwidth::from_mhz(200.0));
+        assert!((n.dbm() - (-85.8)).abs() < 0.3, "floor = {n}");
+    }
+
+    #[test]
+    fn fig7_floor_20mhz_is_about_minus_96dbm() {
+        let n = NoiseModel::mmtag_reader().floor(Bandwidth::from_mhz(20.0));
+        assert!((n.dbm() - (-95.8)).abs() < 0.3, "floor = {n}");
+    }
+
+    #[test]
+    fn floors_are_10db_apart_per_decade_of_bandwidth() {
+        let m = NoiseModel::mmtag_reader();
+        let a = m.floor(Bandwidth::from_mhz(20.0));
+        let b = m.floor(Bandwidth::from_mhz(200.0));
+        assert!(((b - a).db() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nf_shifts_floor_linearly() {
+        let base = NoiseModel::mmtag_reader();
+        let hot = NoiseModel {
+            noise_figure: Db::new(8.0),
+            ..base
+        };
+        let d = hot.floor(Bandwidth::from_mhz(100.0)) - base.floor(Bandwidth::from_mhz(100.0));
+        assert!((d.db() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_is_power_minus_floor() {
+        let m = NoiseModel::mmtag_reader();
+        let snr = m.snr(Dbm::new(-68.8), Bandwidth::from_ghz(2.0));
+        // −68.8 − (−75.8) = 7 dB: exactly the paper's BER-10⁻³ ASK threshold.
+        assert!((snr.db() - 7.0).abs() < 0.3, "SNR = {snr}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Tiny dependency-free argument parser for the `mmtag` CLI.
+//!
+//! Supports `--flag value` and `--flag=value` options plus one positional
+//! subcommand. Deliberately minimal (the allowed dependency set has no
+//! `clap`); the parser is a plain data structure so every command's
+//! argument handling is unit-testable without process spawning.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Args {
+    /// The subcommand (first positional argument), if any.
+    pub command: Option<String>,
+    /// Option map: `--range 4` → `("range", "4")`.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or extracting arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` appeared with no value.
+    MissingValue(String),
+    /// A value failed to parse as the requested type.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        raw: String,
+    },
+    /// Something that is neither the subcommand nor a flag appeared.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::BadValue { flag, raw } => {
+                write!(f, "--{flag}: cannot parse '{raw}' as a number")
+            }
+            ArgError::UnexpectedPositional(s) => write!(f, "unexpected argument '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse<I, S>(args: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                if let Some((k, v)) = flag.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
+                    if value.starts_with("--") {
+                        return Err(ArgError::MissingValue(flag.to_string()));
+                    }
+                    out.options.insert(flag.to_string(), value);
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A float option with a default.
+    pub fn f64_or(&self, flag: &str, default: f64) -> Result<f64, ArgError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                raw: raw.clone(),
+            }),
+        }
+    }
+
+    /// An integer option with a default.
+    pub fn usize_or(&self, flag: &str, default: usize) -> Result<usize, ArgError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                raw: raw.clone(),
+            }),
+        }
+    }
+
+    /// A u64 option with a default (seeds).
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                raw: raw.clone(),
+            }),
+        }
+    }
+
+    /// A string option with a default.
+    pub fn str_or(&self, flag: &str, default: &str) -> String {
+        self.options
+            .get(flag)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(["link", "--range", "4", "--elements", "6"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("link"));
+        assert_eq!(a.f64_or("range", 0.0).unwrap(), 4.0);
+        assert_eq!(a.usize_or("elements", 0).unwrap(), 6);
+    }
+
+    #[test]
+    fn equals_syntax_works() {
+        let a = Args::parse(["scan", "--beamwidth=10.5"]).unwrap();
+        assert_eq!(a.f64_or("beamwidth", 0.0).unwrap(), 10.5);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = Args::parse(["link"]).unwrap();
+        assert_eq!(a.f64_or("range", 4.0).unwrap(), 4.0);
+        assert_eq!(a.str_or("band", "24ghz"), "24ghz");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            Args::parse(["link", "--range"]),
+            Err(ArgError::MissingValue("range".into()))
+        );
+        assert_eq!(
+            Args::parse(["link", "--range", "--elements"]),
+            Err(ArgError::MissingValue("range".into()))
+        );
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(["link", "--range", "abc"]).unwrap();
+        assert!(matches!(
+            a.f64_or("range", 0.0),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn extra_positional_is_an_error() {
+        assert_eq!(
+            Args::parse(["link", "oops"]),
+            Err(ArgError::UnexpectedPositional("oops".into()))
+        );
+    }
+
+    #[test]
+    fn no_command_is_fine() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(a.command.is_none());
+    }
+
+    #[test]
+    fn negative_numbers_pass_through() {
+        let a = Args::parse(["locate", "--bearing", "-25"]).unwrap();
+        assert_eq!(a.f64_or("bearing", 0.0).unwrap(), -25.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The `mmtag` CLI subcommands.
+//!
+//! Each command is a pure function from parsed [`Args`] to an output
+//! `String`, so the full command surface is unit-tested without spawning
+//! processes; `main` only dispatches and prints.
+
+use crate::args::{ArgError, Args};
+use mmtag::baseline::comparison_rows;
+use mmtag::energy::{advantage_over_active_radio, EnergyBudget, Harvester};
+use mmtag::localization::{locate, position_error};
+use mmtag::prelude::*;
+use mmtag::storage::{steady_state_cycle, StorageCap};
+use mmtag::tag::TagConfig;
+use mmtag_antenna::sparams::{ElementPort, SwitchState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Top-level dispatch. Unknown/missing commands return the help text.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_deref() {
+        Some("link") => cmd_link(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("s11") => cmd_s11(args),
+        Some("inventory") => cmd_inventory(args),
+        Some("locate") => cmd_locate(args),
+        Some("energy") => cmd_energy(args),
+        Some("compare") => Ok(cmd_compare()),
+        _ => Ok(help()),
+    }
+}
+
+/// The help text.
+pub fn help() -> String {
+    "\
+mmtag — millimeter-wave backscatter link & network models (HotNets '20)
+
+USAGE: mmtag <command> [--flag value]...
+
+COMMANDS:
+  link       evaluate one link        --range-ft 4 --rotation-deg 0
+                                      --elements 6 --band-ghz 24
+                                      --wiring vanatta|fixed|mirror
+  sweep      power/rate vs range      --from-ft 2 --to-ft 12 --points 11
+  s11        element S11, both switch states (Fig. 6 anchors)
+  inventory  timed multi-tag read     --tags 48 --seed 1
+  locate     scan-based positioning   --range-ft 6 --bearing-deg 20
+  energy     batteryless budget       --rate-mbps 1000 --solar-cm2 10
+                                      --cap-uf 100
+  compare    the §1/§3 systems comparison table
+  help       this text
+"
+    .to_string()
+}
+
+fn build_tag(args: &Args) -> Result<MmTag, ArgError> {
+    let elements = args.usize_or("elements", 6)?;
+    let band = args.f64_or("band-ghz", 24.0)?;
+    let wiring = match args.str_or("wiring", "vanatta").as_str() {
+        "fixed" => ReflectorWiring::FixedBeam,
+        "mirror" => ReflectorWiring::Specular,
+        _ => ReflectorWiring::VanAtta,
+    };
+    Ok(MmTag::new(TagConfig {
+        elements,
+        frequency: Frequency::from_ghz(band),
+        wiring,
+    }))
+}
+
+fn reader_for(args: &Args) -> Result<Reader, ArgError> {
+    let band = args.f64_or("band-ghz", 24.0)?;
+    let link = mmtag_channel::BackscatterLink {
+        frequency: Frequency::from_ghz(band),
+        ..mmtag_channel::BackscatterLink::mmtag_setup()
+    };
+    Ok(Reader::mmtag_setup().with_link(link))
+}
+
+fn poses(range_ft: f64, rotation_deg: f64, bearing_deg: f64) -> (Pose, Pose) {
+    let rad = bearing_deg.to_radians();
+    (
+        Pose::new(Vec2::ORIGIN, Angle::ZERO),
+        Pose::new(
+            Vec2::from_feet(range_ft * rad.cos(), range_ft * rad.sin()),
+            Angle::from_degrees(bearing_deg + 180.0 - rotation_deg),
+        ),
+    )
+}
+
+fn cmd_link(args: &Args) -> Result<String, ArgError> {
+    let range = args.f64_or("range-ft", 4.0)?;
+    let rotation = args.f64_or("rotation-deg", 0.0)?;
+    let tag = build_tag(args)?;
+    let reader = reader_for(args)?;
+    let (rp, tp) = poses(range, rotation, 0.0);
+    let report = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "link @ {range} ft, tag rotated {rotation}°:");
+    match report.power {
+        Some(p) => {
+            let _ = writeln!(out, "  received power : {p}");
+            if let Some(rung) = reader.adaptation().best_rung(p) {
+                let snr = reader.noise().snr(p, rung.bandwidth);
+                let _ = writeln!(out, "  bandwidth rung : {}", rung.bandwidth);
+                let _ = writeln!(out, "  SNR            : {snr}");
+            }
+            let _ = writeln!(out, "  rate           : {}", report.rate);
+        }
+        None => {
+            let _ = writeln!(out, "  (link blocked)");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    let from = args.f64_or("from-ft", 2.0)?;
+    let to = args.f64_or("to-ft", 12.0)?;
+    let points = args.usize_or("points", 11)?.max(2);
+    let tag = build_tag(args)?;
+    let reader = reader_for(args)?;
+    let scene = Scene::free_space();
+
+    let mut out = String::from("range_ft  power_dbm  rate\n");
+    for i in 0..points {
+        let feet = from + (to - from) * i as f64 / (points - 1) as f64;
+        let (rp, tp) = poses(feet, 0.0, 0.0);
+        let r = evaluate_link(&reader, &tag, &scene, rp, tp);
+        let p = r
+            .power
+            .map(|p| format!("{:>8.2}", p.dbm()))
+            .unwrap_or_else(|| " blocked".into());
+        let _ = writeln!(out, "{feet:>8.2}  {p}  {}", r.rate);
+    }
+    Ok(out)
+}
+
+fn cmd_s11(_args: &Args) -> Result<String, ArgError> {
+    let e = ElementPort::mmtag_default();
+    let f0 = Frequency::from_ghz(24.0);
+    let mut out = String::from("element S11 at the 24 GHz carrier:\n");
+    let _ = writeln!(
+        out,
+        "  switch off (reflective): {:>6.1} dB   (paper: ≈ −15 dB)",
+        e.s11_db(f0, SwitchState::Off)
+    );
+    let _ = writeln!(
+        out,
+        "  switch on  (absorbing) : {:>6.1} dB   (paper: ≈ −5 dB)",
+        e.s11_db(f0, SwitchState::On)
+    );
+    let _ = writeln!(
+        out,
+        "  −10 dB bandwidth       : {}",
+        e.matched_bandwidth()
+    );
+    Ok(out)
+}
+
+fn cmd_inventory(args: &Args) -> Result<String, ArgError> {
+    let n = args.usize_or("tags", 48)?;
+    let seed = args.u64_or("seed", 1)?;
+    let mut net = Network::new(
+        Scene::free_space(),
+        Reader::mmtag_setup(),
+        Pose::new(Vec2::ORIGIN, Angle::ZERO),
+    );
+    for i in 0..n {
+        let deg = -55.0 + 110.0 * i as f64 / (n.max(2) - 1) as f64;
+        let pos = Vec2::from_feet(6.0 * deg.to_radians().cos(), 6.0 * deg.to_radians().sin());
+        net.add_tag(
+            MmTag::prototype(),
+            mmtag_sim::mobility::Static(Pose::new(pos, Angle::from_degrees(deg + 180.0))),
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inv = net.inventory(&mut rng);
+    let mut out = String::new();
+    let _ = writeln!(out, "inventory of {n} tags (seed {seed}):");
+    let _ = writeln!(out, "  tags read       : {}", inv.tags_read);
+    let _ = writeln!(out, "  sectors visited : {}", inv.sectors_visited);
+    let _ = writeln!(out, "  Aloha slots     : {}", inv.slots);
+    let _ = writeln!(out, "  elapsed         : {}", inv.elapsed);
+    Ok(out)
+}
+
+fn cmd_locate(args: &Args) -> Result<String, ArgError> {
+    let range = args.f64_or("range-ft", 6.0)?;
+    let bearing = args.f64_or("bearing-deg", 20.0)?;
+    let reader = Reader::mmtag_setup();
+    let tag = MmTag::prototype();
+    let (rp, tp) = poses(range, 0.0, bearing);
+    let mut out = String::new();
+    match locate(&reader, &tag, &Scene::free_space(), rp, tp) {
+        Some(est) => {
+            let _ = writeln!(out, "truth    : {range:.2} ft @ {bearing:.1}°");
+            let _ = writeln!(
+                out,
+                "estimate : {:.2} ft @ {:.1}°",
+                est.range.feet(),
+                est.bearing.degrees()
+            );
+            let _ = writeln!(
+                out,
+                "error    : {:.2} ft",
+                position_error(&est, tp).feet()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "tag inaudible in every beam (out of sector?)");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_energy(args: &Args) -> Result<String, ArgError> {
+    let rate = DataRate::from_mbps(args.f64_or("rate-mbps", 1000.0)?);
+    let solar = Harvester::IndoorSolar {
+        area_cm2: args.f64_or("solar-cm2", 10.0)?,
+    };
+    let cap = StorageCap::new(args.f64_or("cap-uf", 100.0)? * 1e-6, 1.8, 3.3);
+    let budget = EnergyBudget::for_tag(&MmTag::prototype(), rate);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "energy budget at {rate}:");
+    let _ = writeln!(
+        out,
+        "  active power     : {:.1} µW  ({:.0}× under a 1 W active radio)",
+        budget.active_w() * 1e6,
+        advantage_over_active_radio(&budget)
+    );
+    match steady_state_cycle(&budget, solar, &cap) {
+        Some(cycle) => {
+            let _ = writeln!(
+                out,
+                "  sustainable duty : {:.1}% on {:.0} µW {}",
+                cycle.duty_cycle * 100.0,
+                solar.power_w() * 1e6,
+                solar.name()
+            );
+            let _ = writeln!(out, "  burst length     : {}", cycle.burst);
+            let _ = writeln!(
+                out,
+                "  sustained rate   : {}",
+                DataRate::from_bps(rate.bps() * cycle.duty_cycle)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  harvester cannot sustain the logic: tag stays dark");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_compare() -> String {
+    let rows = comparison_rows(&Reader::mmtag_setup(), &MmTag::prototype());
+    let mut out = String::from(
+        "system                    rate@4ft      rate@10ft     mobility\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24}  {:>11}  {:>12}  {}",
+            r.name,
+            r.rate_short.to_string(),
+            r.rate_10ft.to_string(),
+            if r.supports_mobility { "yes" } else { "no" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> String {
+        run(&Args::parse(line.iter().copied()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn link_defaults_hit_the_paper_anchor() {
+        let out = run_line(&["link"]);
+        assert!(out.contains("1.00 Gbps"), "{out}");
+    }
+
+    #[test]
+    fn link_at_10ft_is_10mbps() {
+        let out = run_line(&["link", "--range-ft", "10"]);
+        assert!(out.contains("10.00 Mbps"), "{out}");
+    }
+
+    #[test]
+    fn rotated_link_still_works() {
+        let out = run_line(&["link", "--rotation-deg", "40"]);
+        assert!(out.contains("Mbps") || out.contains("Gbps"), "{out}");
+    }
+
+    #[test]
+    fn sweep_has_requested_points() {
+        let out = run_line(&["sweep", "--from-ft", "2", "--to-ft", "12", "--points", "6"]);
+        assert_eq!(out.lines().count(), 7, "{out}"); // header + 6 rows
+        assert!(out.contains("1.00 Gbps") && out.contains("10.00 Mbps"));
+    }
+
+    #[test]
+    fn s11_shows_both_states() {
+        let out = run_line(&["s11"]);
+        assert!(out.contains("switch off") && out.contains("switch on"));
+        assert!(out.contains("-15.0") || out.contains("-14."), "{out}");
+    }
+
+    #[test]
+    fn inventory_reads_everyone() {
+        let out = run_line(&["inventory", "--tags", "12", "--seed", "7"]);
+        assert!(out.contains("tags read       : 12"), "{out}");
+    }
+
+    #[test]
+    fn locate_reports_small_error() {
+        let out = run_line(&["locate", "--range-ft", "5", "--bearing-deg", "15"]);
+        assert!(out.contains("error"), "{out}");
+        let err_line = out.lines().find(|l| l.contains("error")).unwrap();
+        let err: f64 = err_line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .trim_end_matches(" ft")
+            .parse()
+            .unwrap();
+        assert!(err < 2.0, "{out}");
+    }
+
+    #[test]
+    fn energy_shows_duty_cycle() {
+        let out = run_line(&["energy"]);
+        assert!(out.contains("sustainable duty"), "{out}");
+        assert!(out.contains("µW"));
+    }
+
+    #[test]
+    fn compare_lists_all_six_systems() {
+        let out = run_line(&["compare"]);
+        for name in ["RFID", "HitchHike", "BackFi", "mmTag"] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_prints_help() {
+        let out = run_line(&["frobnicate"]);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn fixed_wiring_dies_off_axis() {
+        let va = run_line(&["link", "--rotation-deg", "30"]);
+        let fb = run_line(&["link", "--rotation-deg", "30", "--wiring", "fixed"]);
+        assert!(va.contains("100.00 Mbps"), "{va}");
+        assert!(!fb.contains("100.00 Mbps") && !fb.contains("Gbps"), "{fb}");
+    }
+
+    #[test]
+    fn sixty_ghz_band_flag_works() {
+        let out = run_line(&["link", "--band-ghz", "60", "--range-ft", "2"]);
+        assert!(out.contains("Mbps") || out.contains("Gbps"), "{out}");
+    }
+}

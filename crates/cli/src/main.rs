@@ -1,0 +1,34 @@
+//! `mmtag` — the command-line face of the mmTag model stack.
+//!
+//! See `mmtag help` (or [`commands::help`]) for the command surface. All
+//! logic lives in [`commands`] as pure functions; this binary only parses
+//! `std::env::args`, dispatches, prints, and sets the exit code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::help());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

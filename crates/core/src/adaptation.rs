@@ -1,0 +1,211 @@
+//! Time-domain rate adaptation with hysteresis.
+//!
+//! [`mmtag_phy::RateAdaptation`] answers the *static* question — which rung
+//! does this RSS support? A live link asks the *dynamic* one: the tag is
+//! moving, RSS wanders across a rung threshold, and a controller that
+//! switches rungs at the exact threshold flaps — each flap costing a
+//! bandwidth reconfiguration at the reader (retuning the RX filter and
+//! resetting the demodulator). The standard cure is hysteresis: step down
+//! when the margin goes negative, but step *up* only when the new rung
+//! would hold with `hysteresis` dB to spare.
+//!
+//! [`RateController`] implements that policy as a small, fully-tested state
+//! machine over the same ladder the paper's Fig. 7 uses.
+
+use mmtag_phy::rate::RateRung;
+use mmtag_phy::RateAdaptation;
+use mmtag_rf::units::{DataRate, Db, Dbm};
+
+/// A hysteretic rate controller over a bandwidth ladder.
+#[derive(Clone, Debug)]
+pub struct RateController {
+    ladder: RateAdaptation,
+    /// Extra margin (dB) required before stepping *up* a rung.
+    hysteresis: Db,
+    /// Index into the ladder (0 = widest/fastest), `None` = outage.
+    current: Option<usize>,
+    /// Rung switches performed (the flapping metric).
+    switches: u64,
+}
+
+impl RateController {
+    /// A controller over `ladder` with the given up-switch hysteresis.
+    pub fn new(ladder: RateAdaptation, hysteresis: Db) -> Self {
+        assert!(hysteresis.db() >= 0.0, "hysteresis must be ≥ 0 dB");
+        RateController {
+            ladder,
+            hysteresis,
+            current: None,
+            switches: 0,
+        }
+    }
+
+    /// The paper's ladder with 3 dB hysteresis — a common LTE/Wi-Fi-style
+    /// setting.
+    pub fn paper_default() -> Self {
+        Self::new(RateAdaptation::paper_ladder(), Db::new(3.0))
+    }
+
+    /// Number of rung switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The currently selected rung.
+    pub fn current_rung(&self) -> Option<&RateRung> {
+        self.current.map(|i| &self.ladder.rungs()[i])
+    }
+
+    /// The current data rate (zero in outage).
+    pub fn current_rate(&self) -> DataRate {
+        self.current_rung()
+            .map(|r| r.rate)
+            .unwrap_or(DataRate::ZERO)
+    }
+
+    /// Feeds one RSS measurement; returns the rate now in effect.
+    ///
+    /// Policy: if the current rung's threshold fails, fall to the best rung
+    /// the RSS *does* support (immediately — staying too fast corrupts
+    /// frames). If a faster rung would hold with `hysteresis` dB of margin,
+    /// step up one rung per measurement (no leapfrogging: the reader
+    /// reconfigures incrementally).
+    pub fn observe(&mut self, rss: Dbm) -> DataRate {
+        let rungs = self.ladder.rungs();
+        // The best rung plain-supported by this RSS.
+        let supported = rungs
+            .iter()
+            .position(|r| rss >= self.ladder.sensitivity(r));
+        let next = match (self.current, supported) {
+            (_, None) => None, // outage
+            (None, Some(s)) => Some(s),
+            (Some(cur), Some(s)) => {
+                if s > cur {
+                    // Current rung lost its threshold: fall immediately to
+                    // the supported one.
+                    Some(s)
+                } else if s < cur {
+                    // A faster rung is plain-supported; step up one only
+                    // with hysteresis margin on that rung.
+                    let candidate = cur - 1;
+                    let needed = self.ladder.sensitivity(&rungs[candidate]) + self.hysteresis;
+                    if rss >= needed {
+                        Some(candidate)
+                    } else {
+                        Some(cur)
+                    }
+                } else {
+                    Some(cur)
+                }
+            }
+        };
+        if next != self.current {
+            self.switches += 1;
+            self.current = next;
+        }
+        self.current_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> RateController {
+        RateController::paper_default()
+    }
+
+    #[test]
+    fn first_observation_selects_supported_rung() {
+        let mut c = controller();
+        assert_eq!(c.observe(Dbm::new(-60.0)).gbps(), 1.0);
+        assert_eq!(c.switches(), 1);
+    }
+
+    #[test]
+    fn falls_immediately_when_threshold_lost() {
+        let mut c = controller();
+        c.observe(Dbm::new(-60.0)); // 1 Gbps
+        let r = c.observe(Dbm::new(-75.0)); // below −68.8: must fall now
+        assert_eq!(r.mbps(), 100.0);
+    }
+
+    #[test]
+    fn steps_up_only_with_hysteresis_margin() {
+        let mut c = controller();
+        c.observe(Dbm::new(-75.0)); // 100 Mbps rung
+        // −68.0 dBm supports 1 Gbps plainly (−68.8 threshold) but lacks the
+        // 3 dB margin (needs ≥ −65.8): stay put.
+        assert_eq!(c.observe(Dbm::new(-68.0)).mbps(), 100.0);
+        // −65.0 clears threshold + hysteresis: step up.
+        assert_eq!(c.observe(Dbm::new(-65.0)).gbps(), 1.0);
+    }
+
+    #[test]
+    fn no_flapping_at_a_noisy_threshold() {
+        // RSS dithering ±1 dB around the 1 Gbps threshold: a hysteretic
+        // controller must settle, not flap every sample.
+        let mut c = controller();
+        c.observe(Dbm::new(-70.0)); // start at 100 Mbps
+        let start_switches = c.switches();
+        for i in 0..100 {
+            let dither = if i % 2 == 0 { 0.9 } else { -0.9 };
+            c.observe(Dbm::new(-68.8 + dither));
+        }
+        assert_eq!(
+            c.switches() - start_switches,
+            0,
+            "dither within hysteresis must cause zero switches"
+        );
+        assert_eq!(c.current_rate().mbps(), 100.0);
+    }
+
+    #[test]
+    fn zero_hysteresis_flaps() {
+        // The control: without hysteresis the same dither flaps constantly.
+        let mut c = RateController::new(RateAdaptation::paper_ladder(), Db::ZERO);
+        c.observe(Dbm::new(-70.0));
+        let start = c.switches();
+        for i in 0..100 {
+            let dither = if i % 2 == 0 { 0.9 } else { -0.9 };
+            c.observe(Dbm::new(-68.8 + dither));
+        }
+        assert!(c.switches() - start > 50, "flapped {} times", c.switches() - start);
+    }
+
+    #[test]
+    fn outage_and_recovery() {
+        let mut c = controller();
+        c.observe(Dbm::new(-60.0));
+        assert_eq!(c.observe(Dbm::new(-120.0)), DataRate::ZERO);
+        assert!(c.current_rung().is_none());
+        // Recovery re-enters at the plain-supported rung.
+        assert_eq!(c.observe(Dbm::new(-85.0)).mbps(), 10.0);
+    }
+
+    #[test]
+    fn steps_up_one_rung_at_a_time() {
+        let mut c = controller();
+        c.observe(Dbm::new(-95.0)); // 2 MHz rung (1 Mbps)
+        // A huge RSS jump: first observation climbs exactly one rung.
+        let r1 = c.observe(Dbm::new(-50.0));
+        let r2 = c.observe(Dbm::new(-50.0));
+        let r3 = c.observe(Dbm::new(-50.0));
+        assert!(r1.bps() < r2.bps() && r2.bps() < r3.bps());
+        assert_eq!(r3.gbps(), 1.0);
+    }
+
+    #[test]
+    fn walkaway_trace_is_monotone_downward() {
+        // Simulated walk-away: RSS falls 1 dB per step from −60 to −115,
+        // ending below even the 200 kHz rung's −108.8 dBm sensitivity.
+        let mut c = controller();
+        let mut last = f64::INFINITY;
+        for i in 0..=55 {
+            let r = c.observe(Dbm::new(-60.0 - i as f64)).bps();
+            assert!(r <= last, "rate rose while walking away");
+            last = r;
+        }
+        assert_eq!(c.current_rate(), DataRate::ZERO);
+    }
+}

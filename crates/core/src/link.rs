@@ -1,0 +1,264 @@
+//! End-to-end link evaluation: scene → rays → powers → SNR → data rate.
+//!
+//! This is the function the paper's Fig. 7 performs with lab equipment: put
+//! a tag at a distance, measure the reflected power, read the achievable
+//! rate off the noise-floor/threshold chart. Here the same pipeline runs
+//! over the simulated scene:
+//!
+//! 1. the scene produces candidate rays (LOS + wall bounces, §4),
+//! 2. each ray is priced by the calibrated backscatter budget — the tag's
+//!    retrodirective gain at the ray's incidence angle, spreading over the
+//!    ray's length, reflection losses (twice: the ray is traversed out and
+//!    back — retrodirectivity sends energy back along the arrival ray),
+//! 3. the reader aims its beam at the best ray (it has scanned, §4) and the
+//!    rate-adaptation ladder converts power to rate.
+
+use crate::reader::Reader;
+use crate::tag::MmTag;
+use mmtag_channel::multipath::Ray;
+use mmtag_rf::units::{Angle, DataRate, Db, Dbm, Distance};
+use mmtag_sim::mobility::Pose;
+use mmtag_sim::Scene;
+
+/// The outcome of evaluating one reader↔tag link at one instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkReport {
+    /// Received tag-signal power at the reader, `None` when fully blocked.
+    pub power: Option<Dbm>,
+    /// Achievable data rate (zero when blocked or below every rung).
+    pub rate: DataRate,
+    /// Whether the serving ray is LOS.
+    pub via_los: bool,
+    /// Number of wall bounces on the serving ray.
+    pub bounces: u8,
+    /// Incidence angle at the tag on the serving ray (drives the
+    /// retrodirective gain).
+    pub tag_incidence: Angle,
+    /// One-way length of the serving ray.
+    pub path_length: Distance,
+}
+
+impl LinkReport {
+    /// A fully blocked link.
+    pub fn outage() -> Self {
+        LinkReport {
+            power: None,
+            rate: DataRate::ZERO,
+            via_los: false,
+            bounces: 0,
+            tag_incidence: Angle::ZERO,
+            path_length: Distance::from_meters(0.0),
+        }
+    }
+
+    /// True when any rate is sustained.
+    pub fn is_up(&self) -> bool {
+        self.rate.bps() > 0.0
+    }
+}
+
+/// Received power over one ray: the monostatic backscatter budget along the
+/// ray's geometry. The ray is traversed twice (out and back — the Van Atta
+/// tag re-radiates along the arrival direction), so its reflection loss is
+/// paid twice; the tag contributes its round-trip gain at the arrival angle.
+pub fn ray_power(reader: &Reader, tag: &MmTag, ray: &Ray) -> Dbm {
+    let tag_gain = tag.roundtrip_gain(ray.aoa_tag);
+    reader.link().received_power_bistatic(
+        tag_gain,
+        ray.length,
+        ray.length,
+        ray.reflection_loss * 2.0,
+    )
+}
+
+/// Evaluates the link between `reader` and `tag` at the given poses in
+/// `scene`. The reader is assumed to have completed its beam scan (§4) and
+/// aims at the strongest ray; the tag needs no alignment at all — that is
+/// the paper's contribution.
+pub fn evaluate_link(
+    reader: &Reader,
+    tag: &MmTag,
+    scene: &Scene,
+    reader_pose: Pose,
+    tag_pose: Pose,
+) -> LinkReport {
+    let rays = scene.paths(reader_pose, tag_pose);
+    let Some((best, power_dbm)) = rays.best_ray_by(|r| ray_power(reader, tag, r).dbm()) else {
+        return LinkReport::outage();
+    };
+    let power = Dbm::new(power_dbm);
+    LinkReport {
+        power: Some(power),
+        rate: reader.adaptation().achievable_rate(power),
+        via_los: best.is_los(),
+        bounces: best.bounces,
+        tag_incidence: best.aoa_tag,
+        path_length: best.length,
+    }
+}
+
+/// The mean `Eb/N0` (dB) the waveform layer should be driven at to be
+/// consistent with a link report's power and the chosen bandwidth rung:
+/// `Eb/N0 = SNR · B / R` (for OOK at `R = B/2`, exactly `SNR + 3 dB`).
+pub fn expected_eb_n0(reader: &Reader, report: &LinkReport) -> Option<Db> {
+    let power = report.power?;
+    let rung = reader.adaptation().best_rung(power)?;
+    let snr = reader.noise().snr(power, rung.bandwidth);
+    let bonus = 10.0 * (rung.bandwidth.hz() / rung.rate.bps()).log10();
+    Some(Db::new(snr.db() + bonus))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmtag_rf::units::Frequency;
+    use mmtag_sim::{Segment, Vec2};
+
+    fn face_to_face(feet: f64) -> (Pose, Pose) {
+        (
+            Pose::new(Vec2::ORIGIN, Angle::ZERO),
+            Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0)),
+        )
+    }
+
+    #[test]
+    fn paper_headline_1gbps_at_4ft() {
+        // §8: "robust communication rates of 1 Gbps at a range of 4 ft".
+        let (rp, tp) = face_to_face(4.0);
+        let report = evaluate_link(
+            &Reader::mmtag_setup(),
+            &MmTag::prototype(),
+            &Scene::free_space(),
+            rp,
+            tp,
+        );
+        assert!(report.via_los);
+        assert!((report.rate.gbps() - 1.0).abs() < 1e-9, "rate {}", report.rate);
+    }
+
+    #[test]
+    fn paper_headline_10mbps_at_10ft() {
+        // §8: "and 10 Mbps at a range of 10 ft".
+        let (rp, tp) = face_to_face(10.0);
+        let report = evaluate_link(
+            &Reader::mmtag_setup(),
+            &MmTag::prototype(),
+            &Scene::free_space(),
+            rp,
+            tp,
+        );
+        assert!((report.rate.mbps() - 10.0).abs() < 1e-9, "rate {}", report.rate);
+    }
+
+    #[test]
+    fn rate_degrades_monotonically_with_range() {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let scene = Scene::free_space();
+        let mut prev = f64::INFINITY;
+        for feet in [2.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
+            let (rp, tp) = face_to_face(feet);
+            let r = evaluate_link(&reader, &tag, &scene, rp, tp);
+            assert!(r.rate.bps() <= prev, "rate rose at {feet} ft");
+            prev = r.rate.bps();
+        }
+    }
+
+    #[test]
+    fn rotated_tag_keeps_link_thanks_to_van_atta() {
+        // The tag turned 35° off: a fixed-beam tag would drop; mmTag holds.
+        let reader = Reader::mmtag_setup();
+        let scene = Scene::free_space();
+        let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+        let tp = Pose::new(Vec2::from_feet(4.0, 0.0), Angle::from_degrees(145.0));
+        let va = evaluate_link(&reader, &MmTag::prototype(), &scene, rp, tp);
+        assert!(va.rate.mbps() >= 100.0, "Van Atta at 35°: {}", va.rate);
+
+        let fixed = MmTag::new(crate::tag::TagConfig {
+            wiring: mmtag_antenna::ReflectorWiring::FixedBeam,
+            ..Default::default()
+        });
+        let fb = evaluate_link(&reader, &fixed, &scene, rp, tp);
+        assert!(
+            fb.rate.bps() < va.rate.bps(),
+            "fixed beam {} vs Van Atta {}",
+            fb.rate,
+            va.rate
+        );
+    }
+
+    #[test]
+    fn blocked_los_falls_back_to_nlos() {
+        // §4: "when the line-of-sight (LOS) path is blocked, the tag and the
+        // reader chooses an NLOS path to communicate."
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let mut scene = Scene::free_space();
+        // A side wall to bounce off, and a blocker on the direct path.
+        scene.add_wall(Segment::new(Vec2::new(-1.0, 1.0), Vec2::new(3.0, 1.0)));
+        scene.add_blocker(Segment::new(Vec2::new(0.6, -0.3), Vec2::new(0.6, 0.3)));
+        let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+        let tp = Pose::new(Vec2::new(1.2, 0.0), Angle::from_degrees(180.0));
+        let r = evaluate_link(&reader, &tag, &scene, rp, tp);
+        assert!(!r.via_los);
+        assert_eq!(r.bounces, 1);
+        assert!(r.is_up(), "NLOS link must survive at short range");
+        // And it is weaker than the unblocked LOS would have been.
+        let clear = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
+        assert!(r.power.unwrap() < clear.power.unwrap());
+    }
+
+    #[test]
+    fn full_blockage_reports_outage() {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let mut scene = Scene::free_space();
+        scene.add_blocker(Segment::new(Vec2::new(0.5, -30.0), Vec2::new(0.5, 30.0)));
+        let (rp, tp) = face_to_face(4.0);
+        let r = evaluate_link(&reader, &tag, &scene, rp, tp);
+        assert_eq!(r, LinkReport::outage());
+        assert!(!r.is_up());
+    }
+
+    #[test]
+    fn eb_n0_is_snr_plus_3db_for_ook() {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let (rp, tp) = face_to_face(4.0);
+        let report = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
+        let power = report.power.unwrap();
+        let rung = reader.adaptation().best_rung(power).unwrap();
+        let snr = reader.noise().snr(power, rung.bandwidth);
+        let ebn0 = expected_eb_n0(&reader, &report).unwrap();
+        assert!((ebn0.db() - snr.db() - 3.01).abs() < 0.01);
+        // At the 1 Gbps rung the link must carry ≥ 7 dB SNR by construction.
+        assert!(snr.db() >= 7.0 - 0.3);
+    }
+
+    #[test]
+    fn sixty_ghz_retune_still_links_at_short_range() {
+        // §7 footnote 3: the design retunes to 60 GHz. Wavelength shrinks
+        // (−8 dB per leg of λ²), so range drops, but short links survive.
+        let link60 = mmtag_channel::BackscatterLink {
+            frequency: Frequency::from_ghz(60.0),
+            ..mmtag_channel::BackscatterLink::mmtag_setup()
+        };
+        let reader = Reader::mmtag_setup().with_link(link60);
+        let tag = MmTag::new(crate::tag::TagConfig {
+            frequency: Frequency::from_ghz(60.0),
+            ..Default::default()
+        });
+        let (rp, tp) = face_to_face(2.0);
+        let r = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
+        assert!(r.is_up(), "60 GHz at 2 ft must still link");
+        // …but slower than 24 GHz at the same distance.
+        let r24 = evaluate_link(
+            &Reader::mmtag_setup(),
+            &MmTag::prototype(),
+            &Scene::free_space(),
+            rp,
+            tp,
+        );
+        assert!(r.rate.bps() <= r24.rate.bps());
+    }
+}

@@ -1,0 +1,358 @@
+//! Slotted and framed Aloha — the paper's suggested multi-tag MAC (§9).
+//!
+//! *Slotted Aloha theory*: with offered load `G` (mean transmission attempts
+//! per slot) the per-slot success probability is `S = G·e^{−G}`, peaking at
+//! `1/e ≈ 0.368` when `G = 1`. *Framed* Aloha (what RFID readers actually
+//! run) gives each round a frame of `L` slots; each unread tag picks one
+//! uniformly. The reader observes empty/success/collision slots and — in the
+//! EPC Gen2 style — adapts the next frame size via the Q algorithm so that
+//! `L` tracks the unread population.
+
+use rand::Rng;
+
+/// Closed-form slotted-Aloha throughput `S(G) = G·e^{−G}` (successes/slot)
+/// for offered load `G` attempts/slot.
+pub fn slotted_aloha_throughput(g: f64) -> f64 {
+    assert!(g >= 0.0, "offered load must be ≥ 0");
+    g * (-g).exp()
+}
+
+/// The offered load that maximizes slotted-Aloha throughput (`G = 1`).
+pub const OPTIMAL_LOAD: f64 = 1.0;
+
+/// Maximum slotted-Aloha throughput, `1/e`.
+pub fn max_throughput() -> f64 {
+    (-1.0f64).exp()
+}
+
+/// Outcome of one framed-Aloha round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Indices (into the caller's unread-tag list) of tags read this round.
+    pub read: Vec<usize>,
+    /// Number of empty slots.
+    pub empty_slots: usize,
+    /// Number of collision slots.
+    pub collision_slots: usize,
+    /// Frame size used.
+    pub frame_size: usize,
+}
+
+impl RoundOutcome {
+    /// Successful slots this round.
+    pub fn success_slots(&self) -> usize {
+        self.read.len()
+    }
+    /// Observed per-slot efficiency.
+    pub fn efficiency(&self) -> f64 {
+        self.read.len() as f64 / self.frame_size as f64
+    }
+}
+
+/// A framed-Aloha round executor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FramedAloha;
+
+impl FramedAloha {
+    /// Runs one frame of `frame_size` slots over `n_tags` contending tags.
+    /// Returns which tags were read (slots chosen by exactly one tag).
+    ///
+    /// # Panics
+    /// Panics on a zero frame size.
+    pub fn run_round<R: Rng + ?Sized>(
+        &self,
+        n_tags: usize,
+        frame_size: usize,
+        rng: &mut R,
+    ) -> RoundOutcome {
+        assert!(frame_size > 0, "frame must have at least one slot");
+        let mut slot_owner: Vec<Option<usize>> = vec![None; frame_size];
+        let mut slot_count = vec![0u32; frame_size];
+        for tag in 0..n_tags {
+            let slot = rng.random_range(0..frame_size);
+            slot_count[slot] += 1;
+            slot_owner[slot] = Some(tag);
+        }
+        let mut read = Vec::new();
+        let mut empty = 0;
+        let mut collisions = 0;
+        for (count, owner) in slot_count.iter().zip(&slot_owner) {
+            match count {
+                0 => empty += 1,
+                1 => read.push(owner.expect("count 1 implies an owner")),
+                _ => collisions += 1,
+            }
+        }
+        RoundOutcome {
+            read,
+            empty_slots: empty,
+            collision_slots: collisions,
+            frame_size,
+        }
+    }
+
+    /// Expected fraction of tags read in one round of `L` slots with `n`
+    /// tags: `(1 − 1/L)^{n−1}` per tag (closed form, for validation).
+    pub fn expected_read_fraction(n_tags: usize, frame_size: usize) -> f64 {
+        if n_tags == 0 {
+            return 0.0;
+        }
+        (1.0 - 1.0 / frame_size as f64).powi(n_tags as i32 - 1)
+    }
+}
+
+/// The EPC-Gen2-style adaptive frame-size controller.
+///
+/// Maintains a floating-point `Q`; frame size is `2^round(Q)`. Collisions
+/// push `Q` up (the frame was too small), empties pull it down (too large),
+/// successes leave it unchanged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QAlgorithm {
+    q_fp: f64,
+    step: f64,
+}
+
+impl QAlgorithm {
+    /// Standard starting point: `Q = 4` (16 slots), step 0.2.
+    pub fn new() -> Self {
+        QAlgorithm { q_fp: 4.0, step: 0.2 }
+    }
+
+    /// Starts from a specific `Q` (0–15).
+    pub fn with_q(q: f64) -> Self {
+        assert!((0.0..=15.0).contains(&q), "Q must be within 0–15");
+        QAlgorithm { q_fp: q, step: 0.2 }
+    }
+
+    /// The current frame size `2^round(Q)`.
+    pub fn frame_size(&self) -> usize {
+        1usize << (self.q_fp.round() as u32)
+    }
+
+    /// The current floating-point Q.
+    pub fn q(&self) -> f64 {
+        self.q_fp
+    }
+
+    /// Feeds back one round's observations.
+    pub fn update(&mut self, outcome: &RoundOutcome) {
+        // Net pressure: collisions raise Q, empties lower it. Using the
+        // totals (rather than per-slot stepping) keeps the update
+        // order-independent within a round.
+        let up = outcome.collision_slots as f64;
+        let down = outcome.empty_slots as f64;
+        self.q_fp = (self.q_fp + self.step * (up - down) / outcome.frame_size as f64 * 16.0)
+            .clamp(0.0, 15.0);
+    }
+}
+
+impl Default for QAlgorithm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Statistics of a complete inventory (reading every tag).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct InventoryStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total slots consumed (the time proxy).
+    pub total_slots: usize,
+    /// Tags read (equals the starting population on success).
+    pub tags_read: usize,
+}
+
+impl InventoryStats {
+    /// Overall slot efficiency: tags read per slot.
+    pub fn efficiency(&self) -> f64 {
+        if self.total_slots == 0 {
+            0.0
+        } else {
+            self.tags_read as f64 / self.total_slots as f64
+        }
+    }
+}
+
+/// Runs framed-Aloha inventory with the Q algorithm until every tag is read
+/// (or `max_rounds` is hit, which the caller should treat as pathology).
+pub fn inventory_until_drained<R: Rng + ?Sized>(
+    n_tags: usize,
+    mut q: QAlgorithm,
+    max_rounds: usize,
+    rng: &mut R,
+) -> InventoryStats {
+    let mut unread = n_tags;
+    let mut stats = InventoryStats::default();
+    let mac = FramedAloha;
+    while unread > 0 && stats.rounds < max_rounds {
+        let outcome = mac.run_round(unread, q.frame_size(), rng);
+        unread -= outcome.read.len();
+        stats.rounds += 1;
+        stats.total_slots += outcome.frame_size;
+        stats.tags_read += outcome.read.len();
+        q.update(&outcome);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn throughput_peaks_at_1_over_e() {
+        assert!((slotted_aloha_throughput(1.0) - max_throughput()).abs() < 1e-12);
+        assert!(slotted_aloha_throughput(0.5) < max_throughput());
+        assert!(slotted_aloha_throughput(2.0) < max_throughput());
+        assert_eq!(slotted_aloha_throughput(0.0), 0.0);
+    }
+
+    #[test]
+    fn round_accounting_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = FramedAloha.run_round(40, 64, &mut rng);
+        assert_eq!(
+            out.success_slots() + out.empty_slots + out.collision_slots,
+            64
+        );
+        assert!(out.read.len() <= 40);
+        // All read indices unique and in range.
+        let mut sorted = out.read.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), out.read.len());
+        assert!(sorted.iter().all(|&t| t < 40));
+    }
+
+    #[test]
+    fn zero_tags_round_is_all_empty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = FramedAloha.run_round(0, 16, &mut rng);
+        assert_eq!(out.empty_slots, 16);
+        assert!(out.read.is_empty());
+    }
+
+    #[test]
+    fn monte_carlo_matches_expected_read_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, l, trials) = (32, 32, 3000);
+        let mut total = 0usize;
+        for _ in 0..trials {
+            total += FramedAloha.run_round(n, l, &mut rng).read.len();
+        }
+        let measured = total as f64 / (trials * n) as f64;
+        let expected = FramedAloha::expected_read_fraction(n, l);
+        assert!(
+            (measured - expected).abs() < 0.01,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn matched_frame_size_is_most_efficient() {
+        // Efficiency peaks when L ≈ n (the G = 1 condition).
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 64;
+        let eff = |l: usize, rng: &mut StdRng| {
+            let trials = 2000;
+            let mut successes = 0;
+            for _ in 0..trials {
+                successes += FramedAloha.run_round(n, l, rng).read.len();
+            }
+            successes as f64 / (trials * l) as f64
+        };
+        let matched = eff(64, &mut rng);
+        let small = eff(8, &mut rng);
+        let large = eff(512, &mut rng);
+        assert!(matched > small, "matched {matched} vs small-frame {small}");
+        assert!(matched > large, "matched {matched} vs large-frame {large}");
+        // And the matched efficiency approaches 1/e.
+        assert!((matched - max_throughput()).abs() < 0.04, "matched = {matched}");
+    }
+
+    #[test]
+    fn q_algorithm_grows_under_collisions() {
+        let mut q = QAlgorithm::with_q(2.0); // 4 slots
+        let heavy = RoundOutcome {
+            read: vec![],
+            empty_slots: 0,
+            collision_slots: 4,
+            frame_size: 4,
+        };
+        let before = q.frame_size();
+        for _ in 0..10 {
+            q.update(&heavy);
+        }
+        assert!(q.frame_size() > before, "Q must grow under collisions");
+    }
+
+    #[test]
+    fn q_algorithm_shrinks_when_empty() {
+        let mut q = QAlgorithm::with_q(8.0);
+        let idle = RoundOutcome {
+            read: vec![],
+            empty_slots: 256,
+            collision_slots: 0,
+            frame_size: 256,
+        };
+        for _ in 0..10 {
+            q.update(&idle);
+        }
+        assert!(q.frame_size() < 256, "Q must shrink when idle");
+        assert!(q.q() >= 0.0);
+    }
+
+    #[test]
+    fn q_is_clamped() {
+        let mut q = QAlgorithm::with_q(15.0);
+        let collide = RoundOutcome {
+            read: vec![],
+            empty_slots: 0,
+            collision_slots: 10,
+            frame_size: 10,
+        };
+        q.update(&collide);
+        assert!(q.q() <= 15.0);
+    }
+
+    #[test]
+    fn inventory_drains_all_tags() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1, 10, 100, 500] {
+            let stats = inventory_until_drained(n, QAlgorithm::new(), 10_000, &mut rng);
+            assert_eq!(stats.tags_read, n, "population {n}");
+            assert!(stats.rounds < 10_000);
+        }
+    }
+
+    #[test]
+    fn inventory_efficiency_is_near_aloha_bound() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let stats = inventory_until_drained(1000, QAlgorithm::new(), 100_000, &mut rng);
+        let eff = stats.efficiency();
+        // Adaptive framed Aloha settles near (but below) 1/e.
+        assert!(
+            (0.25..0.40).contains(&eff),
+            "efficiency = {eff} (bound 1/e ≈ 0.368)"
+        );
+    }
+
+    #[test]
+    fn inventory_scales_roughly_linearly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s100 = inventory_until_drained(100, QAlgorithm::new(), 100_000, &mut rng);
+        let s400 = inventory_until_drained(400, QAlgorithm::new(), 100_000, &mut rng);
+        let ratio = s400.total_slots as f64 / s100.total_slots as f64;
+        assert!((2.5..6.5).contains(&ratio), "4× tags cost {ratio}× slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_frame_is_a_bug() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = FramedAloha.run_round(5, 0, &mut rng);
+    }
+}

@@ -1,0 +1,180 @@
+//! Multi-beam (MIMO) readers: §9's parallel-sector proposal.
+//!
+//! "To support multiple tags simultaneously, one can employ MIMO
+//! beamforming which enables the reader to create multiple independent
+//! beams simultaneously and direct them toward different tags." With `K`
+//! simultaneous beams the sector inventories run `K` at a time; wall-clock
+//! time becomes the *makespan* of scheduling each sector's slot count onto
+//! `K` workers. This module computes that schedule (LPT — longest
+//! processing time first, the classic 4/3-approximation) and the resulting
+//! speedup over a single-beam reader.
+
+use crate::aloha::{inventory_until_drained, QAlgorithm};
+use crate::sdm::SectorScheduler;
+use rand::Rng;
+
+/// The outcome of a multi-beam inventory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MimoInventory {
+    /// Slots executed per beam (the makespan is the max).
+    pub per_beam_slots: Vec<usize>,
+    /// Total slots across beams (work, not time).
+    pub total_slots: usize,
+    /// Tags read.
+    pub tags_read: usize,
+}
+
+impl MimoInventory {
+    /// Wall-clock cost in slots: the busiest beam.
+    pub fn makespan(&self) -> usize {
+        self.per_beam_slots.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Parallel speedup vs running all work on one beam.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan() == 0 {
+            1.0
+        } else {
+            self.total_slots as f64 / self.makespan() as f64
+        }
+    }
+}
+
+/// Inventories a sectored population with `k` simultaneous beams: each
+/// non-empty sector runs adaptive framed Aloha to completion; sector jobs
+/// are assigned to beams by LPT.
+///
+/// # Panics
+/// Panics for `k == 0`.
+pub fn mimo_inventory<R: Rng + ?Sized>(
+    partition: &SectorScheduler,
+    k: usize,
+    rng: &mut R,
+) -> MimoInventory {
+    assert!(k >= 1, "need at least one beam");
+    // Run each occupied sector's inventory to get its slot cost.
+    let mut jobs: Vec<(usize, usize)> = Vec::new(); // (slots, tags)
+    for &n in partition.sector_counts() {
+        if n == 0 {
+            continue;
+        }
+        let stats = inventory_until_drained(n, QAlgorithm::new(), 100_000, rng);
+        jobs.push((stats.total_slots, stats.tags_read));
+    }
+    // LPT schedule onto k beams.
+    jobs.sort_by_key(|&(slots, _)| std::cmp::Reverse(slots));
+    let mut per_beam = vec![0usize; k];
+    let mut tags = 0usize;
+    let mut total = 0usize;
+    for (slots, t) in jobs {
+        let min_beam = (0..k)
+            .min_by_key(|&b| per_beam[b])
+            .expect("k >= 1");
+        per_beam[min_beam] += slots;
+        tags += t;
+        total += slots;
+    }
+    MimoInventory {
+        per_beam_slots: per_beam,
+        total_slots: total,
+        tags_read: tags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanSchedule;
+    use mmtag_rf::units::Angle;
+    use mmtag_sim::time::Duration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn partition(n: usize) -> SectorScheduler {
+        let scan = ScanSchedule::new(
+            Angle::from_degrees(120.0),
+            Angle::from_degrees(20.0),
+            Duration::from_millis(1),
+        );
+        let angles: Vec<Angle> = (0..n)
+            .map(|i| Angle::from_degrees(-55.0 + 110.0 * i as f64 / (n.max(2) - 1) as f64))
+            .collect();
+        SectorScheduler::partition(scan, &angles)
+    }
+
+    #[test]
+    fn reads_everyone_at_any_beam_count() {
+        let part = partition(120);
+        for k in [1, 2, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(k as u64);
+            let inv = mimo_inventory(&part, k, &mut rng);
+            assert_eq!(inv.tags_read, 120, "K={k}");
+            assert_eq!(inv.per_beam_slots.len(), k);
+        }
+    }
+
+    #[test]
+    fn single_beam_makespan_equals_total() {
+        let part = partition(80);
+        let mut rng = StdRng::seed_from_u64(9);
+        let inv = mimo_inventory(&part, 1, &mut rng);
+        assert_eq!(inv.makespan(), inv.total_slots);
+        assert!((inv.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_beams_shrink_makespan() {
+        let part = partition(240);
+        let run = |k: usize| {
+            let mut rng = StdRng::seed_from_u64(77);
+            mimo_inventory(&part, k, &mut rng).makespan()
+        };
+        let m1 = run(1);
+        let m2 = run(2);
+        let m4 = run(4);
+        assert!(m2 < m1 && m4 <= m2, "{m1} → {m2} → {m4}");
+    }
+
+    #[test]
+    fn speedup_bounded_by_k_and_by_sector_count() {
+        let part = partition(200);
+        let occupied = part.occupied_sectors();
+        for k in [2usize, 4, 16] {
+            let mut rng = StdRng::seed_from_u64(k as u64 + 100);
+            let inv = mimo_inventory(&part, k, &mut rng);
+            assert!(inv.speedup() <= k as f64 + 1e-9);
+            assert!(inv.speedup() <= occupied as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn beams_beyond_sectors_are_wasted() {
+        // With 12 sectors, K = 32 cannot beat K = 12's makespan by much:
+        // the longest single sector is the floor.
+        let part = partition(150);
+        let run = |k: usize| {
+            let mut rng = StdRng::seed_from_u64(5);
+            mimo_inventory(&part, k, &mut rng).makespan()
+        };
+        let m12 = run(12);
+        let m32 = run(32);
+        assert!(m32 >= m12 / 2, "K beyond sectors: {m32} vs {m12}");
+    }
+
+    #[test]
+    fn empty_population_is_trivial() {
+        let part = partition(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inv = mimo_inventory(&part, 4, &mut rng);
+        assert_eq!(inv.tags_read, 0);
+        assert_eq!(inv.makespan(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one beam")]
+    fn zero_beams_is_a_bug() {
+        let part = partition(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = mimo_inventory(&part, 0, &mut rng);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the MAC: conservation and bound invariants of
+//! the Aloha machinery over arbitrary populations and frame sizes.
+
+use mmtag_mac::aloha::{
+    inventory_until_drained, slotted_aloha_throughput, FramedAloha, QAlgorithm,
+};
+use mmtag_mac::scan::ScanSchedule;
+use mmtag_mac::sdm::SectorScheduler;
+use mmtag_rf::units::Angle;
+use mmtag_sim::time::Duration;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Slot accounting always conserves the frame; reads never exceed the
+    /// population; read indices are unique and in range.
+    #[test]
+    fn round_conservation(n in 0usize..300, l in 1usize..512, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = FramedAloha.run_round(n, l, &mut rng);
+        prop_assert_eq!(out.success_slots() + out.empty_slots + out.collision_slots, l);
+        prop_assert!(out.read.len() <= n);
+        let mut sorted = out.read.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.read.len());
+        prop_assert!(sorted.iter().all(|&t| t < n));
+    }
+
+    /// Throughput formula: S(G) ≤ 1/e everywhere, equality only at G = 1.
+    #[test]
+    fn aloha_bound(g in 0f64..20.0) {
+        let s = slotted_aloha_throughput(g);
+        prop_assert!(s <= (-1.0f64).exp() + 1e-12);
+        if (g - 1.0).abs() > 0.2 {
+            prop_assert!(s < (-1.0f64).exp());
+        }
+    }
+
+    /// Inventory always drains the full population and uses at least one
+    /// slot per tag.
+    #[test]
+    fn inventory_drains(n in 1usize..400, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = inventory_until_drained(n, QAlgorithm::new(), 1_000_000, &mut rng);
+        prop_assert_eq!(stats.tags_read, n);
+        prop_assert!(stats.total_slots >= n);
+        // Efficiency can spike for tiny populations (12 lucky tags in a
+        // 16-slot first frame is 0.75); the 1/e-ish ceiling only binds
+        // once the adaptive loop dominates.
+        prop_assert!(stats.efficiency() <= 1.0);
+        if n >= 100 {
+            prop_assert!(stats.efficiency() <= 0.40, "eff {}", stats.efficiency());
+        }
+    }
+
+    /// Q stays clamped to [0, 15] under any feedback sequence.
+    #[test]
+    fn q_stays_clamped(
+        start in 0f64..15.0,
+        feedback in prop::collection::vec((0usize..64, 0usize..64), 1..50),
+    ) {
+        let mut q = QAlgorithm::with_q(start);
+        for (collisions, empties) in feedback {
+            let frame = (collisions + empties).max(1);
+            q.update(&mmtag_mac::aloha::RoundOutcome {
+                read: vec![],
+                empty_slots: empties,
+                collision_slots: collisions,
+                frame_size: frame,
+            });
+            prop_assert!((0.0..=15.0).contains(&q.q()));
+            let fs = q.frame_size();
+            prop_assert!((1..=1 << 15).contains(&fs));
+        }
+    }
+
+    /// Scan schedules: every target angle inside the sector maps to a beam
+    /// position within half a beam step.
+    #[test]
+    fn scan_covers_all_angles(
+        sector_deg in 20f64..180.0,
+        beam_deg in 2f64..40.0,
+        target_frac in -0.5f64..0.5,
+    ) {
+        let s = ScanSchedule::new(
+            Angle::from_degrees(sector_deg),
+            Angle::from_degrees(beam_deg),
+            Duration::from_millis(1),
+        );
+        let target = Angle::from_degrees(sector_deg * target_frac);
+        let idx = s.position_for(target);
+        let beam = s.angle_of(idx);
+        // Positions step by beam/2 across the sector; nearest beam center
+        // is within ~beam/2 (+ slack for the ends of a coarse grid).
+        prop_assert!(
+            beam.separation(target).degrees() <= beam_deg * 0.75 + 1e-9,
+            "target {} → beam {} ({} positions)",
+            target.degrees(), beam.degrees(), s.positions()
+        );
+    }
+
+    /// Sector partition conserves the population for any angle set.
+    #[test]
+    fn partition_conserves(angles_deg in prop::collection::vec(-58f64..58.0, 0..200)) {
+        let scan = ScanSchedule::new(
+            Angle::from_degrees(120.0),
+            Angle::from_degrees(20.0),
+            Duration::from_millis(1),
+        );
+        let angles: Vec<Angle> = angles_deg.iter().map(|&d| Angle::from_degrees(d)).collect();
+        let part = SectorScheduler::partition(scan, &angles);
+        prop_assert_eq!(part.sector_counts().iter().sum::<usize>(), angles.len());
+    }
+
+    /// SDM and single-domain read the same population, always fully.
+    #[test]
+    fn sdm_reads_everything(
+        angles_deg in prop::collection::vec(-58f64..58.0, 1..120),
+        seed in 0u64..30,
+    ) {
+        let scan = ScanSchedule::new(
+            Angle::from_degrees(120.0),
+            Angle::from_degrees(20.0),
+            Duration::from_millis(1),
+        );
+        let angles: Vec<Angle> = angles_deg.iter().map(|&d| Angle::from_degrees(d)).collect();
+        let part = SectorScheduler::partition(scan, &angles);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sdm = part.inventory_sdm(&mut rng);
+        prop_assert_eq!(sdm.tags_read, angles.len());
+    }
+}

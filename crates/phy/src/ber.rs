@@ -1,0 +1,174 @@
+//! Closed-form bit-error-rate theory.
+//!
+//! These are the "standard data rate tables" the paper substitutes its power
+//! measurements into (§8). All formulas take *linear* mean `Eb/N0` and return
+//! probability of bit error on an AWGN channel:
+//!
+//! | scheme                | BER                                   |
+//! |-----------------------|---------------------------------------|
+//! | coherent OOK          | `Q(√(Eb/N0))`                         |
+//! | non-coherent OOK      | `½·e^(−Eb/N0 / 2)` (envelope detect)  |
+//! | BPSK (antipodal)      | `Q(√(2·Eb/N0))`                       |
+//! | M-QAM (Gray, approx.) | standard nearest-neighbour expression |
+//!
+//! The paper's quoted "SNR of 7 dB for BER of 10⁻³" matches the antipodal
+//! curve (6.8 dB); unipolar coherent OOK needs 3 dB more. The waveform-level
+//! Monte-Carlo in [`crate::waveform`] validates these curves end-to-end.
+
+use mmtag_rf::special::q_function;
+use mmtag_rf::units::Db;
+
+/// Coherent on-off keying: `Q(√(Eb/N0))`, with `Eb` the *average* bit energy
+/// (marks carry `2·Eb`, spaces zero).
+pub fn ook_coherent_ber(eb_n0: f64) -> f64 {
+    assert!(eb_n0 >= 0.0, "SNR must be non-negative");
+    q_function(eb_n0.sqrt())
+}
+
+/// Non-coherent OOK (envelope detection): `½·exp(−Eb/N0 / 2)` — the
+/// high-SNR approximation for an optimal envelope threshold.
+pub fn ook_noncoherent_ber(eb_n0: f64) -> f64 {
+    assert!(eb_n0 >= 0.0, "SNR must be non-negative");
+    0.5 * (-eb_n0 / 2.0).exp()
+}
+
+/// Antipodal binary signaling (BPSK, or bipolar "ASK" in textbook tables):
+/// `Q(√(2·Eb/N0))`.
+pub fn bpsk_ber(eb_n0: f64) -> f64 {
+    assert!(eb_n0 >= 0.0, "SNR must be non-negative");
+    q_function((2.0 * eb_n0).sqrt())
+}
+
+/// Gray-coded square M-QAM approximate BER (nearest-neighbour bound):
+/// `(4/log2 M)·(1 − 1/√M)·Q(√(3·log2 M/(M−1) · Eb/N0))`.
+///
+/// # Panics
+/// Panics unless `m` is a square power of four (4, 16, 64, 256).
+pub fn mqam_ber(m: u32, eb_n0: f64) -> f64 {
+    assert!(
+        matches!(m, 4 | 16 | 64 | 256),
+        "M-QAM model supports square constellations 4/16/64/256"
+    );
+    assert!(eb_n0 >= 0.0, "SNR must be non-negative");
+    let mf = m as f64;
+    let k = mf.log2();
+    let arg = (3.0 * k / (mf - 1.0) * eb_n0).sqrt();
+    (4.0 / k) * (1.0 - 1.0 / mf.sqrt()) * q_function(arg)
+}
+
+/// Numerically inverts a monotone BER curve: the `Eb/N0` (dB) at which
+/// `ber_fn` first reaches `target`. Searches −10…+40 dB by bisection.
+///
+/// # Panics
+/// Panics if `target` is not in `(0, 0.5]` — BER targets above 0.5 or at 0
+/// are meaningless.
+pub fn required_eb_n0_db<F: Fn(f64) -> f64>(ber_fn: F, target: f64) -> Db {
+    assert!(
+        target > 0.0 && target <= 0.5,
+        "BER target must be in (0, 0.5]"
+    );
+    let (mut lo, mut hi) = (-10.0_f64, 40.0_f64);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        let ber = ber_fn(10f64.powf(mid / 10.0));
+        if ber > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Db::new(0.5 * (lo + hi))
+}
+
+/// The paper's working threshold: "ASK modulation requires SNR of 7 dB to
+/// achieve BER of 10⁻³" (§8, citing Grami). Used verbatim by the Fig. 7
+/// rate mapping so the reproduction matches the paper's own arithmetic.
+pub const PAPER_ASK_SNR_DB: f64 = 7.0;
+
+/// The paper's working BER target for the rate tables.
+pub const PAPER_BER_TARGET: f64 = 1e-3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bpsk_anchor_1e3_at_6_8db() {
+        let snr = required_eb_n0_db(bpsk_ber, 1e-3);
+        assert!((snr.db() - 6.79).abs() < 0.05, "got {snr}");
+        // The paper rounds this to its 7 dB threshold.
+        assert!((snr.db() - PAPER_ASK_SNR_DB).abs() < 0.5);
+    }
+
+    #[test]
+    fn bpsk_anchor_1e5_at_9_6db() {
+        let snr = required_eb_n0_db(bpsk_ber, 1e-5);
+        assert!((snr.db() - 9.59).abs() < 0.05, "got {snr}");
+    }
+
+    #[test]
+    fn ook_coherent_is_3db_worse_than_bpsk() {
+        for target in [1e-2, 1e-3, 1e-4] {
+            let ook = required_eb_n0_db(ook_coherent_ber, target);
+            let bpsk = required_eb_n0_db(bpsk_ber, target);
+            assert!(
+                ((ook - bpsk).db() - 3.01).abs() < 0.02,
+                "at {target}: Δ = {}",
+                (ook - bpsk).db()
+            );
+        }
+    }
+
+    #[test]
+    fn noncoherent_ook_is_worse_than_coherent() {
+        for snr_db in [6.0, 9.0, 12.0] {
+            let x = 10f64.powf(snr_db / 10.0);
+            assert!(ook_noncoherent_ber(x) > ook_coherent_ber(x));
+        }
+    }
+
+    #[test]
+    fn ber_curves_are_monotone_decreasing() {
+        let mut prev = [1.0f64; 4];
+        for snr_db in 0..20 {
+            let x = 10f64.powf(snr_db as f64 / 10.0);
+            let cur = [
+                ook_coherent_ber(x),
+                ook_noncoherent_ber(x),
+                bpsk_ber(x),
+                mqam_ber(16, x),
+            ];
+            for (p, c) in prev.iter().zip(cur.iter()) {
+                assert!(c < p);
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn qam_hierarchy_at_fixed_snr() {
+        let x = 10f64.powf(12.0 / 10.0);
+        assert!(mqam_ber(16, x) < mqam_ber(64, x));
+        assert!(mqam_ber(64, x) < mqam_ber(256, x));
+    }
+
+    #[test]
+    fn zero_snr_gives_half_ber() {
+        // The erfc approximation is good to ~1e-7; that bounds Q(0) too.
+        assert!((ook_coherent_ber(0.0) - 0.5).abs() < 1e-6);
+        assert!((bpsk_ber(0.0) - 0.5).abs() < 1e-6);
+        assert!((ook_noncoherent_ber(0.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "square constellations")]
+    fn odd_qam_size_is_a_bug() {
+        let _ = mqam_ber(32, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "BER target")]
+    fn impossible_ber_target_is_a_bug() {
+        let _ = required_eb_n0_db(bpsk_ber, 0.9);
+    }
+}

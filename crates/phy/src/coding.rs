@@ -1,0 +1,161 @@
+//! Line coding: Manchester encoding and LFSR whitening.
+//!
+//! OOK has a DC problem: a run of absorb-state bits is indistinguishable
+//! from the tag leaving the beam, and the reader's threshold estimator
+//! drifts. Real backscatter standards solve this with transition-dense line
+//! codes (EPC Gen2 uses FM0/Miller). We provide the two standard tools:
+//!
+//! * **Manchester** — every bit becomes a guaranteed transition (`0 → 01`,
+//!   `1 → 10`); halves the rate, bounds run length at 2.
+//! * **LFSR whitening** — XOR with a maximal-length PN sequence; keeps the
+//!   full rate and makes long runs statistically rare (used when the
+//!   bandwidth budget cannot afford Manchester's 2× cost).
+
+/// Manchester-encodes bits: `0 → [0,1]`, `1 → [1,0]` (IEEE 802.3 sense).
+pub fn manchester_encode(bits: &[bool]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    for &b in bits {
+        out.push(b);
+        out.push(!b);
+    }
+    out
+}
+
+/// Decodes a Manchester stream. Returns `None` if the length is odd or any
+/// chip pair is invalid (`00`/`11`), which signals desynchronization.
+pub fn manchester_decode(chips: &[bool]) -> Option<Vec<bool>> {
+    if chips.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(chips.len() / 2);
+    for pair in chips.chunks_exact(2) {
+        match (pair[0], pair[1]) {
+            (a, b) if a != b => out.push(a),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Longest run of identical values in a bit stream (the OOK health metric).
+pub fn longest_run(bits: &[bool]) -> usize {
+    let mut best = 0usize;
+    let mut cur = 0usize;
+    let mut prev: Option<bool> = None;
+    for &b in bits {
+        if Some(b) == prev {
+            cur += 1;
+        } else {
+            cur = 1;
+            prev = Some(b);
+        }
+        best = best.max(cur);
+    }
+    best
+}
+
+/// A 16-bit Fibonacci LFSR whitener (polynomial x¹⁶+x¹⁴+x¹³+x¹¹+1, the
+/// CCITT whitening polynomial; period 65535).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Whitener {
+    state: u16,
+}
+
+impl Whitener {
+    /// Creates a whitener with the given nonzero seed.
+    ///
+    /// # Panics
+    /// Panics on a zero seed (the LFSR would stick at zero forever).
+    pub fn new(seed: u16) -> Self {
+        assert!(seed != 0, "LFSR seed must be nonzero");
+        Whitener { state: seed }
+    }
+
+    /// Advances the register one step and returns the output bit.
+    fn step(&mut self) -> bool {
+        let s = self.state;
+        let bit = ((s >> 15) ^ (s >> 13) ^ (s >> 12) ^ (s >> 10)) & 1;
+        self.state = (s << 1) | bit;
+        bit == 1
+    }
+
+    /// XORs the PN sequence onto `bits` (whitening and de-whitening are the
+    /// same operation with the same seed).
+    pub fn apply(&mut self, bits: &[bool]) -> Vec<bool> {
+        bits.iter().map(|&b| b ^ self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manchester_roundtrip() {
+        let bits: Vec<bool> = (0..100).map(|i| (i * 7) % 3 == 0).collect();
+        let chips = manchester_encode(&bits);
+        assert_eq!(chips.len(), 200);
+        assert_eq!(manchester_decode(&chips).unwrap(), bits);
+    }
+
+    #[test]
+    fn manchester_bounds_run_length_at_two() {
+        // Even all-ones data produces alternating chip pairs.
+        let bits = vec![true; 64];
+        let chips = manchester_encode(&bits);
+        assert!(longest_run(&chips) <= 2);
+        let bits0 = vec![false; 64];
+        assert!(longest_run(&manchester_encode(&bits0)) <= 2);
+    }
+
+    #[test]
+    fn manchester_detects_invalid_pairs() {
+        assert!(manchester_decode(&[true, true]).is_none());
+        assert!(manchester_decode(&[false, false]).is_none());
+        assert!(manchester_decode(&[true]).is_none(), "odd length");
+    }
+
+    #[test]
+    fn whitener_roundtrip() {
+        let bits: Vec<bool> = (0..500).map(|i| i % 5 == 0).collect();
+        let white = Whitener::new(0xACE1).apply(&bits);
+        let back = Whitener::new(0xACE1).apply(&white);
+        assert_eq!(back, bits);
+        assert_ne!(white, bits, "whitening must change the stream");
+    }
+
+    #[test]
+    fn whitener_breaks_long_runs() {
+        let bits = vec![true; 1000];
+        assert_eq!(longest_run(&bits), 1000);
+        let white = Whitener::new(1).apply(&bits);
+        assert!(
+            longest_run(&white) <= 20,
+            "whitened run = {}",
+            longest_run(&white)
+        );
+    }
+
+    #[test]
+    fn whitener_sequence_is_balanced() {
+        let zeros = vec![false; 65535];
+        let pn = Whitener::new(0x1D2C).apply(&zeros);
+        let ones = pn.iter().filter(|&&b| b).count();
+        // m-sequence property: 2^15 ones vs 2^15 − 1 zeros per period.
+        assert_eq!(ones, 32768, "ones = {ones}");
+    }
+
+    #[test]
+    fn longest_run_edge_cases() {
+        assert_eq!(longest_run(&[]), 0);
+        assert_eq!(longest_run(&[true]), 1);
+        assert_eq!(longest_run(&[true, false, true]), 1);
+        assert_eq!(longest_run(&[true, true, false]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed")]
+    fn zero_seed_is_a_bug() {
+        let _ = Whitener::new(0);
+    }
+}

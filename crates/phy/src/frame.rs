@@ -1,0 +1,273 @@
+//! Framing: preamble, header, payload and CRC integrity.
+//!
+//! The paper stops at raw modulation; a usable link needs frames. We define
+//! a minimal, honest frame the tag's sequencing logic could realistically
+//! generate (a shift register and a CRC block):
+//!
+//! ```text
+//! | Barker-13 preamble | 16-bit length | payload … | CRC-16/CCITT |
+//! ```
+//!
+//! CRC-16/CCITT-FALSE protects the header+payload; a CRC-32 (IEEE 802.3)
+//! implementation is also provided for the long frames of Gbps-class links,
+//! where a 16-bit check's 2⁻¹⁶ escape rate is too weak.
+
+use crate::sync::BARKER13;
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF, no reflection.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3): polynomial 0xEDB88320 (reflected), init/final
+/// complement — the Ethernet CRC.
+pub fn crc32_ieee(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Errors from frame decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bits than the fixed header needs.
+    TooShort,
+    /// The length field claims more payload than the bit stream holds.
+    Truncated,
+    /// Header or payload failed the CRC check.
+    BadCrc,
+    /// Length field exceeds [`Frame::MAX_PAYLOAD`].
+    LengthOutOfRange,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort => write!(f, "bit stream shorter than a frame header"),
+            FrameError::Truncated => write!(f, "payload truncated relative to length field"),
+            FrameError::BadCrc => write!(f, "CRC mismatch"),
+            FrameError::LengthOutOfRange => write!(f, "length field out of range"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A tag uplink frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Maximum payload size, bytes. Chosen so a max frame at 10 Mbps (the
+    /// paper's 10 ft rate) still fits in a 2 ms dwell.
+    pub const MAX_PAYLOAD: usize = 2048;
+
+    /// Creates a frame around a payload.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`Self::MAX_PAYLOAD`] — size your
+    /// payloads at the MAC layer.
+    pub fn new(payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() <= Self::MAX_PAYLOAD,
+            "payload exceeds MAX_PAYLOAD"
+        );
+        Frame { payload }
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Total over-the-air bits for a payload of `len` bytes.
+    pub fn bits_on_air(len: usize) -> usize {
+        BARKER13.len() + 16 + len * 8 + 16
+    }
+
+    /// Serializes to the over-the-air bit stream (preamble included).
+    pub fn encode(&self) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(Self::bits_on_air(self.payload.len()));
+        bits.extend_from_slice(&BARKER13);
+        let len = self.payload.len() as u16;
+        push_u16(&mut bits, len);
+        for &b in &self.payload {
+            push_u8(&mut bits, b);
+        }
+        // CRC over length + payload bytes.
+        let mut crc_input = Vec::with_capacity(2 + self.payload.len());
+        crc_input.extend_from_slice(&len.to_be_bytes());
+        crc_input.extend_from_slice(&self.payload);
+        push_u16(&mut bits, crc16_ccitt(&crc_input));
+        bits
+    }
+
+    /// Decodes the bits *after* the preamble (as returned by
+    /// [`crate::sync::find_frame_start`]). Trailing extra bits are ignored.
+    pub fn decode(bits: &[bool]) -> Result<Frame, FrameError> {
+        if bits.len() < 32 {
+            return Err(FrameError::TooShort);
+        }
+        let len = read_u16(&bits[0..16]) as usize;
+        if len > Self::MAX_PAYLOAD {
+            return Err(FrameError::LengthOutOfRange);
+        }
+        let need = 16 + len * 8 + 16;
+        if bits.len() < need {
+            return Err(FrameError::Truncated);
+        }
+        let mut payload = Vec::with_capacity(len);
+        for i in 0..len {
+            payload.push(read_u8(&bits[16 + i * 8..16 + i * 8 + 8]));
+        }
+        let rx_crc = read_u16(&bits[16 + len * 8..need]);
+        let mut crc_input = Vec::with_capacity(2 + len);
+        crc_input.extend_from_slice(&(len as u16).to_be_bytes());
+        crc_input.extend_from_slice(&payload);
+        if crc16_ccitt(&crc_input) != rx_crc {
+            return Err(FrameError::BadCrc);
+        }
+        Ok(Frame { payload })
+    }
+}
+
+fn push_u16(bits: &mut Vec<bool>, v: u16) {
+    for i in (0..16).rev() {
+        bits.push((v >> i) & 1 == 1);
+    }
+}
+
+fn push_u8(bits: &mut Vec<bool>, v: u8) {
+    for i in (0..8).rev() {
+        bits.push((v >> i) & 1 == 1);
+    }
+}
+
+fn read_u16(bits: &[bool]) -> u16 {
+    bits.iter().fold(0u16, |acc, &b| (acc << 1) | b as u16)
+}
+
+fn read_u8(bits: &[bool]) -> u8 {
+    bits.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // "123456789" → 0x29B1 for CRC-16/CCITT-FALSE.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" → 0xCBF43926 for CRC-32/IEEE.
+        assert_eq!(crc32_ieee(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc_of_empty_input() {
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+        assert_eq!(crc32_ieee(&[]), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame::new(b"hello mmtag".to_vec());
+        let bits = f.encode();
+        assert_eq!(bits.len(), Frame::bits_on_air(11));
+        let decoded = Frame::decode(&bits[BARKER13.len()..]).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame::new(Vec::new());
+        let bits = f.encode();
+        let decoded = Frame::decode(&bits[BARKER13.len()..]).unwrap();
+        assert!(decoded.payload().is_empty());
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let f = Frame::new(vec![0xAB; 32]);
+        let bits = f.encode();
+        let body = &bits[BARKER13.len()..];
+        for idx in [0, 15, 16, 100, body.len() - 1] {
+            let mut corrupted = body.to_vec();
+            corrupted[idx] = !corrupted[idx];
+            let r = Frame::decode(&corrupted);
+            assert!(
+                matches!(
+                    r,
+                    Err(FrameError::BadCrc)
+                        | Err(FrameError::Truncated)
+                        | Err(FrameError::LengthOutOfRange)
+                ),
+                "flip at {idx} gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_reported() {
+        let f = Frame::new(vec![1, 2, 3, 4]);
+        let bits = f.encode();
+        let body = &bits[BARKER13.len()..];
+        assert_eq!(Frame::decode(&body[..20]), Err(FrameError::TooShort));
+        assert_eq!(
+            Frame::decode(&body[..body.len() - 8]),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn trailing_bits_are_ignored() {
+        let f = Frame::new(vec![9, 8, 7]);
+        let mut bits = f.encode();
+        bits.extend([true, false, true, true, false]);
+        let decoded = Frame::decode(&bits[BARKER13.len()..]).unwrap();
+        assert_eq!(decoded.payload(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn absurd_length_field_is_rejected() {
+        let mut bits = Vec::new();
+        push_u16(&mut bits, 0xFFFF);
+        bits.extend(std::iter::repeat_n(false, 64));
+        assert_eq!(Frame::decode(&bits), Err(FrameError::LengthOutOfRange));
+    }
+
+    #[test]
+    fn bits_on_air_accounts_all_fields() {
+        assert_eq!(Frame::bits_on_air(0), 13 + 16 + 16);
+        assert_eq!(Frame::bits_on_air(10), 13 + 16 + 80 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_PAYLOAD")]
+    fn oversize_payload_is_a_bug() {
+        let _ = Frame::new(vec![0; Frame::MAX_PAYLOAD + 1]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Waveform-level OOK modem: IQ samples, AWGN, matched filtering.
+//!
+//! The closed forms in [`crate::ber`] are only trustworthy if an actual
+//! modulator → channel → demodulator chain reproduces them. This module is
+//! that chain, sample by sample:
+//!
+//! * [`OokModem::modulate`] — maps bits to rectangular OOK pulses at a
+//!   configurable oversampling factor (the tag side: switch open = mark),
+//! * [`Awgn`] — complex white Gaussian noise calibrated to a target `Eb/N0`,
+//! * [`OokModem::demodulate_coherent`] / [`OokModem::demodulate_noncoherent`] — matched
+//!   filter plus threshold (the reader side),
+//! * [`measure_ber`] — the Monte-Carlo harness behind experiment E5.
+//!
+//! Bit convention: §6 of the paper maps data bit **0** to the reflective
+//! state ("the switches are off and the amplitude of the reflected power is
+//! high") and bit **1** to absorption. [`OokModem`] uses `mark_bit` to hold
+//! that mapping so the same modem expresses either convention.
+
+use mmtag_rf::Complex;
+use rand::Rng;
+
+/// Rectangular-pulse OOK modulator/demodulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OokModem {
+    /// Samples per symbol (oversampling factor).
+    pub samples_per_symbol: usize,
+    /// Mark (high) amplitude.
+    pub amplitude: f64,
+    /// Which data bit is transmitted as the mark (reflective) state.
+    /// The paper's convention (§6) is `0`.
+    pub mark_bit: bool,
+}
+
+impl OokModem {
+    /// The default modem: 8× oversampling, unit amplitude, paper bit
+    /// convention (bit 0 = mark).
+    pub fn new(samples_per_symbol: usize) -> Self {
+        assert!(samples_per_symbol >= 1, "need at least one sample/symbol");
+        OokModem {
+            samples_per_symbol,
+            amplitude: 1.0,
+            mark_bit: false,
+        }
+    }
+
+    /// True if `bit` is sent as the mark state.
+    fn is_mark(&self, bit: bool) -> bool {
+        bit == self.mark_bit
+    }
+
+    /// Modulates bits into baseband IQ samples.
+    pub fn modulate(&self, bits: &[bool]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(bits.len() * self.samples_per_symbol);
+        for &b in bits {
+            let a = if self.is_mark(b) { self.amplitude } else { 0.0 };
+            out.extend(std::iter::repeat_n(Complex::new(a, 0.0), self.samples_per_symbol));
+        }
+        out
+    }
+
+    /// Average energy per bit of this modem's waveform (half the bits are
+    /// marks for random data): `A²·sps / 2`.
+    pub fn average_bit_energy(&self) -> f64 {
+        self.amplitude * self.amplitude * self.samples_per_symbol as f64 / 2.0
+    }
+
+    /// Matched-filter outputs: one complex statistic per symbol (the sum of
+    /// that symbol's samples). Truncates a trailing partial symbol.
+    pub fn matched_filter(&self, samples: &[Complex]) -> Vec<Complex> {
+        samples
+            .chunks_exact(self.samples_per_symbol)
+            .map(|chunk| chunk.iter().copied().sum())
+            .collect()
+    }
+
+    /// Coherent demodulation: real-part threshold at half the mark level.
+    /// Assumes carrier phase is tracked (the reader generates the carrier
+    /// itself, so backscatter is naturally phase-coherent).
+    pub fn demodulate_coherent(&self, samples: &[Complex]) -> Vec<bool> {
+        let threshold = 0.5 * self.amplitude * self.samples_per_symbol as f64;
+        self.matched_filter(samples)
+            .into_iter()
+            .map(|s| {
+                let mark = s.re > threshold;
+                mark == self.mark_bit
+            })
+            .collect()
+    }
+
+    /// Zero-mean soft bit statistics oriented so that *positive = logical
+    /// `true` bit*, regardless of which bit the mark state carries. This is
+    /// what preamble correlation (`mmtag_phy::sync`) should be fed: with the
+    /// paper's §6 mapping (bit 0 = mark = high amplitude) the raw matched-
+    /// filter output has inverted polarity relative to the logical bits.
+    pub fn soft_bits(&self, samples: &[Complex]) -> Vec<f64> {
+        let matched = self.matched_filter(samples);
+        if matched.is_empty() {
+            return Vec::new();
+        }
+        let mean: f64 = matched.iter().map(|c| c.re).sum::<f64>() / matched.len() as f64;
+        let sign = if self.mark_bit { 1.0 } else { -1.0 };
+        matched.iter().map(|c| sign * (c.re - mean)).collect()
+    }
+
+    /// Non-coherent demodulation: envelope threshold. Works without phase
+    /// tracking at a ~0.5–1 dB penalty (see [`crate::ber`]).
+    pub fn demodulate_noncoherent(&self, samples: &[Complex]) -> Vec<bool> {
+        let threshold = 0.5 * self.amplitude * self.samples_per_symbol as f64;
+        self.matched_filter(samples)
+            .into_iter()
+            .map(|s| {
+                let mark = s.abs() > threshold;
+                mark == self.mark_bit
+            })
+            .collect()
+    }
+}
+
+impl Default for OokModem {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// Complex AWGN source with per-sample standard deviation `sigma` in each
+/// of I and Q.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Awgn {
+    /// Per-component noise standard deviation.
+    pub sigma: f64,
+}
+
+impl Awgn {
+    /// Noise calibrated so the modem's waveform sees the given mean `Eb/N0`
+    /// (dB): `N0 = Eb/ratio`, `σ² = N0/2` per component per sample.
+    pub fn for_eb_n0(modem: &OokModem, eb_n0_db: f64) -> Self {
+        let eb = modem.average_bit_energy();
+        let n0 = eb / 10f64.powf(eb_n0_db / 10.0);
+        Awgn {
+            sigma: (n0 / 2.0).sqrt(),
+        }
+    }
+
+    /// Adds noise to samples in place.
+    pub fn apply<R: Rng + ?Sized>(&self, samples: &mut [Complex], rng: &mut R) {
+        for s in samples {
+            *s += Complex::new(
+                self.sigma * gaussian(rng),
+                self.sigma * gaussian(rng),
+            );
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Monte-Carlo BER of the full modulate → AWGN → demodulate chain at a mean
+/// `Eb/N0`, over `n_bits` random bits. `coherent` picks the demodulator.
+pub fn measure_ber<R: Rng + ?Sized>(
+    modem: &OokModem,
+    eb_n0_db: f64,
+    n_bits: usize,
+    coherent: bool,
+    rng: &mut R,
+) -> f64 {
+    assert!(n_bits > 0, "need at least one bit");
+    let bits: Vec<bool> = (0..n_bits).map(|_| rng.random()).collect();
+    let mut samples = modem.modulate(&bits);
+    Awgn::for_eb_n0(modem, eb_n0_db).apply(&mut samples, rng);
+    let decided = if coherent {
+        modem.demodulate_coherent(&samples)
+    } else {
+        modem.demodulate_noncoherent(&samples)
+    };
+    let errors = bits
+        .iter()
+        .zip(decided.iter())
+        .filter(|(a, b)| a != b)
+        .count();
+    errors as f64 / n_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::ook_coherent_ber;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_roundtrip_is_error_free() {
+        let modem = OokModem::new(4);
+        let bits: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let samples = modem.modulate(&bits);
+        assert_eq!(samples.len(), 64 * 4);
+        assert_eq!(modem.demodulate_coherent(&samples), bits);
+        assert_eq!(modem.demodulate_noncoherent(&samples), bits);
+    }
+
+    #[test]
+    fn paper_bit_convention_bit0_is_mark() {
+        // §6: data bit '0' ⇒ switches off ⇒ high reflected amplitude.
+        let modem = OokModem::new(2);
+        let samples = modem.modulate(&[false, true]);
+        assert!(samples[0].abs() > 0.9, "bit 0 must be the mark");
+        assert!(samples[2].abs() < 1e-12, "bit 1 must be silence");
+    }
+
+    #[test]
+    fn average_bit_energy_formula() {
+        let modem = OokModem::new(8);
+        assert!((modem.average_bit_energy() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matched_filter_integrates_symbols() {
+        let modem = OokModem::new(4);
+        let samples = modem.modulate(&[false]); // one mark
+        let mf = modem.matched_filter(&samples);
+        assert_eq!(mf.len(), 1);
+        assert!((mf[0].re - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_coherent_theory_at_10db() {
+        // E5's core assertion: the sampled chain lands on Q(√(Eb/N0)).
+        let modem = OokModem::new(4);
+        let mut rng = StdRng::seed_from_u64(2024);
+        let eb_n0_db = 10.0;
+        let measured = measure_ber(&modem, eb_n0_db, 400_000, true, &mut rng);
+        let theory = ook_coherent_ber(10f64.powf(eb_n0_db / 10.0));
+        // theory ≈ 7.8e-4; allow 3σ of the binomial estimator.
+        let sigma = (theory * (1.0 - theory) / 400_000.0).sqrt();
+        assert!(
+            (measured - theory).abs() < 4.0 * sigma + 1e-5,
+            "measured {measured} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_matches_theory_at_6db() {
+        let modem = OokModem::new(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let measured = measure_ber(&modem, 6.0, 200_000, true, &mut rng);
+        let theory = ook_coherent_ber(10f64.powf(0.6));
+        assert!(
+            (measured - theory).abs() / theory < 0.1,
+            "measured {measured} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn noncoherent_is_worse_but_close() {
+        let modem = OokModem::new(4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let coh = measure_ber(&modem, 9.0, 300_000, true, &mut rng);
+        let non = measure_ber(&modem, 9.0, 300_000, false, &mut rng);
+        assert!(non > coh, "non-coherent {non} must exceed coherent {coh}");
+        assert!(non < coh * 10.0, "but within an order of magnitude");
+    }
+
+    #[test]
+    fn ber_decreases_with_snr() {
+        let modem = OokModem::new(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let b4 = measure_ber(&modem, 4.0, 100_000, true, &mut rng);
+        let b8 = measure_ber(&modem, 8.0, 100_000, true, &mut rng);
+        let b12 = measure_ber(&modem, 12.0, 100_000, true, &mut rng);
+        assert!(b4 > b8 && b8 > b12, "{b4} > {b8} > {b12} violated");
+    }
+
+    #[test]
+    fn oversampling_does_not_change_ber() {
+        // Matched filtering makes BER depend only on Eb/N0, not on sps.
+        let mut rng = StdRng::seed_from_u64(31);
+        let b2 = measure_ber(&OokModem::new(2), 8.0, 200_000, true, &mut rng);
+        let b16 = measure_ber(&OokModem::new(16), 8.0, 200_000, true, &mut rng);
+        assert!((b2 - b16).abs() < 0.3 * (b2 + b16), "sps=2 {b2} vs sps=16 {b16}");
+    }
+
+    #[test]
+    fn soft_bits_polarity_follows_logical_bits() {
+        // Paper mapping: bit 0 = mark. Logical `true` must still come out
+        // positive in the soft domain.
+        let modem = OokModem::new(4);
+        let samples = modem.modulate(&[true, false, true, true, false]);
+        let soft = modem.soft_bits(&samples);
+        assert!(soft[0] > 0.0 && soft[1] < 0.0 && soft[2] > 0.0);
+        // And with the inverted mapping too.
+        let inv = OokModem {
+            mark_bit: true,
+            ..OokModem::new(4)
+        };
+        let soft = inv.soft_bits(&inv.modulate(&[true, false]));
+        assert!(soft[0] > 0.0 && soft[1] < 0.0);
+    }
+
+    #[test]
+    fn trailing_partial_symbol_is_dropped() {
+        let modem = OokModem::new(4);
+        let mut samples = modem.modulate(&[false, false]);
+        samples.truncate(7); // cut mid-symbol
+        assert_eq!(modem.matched_filter(&samples).len(), 1);
+    }
+}

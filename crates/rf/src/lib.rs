@@ -1,0 +1,30 @@
+//! # mmtag-rf — RF foundations for the mmTag stack
+//!
+//! This crate holds the zero-dependency numerical foundations shared by every
+//! layer of the mmTag millimeter-wave backscatter stack:
+//!
+//! * [`Complex`] — complex arithmetic for phasor/array-factor computation,
+//! * [`units`] — strongly-typed physical quantities (frequency, power,
+//!   distance, angles, bandwidth, data rate) with explicit conversions,
+//! * [`db`] — decibel ↔ linear conversions done once, correctly,
+//! * [`fft`] — radix-2 FFT and Welch PSD for spectrum analysis,
+//! * [`constants`] — the physical constants the link budget rests on,
+//! * [`special`] — `erf`/`erfc`/Q-function needed for BER theory.
+//!
+//! Everything here is `no_std`-shaped in spirit (no allocation, no I/O); it is
+//! the part of the stack you would keep if you ported the models to firmware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod constants;
+pub mod db;
+pub mod fft;
+pub mod special;
+pub mod units;
+
+pub use complex::Complex;
+pub use units::{
+    Angle, Bandwidth, DataRate, Db, Dbi, Dbm, Distance, Frequency, Power, Temperature,
+};

@@ -1,0 +1,278 @@
+//! A deterministic discrete-event scheduler.
+//!
+//! Deliberately minimal: a time-ordered priority queue of typed events with
+//! FIFO tie-breaking. The *caller* owns the simulation state and drives the
+//! loop (`while let Some(...) = sched.pop()`), which keeps borrow-checking
+//! trivial and makes every protocol simulation in `mmtag-mac`/`mmtag` an
+//! ordinary, testable state machine rather than a callback soup.
+//!
+//! Determinism guarantees:
+//! * events at equal times pop in scheduling order (sequence numbers),
+//! * no wall-clock, no threads, no interior mutability,
+//! * time never moves backwards (scheduling into the past panics).
+
+use crate::time::{Duration, Instant};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+// Order by (time, seq) — BinaryHeap is a max-heap, so wrap in Reverse keys.
+struct HeapKey<E>(Entry<E>);
+
+impl<E> PartialEq for HeapKey<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for HeapKey<E> {}
+impl<E> PartialOrd for HeapKey<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapKey<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert so earliest (time, seq) pops first.
+        Reverse((self.0.at, self.0.seq)).cmp(&Reverse((other.0.at, other.0.seq)))
+    }
+}
+
+/// The event scheduler. `E` is the caller's event type.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<HeapKey<E>>,
+    /// Sequence numbers scheduled but not yet popped or cancelled.
+    live: std::collections::HashSet<u64>,
+    now: Instant,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            live: std::collections::HashSet::new(),
+            now: Instant::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: Instant, event: E) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(HeapKey(Entry { at, seq, event }));
+        EventHandle(seq)
+    }
+
+    /// Schedules `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) -> EventHandle {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancelling twice, or cancelling an already-fired
+    /// event, returns `false`.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        // Lazy deletion: remove from the live set now, skip at pop time.
+        self.live.remove(&handle.0)
+    }
+
+    /// Pops the next event, advancing simulation time to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(HeapKey(entry)) = self.heap.pop() {
+            if !self.live.remove(&entry.seq) {
+                continue; // cancelled
+            }
+            debug_assert!(entry.at >= self.now, "heap returned a past event");
+            self.now = entry.at;
+            self.processed += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Runs until the queue drains or `limit` events have been processed,
+    /// passing each event to `handler` together with `&mut Self` so the
+    /// handler can schedule more. Returns the number processed.
+    ///
+    /// This is the convenience driver for simple simulations; complex ones
+    /// (which need to borrow external state) drive `pop` themselves.
+    pub fn run_with<F: FnMut(&mut Self, Instant, E)>(&mut self, limit: u64, mut handler: F) -> u64 {
+        let start = self.processed;
+        while self.processed - start < limit {
+            let Some((t, e)) = self.pop() else { break };
+            handler(self, t, e);
+        }
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Instant::from_nanos(30), "c");
+        s.schedule_at(Instant::from_nanos(10), "a");
+        s.schedule_at(Instant::from_nanos(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut s = Scheduler::new();
+        let t = Instant::from_nanos(5);
+        for name in ["first", "second", "third"] {
+            s.schedule_at(t, name);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn now_tracks_popped_events() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Duration::from_micros(2), ());
+        assert_eq!(s.now(), Instant::ZERO);
+        s.pop();
+        assert_eq!(s.now(), Instant::from_nanos(2000));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Duration::from_nanos(10), 1u32);
+        s.pop();
+        s.schedule_in(Duration::from_nanos(10), 2u32);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, Instant::from_nanos(20));
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_at(Instant::from_nanos(10), "dead");
+        s.schedule_at(Instant::from_nanos(20), "alive");
+        assert!(s.cancel(h));
+        assert_eq!(s.pending(), 1);
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "alive");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_at(Instant::from_nanos(10), ());
+        assert!(s.cancel(h));
+        assert!(!s.cancel(h));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_harmless() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(!s.cancel(EventHandle(99)));
+    }
+
+    #[test]
+    fn run_with_drives_chained_events() {
+        // A self-rescheduling tick: event n schedules n+1 until 5.
+        let mut s = Scheduler::new();
+        s.schedule_at(Instant::from_nanos(1), 0u32);
+        let mut seen = Vec::new();
+        s.run_with(100, |s, _, n| {
+            seen.push(n);
+            if n < 5 {
+                s.schedule_in(Duration::from_nanos(1), n + 1);
+            }
+        });
+        assert_eq!(seen, [0, 1, 2, 3, 4, 5]);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn run_with_respects_limit() {
+        let mut s = Scheduler::new();
+        for i in 0..10u64 {
+            s.schedule_at(Instant::from_nanos(i), i);
+        }
+        let n = s.run_with(3, |_, _, _| {});
+        assert_eq!(n, 3);
+        assert_eq!(s.pending(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_is_a_bug() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Instant::from_nanos(10), ());
+        s.pop();
+        s.schedule_at(Instant::from_nanos(5), ());
+    }
+
+    #[test]
+    fn large_event_count_stays_ordered() {
+        // Pseudo-random insertion order, verify global ordering.
+        let mut s = Scheduler::new();
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.schedule_at(Instant::from_nanos(x % 1_000_000), x);
+        }
+        let mut prev = Instant::ZERO;
+        while let Some((t, _)) = s.pop() {
+            assert!(t >= prev);
+            prev = t;
+        }
+        assert_eq!(s.processed(), 10_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mmtag-sim — discrete-event simulation substrate
+//!
+//! The paper evaluates a single static link; its discussion section (§9)
+//! raises everything that happens *around* that link: readers scanning for
+//! tags, tags moving, LOS paths getting blocked, multiple tags colliding.
+//! Answering those questions requires a simulator, so this crate provides
+//! one, in the smoltcp spirit: explicit state, deterministic execution, no
+//! hidden global time.
+//!
+//! * [`time`] — nanosecond-resolution simulation time,
+//! * [`des`] — a deterministic discrete-event scheduler,
+//! * [`geom`] — 2-D geometry: vectors, wall segments, line-of-sight tests
+//!   and image-method specular reflections,
+//! * [`mobility`] — position/orientation trajectories for tags and blockers,
+//! * [`rng`] — deterministic per-entity RNG streams (add a tag without
+//!   perturbing anyone else's randomness),
+//! * [`scene`] — a room: one reader, tags, walls; produces the ray sets the
+//!   channel layer consumes,
+//! * [`metrics`] — counters, histograms and time-series for experiments,
+//! * [`experiment`] — parameter sweeps with aligned-table output (the
+//!   format every figure/table binary in `mmtag-bench` prints).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod experiment;
+pub mod geom;
+pub mod metrics;
+pub mod mobility;
+pub mod rng;
+pub mod scene;
+pub mod time;
+
+pub use des::Scheduler;
+pub use geom::{Segment, Vec2};
+pub use scene::Scene;
+pub use rng::SeedTree;
+pub use time::{Duration, Instant};

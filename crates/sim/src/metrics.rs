@@ -1,0 +1,341 @@
+//! Experiment metrics: counters, histograms, time series.
+//!
+//! Every simulation in the benchmark harness reports through these types so
+//! output is uniform and statistics are computed one way, in one place.
+
+use crate::time::Instant;
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// The count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+    /// This counter as a fraction of a total (0 if the total is zero).
+    pub fn fraction_of(self, total: Counter) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+}
+
+/// Streaming summary statistics (Welford's algorithm): mean and variance
+/// without storing samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+    /// Minimum sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+    /// Maximum sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+    /// Samples below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+    /// Samples at/above range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate p-quantile from bin midpoints (`None` when empty or when
+    /// the quantile falls in an under/overflow bin).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (p * total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return None;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        None
+    }
+}
+
+/// A time series of (instant, value) points for rate/uptime plots.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(Instant, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point. Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics on out-of-order timestamps — simulations produce ordered data
+    /// by construction, so disorder is a bug.
+    pub fn push(&mut self, t: Instant, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be ordered");
+        }
+        self.points.push((t, value));
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[(Instant, f64)] {
+        &self.points
+    }
+
+    /// Time-weighted average over the series span (each value holds until
+    /// the next timestamp). `None` with fewer than two points.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut acc = 0.0;
+        let mut dur = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.duration_since(w[0].0).as_secs_f64();
+            acc += w[0].1 * dt;
+            dur += dt;
+        }
+        (dur > 0.0).then(|| acc / dur)
+    }
+
+    /// Fraction of time the value was strictly positive (link-uptime metric).
+    pub fn fraction_positive(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut up = 0.0;
+        let mut dur = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.duration_since(w[0].0).as_secs_f64();
+            if w[0].1 > 0.0 {
+                up += dt;
+            }
+            dur += dt;
+        }
+        (dur > 0.0).then(|| up / dur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut total = Counter::new();
+        total.add(10);
+        assert!((c.fraction_of(total) - 0.5).abs() < 1e-12);
+        assert_eq!(c.fraction_of(Counter::new()), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_closed_form() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic dataset is √(32/7).
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_median_of_uniform_fill() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 49.5).abs() <= 1.0, "median = {med}");
+    }
+
+    #[test]
+    fn time_series_weighted_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(Instant::ZERO, 10.0);
+        ts.push(Instant::ZERO + Duration::from_secs(1), 0.0);
+        ts.push(Instant::ZERO + Duration::from_secs(3), 0.0);
+        // 10 for 1 s, then 0 for 2 s ⇒ mean 10/3.
+        assert!((ts.time_weighted_mean().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+        // Positive for 1 of 3 seconds.
+        assert!((ts.fraction_positive().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_series_has_no_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(Instant::ZERO, 5.0);
+        assert!(ts.time_weighted_mean().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn out_of_order_series_is_a_bug() {
+        let mut ts = TimeSeries::new();
+        ts.push(Instant::from_nanos(10), 1.0);
+        ts.push(Instant::from_nanos(5), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_histogram_range_is_a_bug() {
+        let _ = Histogram::new(5.0, 5.0, 10);
+    }
+}

@@ -1,0 +1,252 @@
+//! Mobility models: where a device is and which way it faces, over time.
+//!
+//! The paper's motivation for retrodirectivity is mobility (§1: "when a node
+//! moves or its surrounding changes, it needs to search again for the best
+//! beam direction"). These trajectory models drive the E8 mobility
+//! experiment and the beam-alignment example: a pose is sampled at any
+//! instant, deterministically, with no hidden state.
+
+use crate::geom::Vec2;
+use crate::time::Instant;
+use mmtag_rf::units::Angle;
+
+/// A position + facing direction at one instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pose {
+    /// Position, meters.
+    pub position: Vec2,
+    /// Facing (broadside/boresight) direction, absolute bearing.
+    pub orientation: Angle,
+}
+
+impl Pose {
+    /// A pose at `position` facing `orientation`.
+    pub fn new(position: Vec2, orientation: Angle) -> Self {
+        Pose {
+            position,
+            orientation,
+        }
+    }
+}
+
+/// A deterministic trajectory: pose as a pure function of time.
+pub trait Mobility {
+    /// The pose at simulation time `t`.
+    fn pose_at(&self, t: Instant) -> Pose;
+}
+
+/// A device that never moves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Static(pub Pose);
+
+impl Mobility for Static {
+    fn pose_at(&self, _t: Instant) -> Pose {
+        self.0
+    }
+}
+
+/// Constant-velocity straight-line motion with fixed orientation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Linear {
+    /// Pose at t = 0.
+    pub start: Pose,
+    /// Velocity, meters/second (x, y).
+    pub velocity: Vec2,
+}
+
+impl Mobility for Linear {
+    fn pose_at(&self, t: Instant) -> Pose {
+        let s = t.as_secs_f64();
+        Pose {
+            position: self.start.position.add(self.velocity.scale(s)),
+            orientation: self.start.orientation,
+        }
+    }
+}
+
+/// In-place rotation at a constant angular rate (a tag being handled /
+/// a worn device turning with its user).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Spin {
+    /// Fixed position.
+    pub position: Vec2,
+    /// Orientation at t = 0.
+    pub initial: Angle,
+    /// Angular rate, radians/second (positive = counterclockwise).
+    pub rate: f64,
+}
+
+impl Mobility for Spin {
+    fn pose_at(&self, t: Instant) -> Pose {
+        Pose {
+            position: self.position,
+            orientation: Angle::from_radians(
+                self.initial.radians() + self.rate * t.as_secs_f64(),
+            )
+            .normalized(),
+        }
+    }
+}
+
+/// Piecewise-linear waypoint motion at constant speed per leg, holding the
+/// final pose after the last waypoint. Orientation follows the direction of
+/// travel.
+#[derive(Clone, Debug)]
+pub struct Waypoints {
+    points: Vec<Vec2>,
+    speed_mps: f64,
+    /// Cumulative arrival time (seconds) at each waypoint.
+    arrivals: Vec<f64>,
+}
+
+impl Waypoints {
+    /// Builds a waypoint path traversed at `speed_mps`.
+    ///
+    /// # Panics
+    /// Panics with fewer than two waypoints or a non-positive speed.
+    pub fn new(points: Vec<Vec2>, speed_mps: f64) -> Self {
+        assert!(points.len() >= 2, "need at least two waypoints");
+        assert!(
+            speed_mps > 0.0 && speed_mps.is_finite(),
+            "speed must be positive"
+        );
+        let mut arrivals = Vec::with_capacity(points.len());
+        let mut t = 0.0;
+        arrivals.push(0.0);
+        for w in points.windows(2) {
+            t += w[1].sub(w[0]).norm() / speed_mps;
+            arrivals.push(t);
+        }
+        Waypoints {
+            points,
+            speed_mps,
+            arrivals,
+        }
+    }
+
+    /// Total traversal time in seconds.
+    pub fn total_time_secs(&self) -> f64 {
+        *self.arrivals.last().unwrap()
+    }
+
+    /// The walking speed.
+    pub fn speed(&self) -> f64 {
+        self.speed_mps
+    }
+}
+
+impl Mobility for Waypoints {
+    fn pose_at(&self, t: Instant) -> Pose {
+        let s = t.as_secs_f64();
+        // Find the active leg.
+        let n = self.points.len();
+        if s >= self.total_time_secs() {
+            let dir = self.points[n - 1].sub(self.points[n - 2]);
+            return Pose {
+                position: self.points[n - 1],
+                orientation: Angle::from_radians(dir.y.atan2(dir.x)),
+            };
+        }
+        let leg = self
+            .arrivals
+            .windows(2)
+            .position(|w| s >= w[0] && s < w[1])
+            .unwrap_or(0);
+        let (t0, t1) = (self.arrivals[leg], self.arrivals[leg + 1]);
+        let frac = if t1 > t0 { (s - t0) / (t1 - t0) } else { 0.0 };
+        let a = self.points[leg];
+        let b = self.points[leg + 1];
+        let dir = b.sub(a);
+        Pose {
+            position: a.add(dir.scale(frac)),
+            orientation: Angle::from_radians(dir.y.atan2(dir.x)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn static_pose_is_constant() {
+        let p = Static(Pose::new(Vec2::new(1.0, 2.0), Angle::from_degrees(30.0)));
+        let a = p.pose_at(Instant::ZERO);
+        let b = p.pose_at(Instant::ZERO + Duration::from_secs(100));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linear_motion_advances_position_not_orientation() {
+        let m = Linear {
+            start: Pose::new(Vec2::ORIGIN, Angle::from_degrees(45.0)),
+            velocity: Vec2::new(1.0, 0.5),
+        };
+        let p = m.pose_at(Instant::ZERO + Duration::from_secs(4));
+        assert!((p.position.x - 4.0).abs() < 1e-9);
+        assert!((p.position.y - 2.0).abs() < 1e-9);
+        assert!((p.orientation.degrees() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spin_rotates_and_normalizes() {
+        let m = Spin {
+            position: Vec2::new(3.0, 0.0),
+            initial: Angle::from_degrees(170.0),
+            rate: std::f64::consts::PI / 2.0, // 90°/s
+        };
+        let p = m.pose_at(Instant::ZERO + Duration::from_secs(1));
+        // 170 + 90 = 260 → normalized to −100.
+        assert!((p.orientation.degrees() + 100.0).abs() < 1e-6);
+        assert_eq!(p.position, Vec2::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn waypoints_interpolate_and_orient_along_travel() {
+        let w = Waypoints::new(
+            vec![Vec2::ORIGIN, Vec2::new(4.0, 0.0), Vec2::new(4.0, 3.0)],
+            1.0,
+        );
+        assert!((w.total_time_secs() - 7.0).abs() < 1e-9);
+        // Mid first leg.
+        let p = w.pose_at(Instant::ZERO + Duration::from_secs(2));
+        assert!((p.position.x - 2.0).abs() < 1e-9);
+        assert!(p.orientation.degrees().abs() < 1e-9);
+        // Second leg: heading +y (90°).
+        let p = w.pose_at(Instant::ZERO + Duration::from_secs(5));
+        assert!((p.position.x - 4.0).abs() < 1e-9);
+        assert!((p.position.y - 1.0).abs() < 1e-9);
+        assert!((p.orientation.degrees() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waypoints_hold_final_pose() {
+        let w = Waypoints::new(vec![Vec2::ORIGIN, Vec2::new(1.0, 0.0)], 2.0);
+        let p = w.pose_at(Instant::ZERO + Duration::from_secs(100));
+        assert_eq!(p.position, Vec2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn waypoint_boundary_is_continuous() {
+        let w = Waypoints::new(
+            vec![Vec2::ORIGIN, Vec2::new(2.0, 0.0), Vec2::new(2.0, 2.0)],
+            1.0,
+        );
+        let before = w.pose_at(Instant::from_nanos(1_999_999_999));
+        let after = w.pose_at(Instant::from_nanos(2_000_000_001));
+        assert!(before.position.sub(after.position).norm() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "two waypoints")]
+    fn single_waypoint_is_a_bug() {
+        let _ = Waypoints::new(vec![Vec2::ORIGIN], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_is_a_bug() {
+        let _ = Waypoints::new(vec![Vec2::ORIGIN, Vec2::new(1.0, 0.0)], 0.0);
+    }
+}

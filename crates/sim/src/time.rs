@@ -1,0 +1,197 @@
+//! Simulation time: nanosecond-resolution, integer, overflow-checked.
+//!
+//! Gbps symbol times are 0.5–1 ns, inventory rounds run for seconds; u64
+//! nanoseconds covers both (584 years of range) without floating-point
+//! drift, which matters because the event queue's determinism rests on
+//! exact time comparisons.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Instant(u64);
+
+/// A span of simulation time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// The simulation epoch.
+    pub const ZERO: Instant = Instant(0);
+
+    /// From nanoseconds since epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+    /// Nanoseconds since epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Seconds since epoch as `f64` (for metrics/reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self` — time never runs backwards
+    /// in a DES, so that is a scheduling bug.
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier is after self"),
+        )
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+    /// From fractional seconds (rounded to the nearest nanosecond).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be ≥ 0");
+        Duration((s * 1e9).round() as u64)
+    }
+    /// Nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Integer multiple of this span.
+    pub const fn times(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+    /// The time to send `bits` at `bits_per_second` (rounded up to a whole
+    /// nanosecond so a transmission never finishes early).
+    pub fn for_bits(bits: u64, bits_per_second: f64) -> Duration {
+        assert!(bits_per_second > 0.0, "rate must be positive");
+        Duration(((bits as f64 / bits_per_second) * 1e9).ceil() as u64)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        Instant(self.0.checked_add(d.0).expect("simulation time overflow"))
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_advances_by_duration() {
+        let t = Instant::ZERO + Duration::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!(t.duration_since(Instant::ZERO), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Duration::from_secs(1), Duration::from_millis(1000));
+        assert_eq!(Duration::from_millis(1), Duration::from_micros(1000));
+        assert_eq!(Duration::from_micros(1), Duration::from_nanos(1000));
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn for_bits_at_paper_rates() {
+        // 1000 bits at 1 Gbps = 1 µs; at 10 Mbps = 100 µs.
+        assert_eq!(Duration::for_bits(1000, 1e9), Duration::from_micros(1));
+        assert_eq!(Duration::for_bits(1000, 10e6), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn for_bits_rounds_up() {
+        // 3 bits at 1 Gbps is exactly 3 ns; 1 bit at 0.3 bps rounds up.
+        assert_eq!(Duration::for_bits(3, 1e9).as_nanos(), 3);
+        let d = Duration::for_bits(1, 3e8);
+        assert!(d.as_nanos() >= 3);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Duration::from_nanos(12).to_string(), "12 ns");
+        assert_eq!(Duration::from_micros(3).to_string(), "3.000 µs");
+        assert_eq!(Duration::from_millis(7).to_string(), "7.000 ms");
+        assert_eq!(Duration::from_secs(2).to_string(), "2.000 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier is after self")]
+    fn backwards_duration_is_a_bug() {
+        let _ = Instant::ZERO.duration_since(Instant::from_nanos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_is_a_bug() {
+        let _ = Duration::from_nanos(1) - Duration::from_nanos(2);
+    }
+}

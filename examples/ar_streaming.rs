@@ -1,0 +1,109 @@
+//! AR-headset streaming: the paper's motivating future application.
+//!
+//! §1: existing backscatter rates "will not be enough for future
+//! applications such as augmented reality (AR) lenses…". This example
+//! streams AR display frames over a mmTag uplink while the user walks a lap
+//! of the room.
+//!
+//! One physical reality the link budget surfaces immediately: a *single*
+//! patch-array tag only radiates over its front hemisphere, so a walking
+//! user spends half the lap presenting the tag's back lobe to the reader.
+//! The fix is the same one phones use for mmWave: **orientation diversity**
+//! — four tags around the headset band, one per facing; whichever tag has
+//! the best link serves. Van Atta retrodirectivity then handles all the
+//! *within-hemisphere* geometry for free.
+//!
+//! Run with: `cargo run --example ar_streaming`
+
+use mmtag::prelude::*;
+use mmtag_sim::mobility::Mobility;
+
+/// A modest AR stream: 1280×720 @ 30 fps, 40:1 compressed ⇒ ~166 Mbps.
+const AR_STREAM_MBPS: f64 = 166.0;
+
+/// The best link among four tags mounted around the headset (facings 90°
+/// apart). Returns the serving report.
+fn best_of_four(
+    reader: &Reader,
+    tag: &MmTag,
+    scene: &Scene,
+    reader_pose: Pose,
+    user: Pose,
+) -> LinkReport {
+    (0..4)
+        .map(|k| {
+            let facing = user.orientation + Angle::from_degrees(90.0 * k as f64);
+            let pose = Pose::new(user.position, facing);
+            evaluate_link(reader, tag, scene, reader_pose, pose)
+        })
+        .max_by(|a, b| a.rate.bps().total_cmp(&b.rate.bps()))
+        .expect("four candidates")
+}
+
+fn main() {
+    let tag = MmTag::prototype();
+    let reader = Reader::mmtag_setup();
+    let scene = Scene::room(6.0, 5.0); // a 6 × 5 m room
+    let reader_pose = Pose::new(Vec2::new(0.3, 2.5), Angle::ZERO);
+
+    // The user walks a lap: toward the reader, across the room, and back.
+    let walk = Waypoints::new(
+        vec![
+            Vec2::new(1.2, 2.5), // 0.9 m (~3 ft) from the reader
+            Vec2::new(2.5, 1.0),
+            Vec2::new(4.5, 2.0),
+            Vec2::new(5.0, 4.0),
+            Vec2::new(2.0, 4.0),
+            Vec2::new(1.2, 2.5),
+        ],
+        0.8, // m/s — a slow indoor walk
+    );
+    let total = Duration::from_secs_f64(walk.total_time_secs());
+
+    println!("AR stream target: {AR_STREAM_MBPS} Mbps (720p30 compressed)");
+    println!(
+        "walking a {:.0}-second lap; headset carries 4 tags (orientation diversity)\n",
+        total.as_secs_f64()
+    );
+    println!("  t       range    link rate      AR frame budget");
+
+    let step = Duration::from_secs(2);
+    let mut t = Instant::ZERO;
+    let mut up = 0usize;
+    let mut met = 0usize;
+    let mut count = 0usize;
+    let mut sum_bps = 0.0;
+    while t <= Instant::ZERO + total {
+        let user = walk.pose_at(t);
+        let report = best_of_four(&reader, &tag, &scene, reader_pose, user);
+        let range = reader_pose.position.distance_to(user.position);
+        let ok = report.rate.mbps() >= AR_STREAM_MBPS;
+        println!(
+            "{:>5.1}s  {:>5.1} ft  {:>12}  {}",
+            t.as_secs_f64(),
+            range.feet(),
+            report.rate.to_string(),
+            if ok { "met" } else { "degraded (preview quality)" }
+        );
+        count += 1;
+        sum_bps += report.rate.bps();
+        if report.is_up() {
+            up += 1;
+        }
+        if ok {
+            met += 1;
+        }
+        t += step;
+    }
+
+    println!("\nlink uptime        : {:.0}%", 100.0 * up as f64 / count as f64);
+    println!(
+        "mean rate          : {}",
+        DataRate::from_bps(sum_bps / count as f64)
+    );
+    println!("AR budget met      : {met}/{count} samples");
+    // With diversity the lap never loses the link; the AR budget holds
+    // whenever the user is within the ~2 m 166 Mbps contour.
+    assert_eq!(up, count, "diversity must keep the link up all lap");
+    assert!(met >= 1, "the close-range segment must meet the AR budget");
+}

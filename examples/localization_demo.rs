@@ -1,0 +1,75 @@
+//! Localization demo: the reader's beam scan doubles as a position sensor.
+//!
+//! A tagged asset is carried across the room; at every scan the reader
+//! estimates its bearing (power-weighted beam centroid) and range (d⁻⁴ RSS
+//! inversion) and tracks the estimate against ground truth — the classic
+//! RFID localization application (§3's RF-IDraw lineage) in mmWave beam
+//! space, where 20° beams make the angle estimate sharp.
+//!
+//! Run with: `cargo run --example localization_demo`
+
+use mmtag::localization::{locate, position_error};
+use mmtag::prelude::*;
+
+fn main() {
+    let reader = Reader::mmtag_setup();
+    let tag = MmTag::prototype();
+    let scene = Scene::free_space();
+    let reader_pose = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+
+    // The asset is carried along a diagonal through the sector.
+    let walk = Waypoints::new(
+        vec![
+            Vec2::from_feet(4.0, -3.0),
+            Vec2::from_feet(6.0, 0.0),
+            Vec2::from_feet(5.0, 4.0),
+            Vec2::from_feet(9.0, 2.0),
+        ],
+        0.5, // m/s
+    );
+    let total = Duration::from_secs_f64(walk.total_time_secs());
+    use mmtag_sim::mobility::Mobility;
+
+    println!("tracking a carried tag with the scan-based localizer\n");
+    println!("  t      truth (x, y) ft      estimate (x, y) ft     error");
+    let mut worst: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut count = 0;
+    let step = Duration::from_secs(2);
+    let mut t = Instant::ZERO;
+    while t <= Instant::ZERO + total {
+        // The asset tag hangs facing the aisle (toward the reader). A tag
+        // facing away would present its −20 dB back lobe: the Van Atta
+        // array is angle-agnostic across its front hemisphere, but no
+        // passive patch array radiates backwards.
+        let mut truth = walk.pose_at(t);
+        truth.orientation = truth.position.bearing_to(reader_pose.position);
+        match locate(&reader, &tag, &scene, reader_pose, truth) {
+            Some(est) => {
+                let err = position_error(&est, truth).feet();
+                worst = worst.max(err);
+                sum += err;
+                count += 1;
+                println!(
+                    "{:>4.0}s   ({:>5.1}, {:>5.1})        ({:>5.1}, {:>5.1})        {:>4.2} ft",
+                    t.as_secs_f64(),
+                    Distance::from_meters(truth.position.x).feet(),
+                    Distance::from_meters(truth.position.y).feet(),
+                    Distance::from_meters(est.position.x).feet(),
+                    Distance::from_meters(est.position.y).feet(),
+                    err
+                );
+            }
+            None => println!("{:>4.0}s   (out of sector)", t.as_secs_f64()),
+        }
+        t += step;
+    }
+    println!(
+        "\nmean error {:.2} ft, worst {:.2} ft over {count} fixes",
+        sum / count as f64,
+        worst
+    );
+    println!("(bearing from the beam centroid, range from d⁻⁴ RSS inversion —");
+    println!(" no extra hardware beyond the scan the reader performs anyway)");
+    assert!(worst < 2.5, "worst-case error {worst} ft");
+}

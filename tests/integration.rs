@@ -1,0 +1,195 @@
+//! Whole-stack integration tests: the paper's claims exercised through the
+//! public `mmtag` API, crossing every substrate crate in one call chain.
+
+use mmtag::prelude::*;
+use mmtag::tag::TagConfig;
+use mmtag_antenna::sparams::SwitchState;
+
+fn face_to_face(feet: f64) -> (Pose, Pose) {
+    (
+        Pose::new(Vec2::ORIGIN, Angle::ZERO),
+        Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0)),
+    )
+}
+
+/// §8 headline: "robust communication rates of 1 Gbps at a range of 4 ft
+/// and 10 Mbps at a range of 10 ft."
+#[test]
+fn paper_headline_rates() {
+    let reader = Reader::mmtag_setup();
+    let tag = MmTag::prototype();
+    let scene = Scene::free_space();
+    let (rp, tp4) = face_to_face(4.0);
+    let (_, tp10) = face_to_face(10.0);
+    assert!(
+        evaluate_link(&reader, &tag, &scene, rp, tp4).rate.gbps() >= 1.0
+    );
+    assert!(
+        evaluate_link(&reader, &tag, &scene, rp, tp10).rate.mbps() >= 10.0
+    );
+}
+
+/// Fig. 6's two anchor values through the tag's public API.
+#[test]
+fn fig6_s11_through_tag_api() {
+    let tag = MmTag::prototype();
+    let off = tag.element_s11_db(SwitchState::Off);
+    let on = tag.element_s11_db(SwitchState::On);
+    assert!((-16.5..=-13.5).contains(&off), "S11(off) = {off}");
+    assert!((-7.0..=-3.5).contains(&on), "S11(on) = {on}");
+}
+
+/// The retrodirective property that makes the whole system work: rotating
+/// the tag barely moves the link, at ANY of a range of angles, while the
+/// fixed-beam baseline collapses.
+#[test]
+fn retrodirectivity_across_angles() {
+    let reader = Reader::mmtag_setup();
+    let scene = Scene::free_space();
+    let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+    let va = MmTag::prototype();
+    let fb = MmTag::new(TagConfig {
+        wiring: ReflectorWiring::FixedBeam,
+        ..TagConfig::default()
+    });
+    for rot in [0.0, 10.0, 20.0, 30.0, 40.0] {
+        let tp = Pose::new(
+            Vec2::from_feet(4.0, 0.0),
+            Angle::from_degrees(180.0 - rot),
+        );
+        let r_va = evaluate_link(&reader, &va, &scene, rp, tp);
+        let r_fb = evaluate_link(&reader, &fb, &scene, rp, tp);
+        assert!(
+            r_va.rate.mbps() >= 100.0,
+            "mmTag at {rot}°: {}",
+            r_va.rate
+        );
+        if rot >= 20.0 {
+            assert!(
+                r_va.rate.bps() > 10.0 * r_fb.rate.bps().max(1.0),
+                "at {rot}°: VA {} vs fixed {}",
+                r_va.rate,
+                r_fb.rate
+            );
+        }
+    }
+}
+
+/// §4's NLOS story in a furnished room: blocking LOS drops the link to a
+/// wall bounce but does not kill it.
+#[test]
+fn nlos_fallback_in_a_room() {
+    let reader = Reader::mmtag_setup();
+    let tag = MmTag::prototype();
+    // A corridor: walls 1 m above and below the link axis keep the wall
+    // bounces short and steep enough to survive the d⁻⁴ + reflection cost.
+    let mut scene = Scene::room(5.0, 2.0);
+    // Tag 1 m (3.3 ft) from the reader: inside the 1 Gbps contour.
+    let rp = Pose::new(Vec2::new(0.5, 1.0), Angle::ZERO);
+    let tp = Pose::new(Vec2::new(1.5, 1.0), Angle::from_degrees(180.0));
+
+    let clear = evaluate_link(&reader, &tag, &scene, rp, tp);
+    assert!(clear.via_los && clear.rate.gbps() >= 1.0);
+
+    scene.add_blocker(Segment::new(Vec2::new(1.0, 0.8), Vec2::new(1.0, 1.2)));
+    let blocked = evaluate_link(&reader, &tag, &scene, rp, tp);
+    assert!(!blocked.via_los);
+    assert_eq!(blocked.bounces, 1);
+    assert!(blocked.is_up(), "NLOS link must survive");
+    assert!(blocked.rate.bps() < clear.rate.bps());
+}
+
+/// §8's scaling note: "the range and data-rate of mmTag can be further
+/// increased by using more antenna elements at the tags."
+#[test]
+fn more_elements_extend_rate_at_range() {
+    let reader = Reader::mmtag_setup();
+    let scene = Scene::free_space();
+    let (rp, tp) = face_to_face(7.0);
+    let rate_of = |elements: usize| {
+        let tag = MmTag::new(TagConfig {
+            elements,
+            ..TagConfig::default()
+        });
+        evaluate_link(&reader, &tag, &scene, rp, tp).rate
+    };
+    let r6 = rate_of(6);
+    let r12 = rate_of(12);
+    let r24 = rate_of(24);
+    assert!(r12.bps() >= r6.bps());
+    assert!(r24.bps() >= r12.bps());
+    assert!(r24.bps() > r6.bps(), "24 elements must beat 6 at 7 ft");
+}
+
+/// The full network layer: deploy, snapshot, trace, inventory — all
+/// deterministic under a fixed seed.
+#[test]
+fn network_end_to_end_deterministic() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let build = || {
+        let mut net = Network::new(
+            Scene::free_space(),
+            Reader::mmtag_setup(),
+            Pose::new(Vec2::ORIGIN, Angle::ZERO),
+        );
+        for i in 0..10 {
+            let deg = -45.0_f64 + i as f64 * 10.0;
+            let pos = Vec2::from_feet(
+                6.0 * deg.to_radians().cos(),
+                6.0 * deg.to_radians().sin(),
+            );
+            net.add_tag(
+                MmTag::prototype(),
+                Static(Pose::new(pos, Angle::from_degrees(deg + 180.0))),
+            );
+        }
+        net
+    };
+    let a = build().inventory(&mut StdRng::seed_from_u64(99));
+    let b = build().inventory(&mut StdRng::seed_from_u64(99));
+    assert_eq!(a, b);
+    assert_eq!(a.tags_read, 10);
+}
+
+/// Energy: the batteryless loop closed end to end — link rate at 4 ft,
+/// power to modulate at that rate, duty a solar cell sustains, effective
+/// throughput still above every legacy backscatter system's peak.
+#[test]
+fn batteryless_throughput_beats_legacy_systems() {
+    let reader = Reader::mmtag_setup();
+    let tag = MmTag::prototype();
+    let (rp, tp) = face_to_face(4.0);
+    let rate = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp).rate;
+    let budget = EnergyBudget::for_tag(&tag, rate);
+    let sustained = budget.sustained_throughput(
+        Harvester::IndoorSolar { area_cm2: 10.0 },
+        rate,
+    );
+    // Even duty-cycled by harvesting, mmTag outruns BackFi's 5 Mbps peak
+    // by orders of magnitude.
+    assert!(
+        sustained.mbps() > 100.0,
+        "harvester-limited throughput {sustained}"
+    );
+    let backfi = SystemProfile::backfi().peak_rate;
+    assert!(sustained.bps() > 20.0 * backfi.bps());
+}
+
+/// The comparison table is generated live and keeps the paper's ordering.
+#[test]
+fn comparison_table_ordering() {
+    let rows = mmtag::baseline::comparison_rows(&Reader::mmtag_setup(), &MmTag::prototype());
+    let rate = |name: &str| {
+        rows.iter()
+            .find(|r| r.name.starts_with(name))
+            .unwrap()
+            .rate_short
+            .bps()
+    };
+    assert!(rate("mmTag") > rate("BackFi"));
+    assert!(rate("BackFi") > rate("HitchHike"));
+    assert!(rate("HitchHike") > rate("Wi-Fi Backscatter"));
+    assert!(rate("mmTag") > rate("RFID"));
+}

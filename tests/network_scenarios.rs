@@ -1,0 +1,152 @@
+//! Network-level scenario tests: mobility, blockage dynamics, inventory
+//! scaling — the §9 "full backscatter mmWave networking system" exercised
+//! as deterministic simulations.
+
+use mmtag::prelude::*;
+use mmtag::tag::TagConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn reader_pose() -> Pose {
+    Pose::new(Vec2::ORIGIN, Angle::ZERO)
+}
+
+/// A tag walking away: rate must step down the Fig. 7 ladder
+/// (1 Gbps → 100 Mbps → 10 Mbps) without ever increasing.
+#[test]
+fn receding_tag_steps_down_the_ladder() {
+    let mut net = Network::new(Scene::free_space(), Reader::mmtag_setup(), reader_pose());
+    let idx = net.add_tag(
+        MmTag::prototype(),
+        Linear {
+            start: Pose::new(Vec2::from_feet(3.0, 0.0), Angle::from_degrees(180.0)),
+            velocity: Vec2::new(0.5, 0.0), // 0.5 m/s outward
+        },
+    );
+    let trace = net.rate_trace(idx, Duration::from_secs(6), Duration::from_millis(250));
+    let rates: Vec<f64> = trace.points().iter().map(|(_, r)| *r).collect();
+    assert!(rates.windows(2).all(|w| w[1] <= w[0]), "rate must not rise");
+    assert_eq!(rates[0], 1e9, "starts at 1 Gbps at 3 ft");
+    let distinct: std::collections::BTreeSet<u64> =
+        rates.iter().map(|r| *r as u64).collect();
+    assert!(
+        distinct.len() >= 3,
+        "must visit ≥ 3 rungs of the ladder, saw {distinct:?}"
+    );
+}
+
+/// A person walks through the LOS path: the link dips to the NLOS bounce
+/// while occluded and recovers after — no permanent outage.
+#[test]
+fn transient_blockage_recovers_via_nlos() {
+    let reader = Reader::mmtag_setup();
+    let tag = MmTag::prototype();
+    let rp = reader_pose();
+    let tp = Pose::new(Vec2::new(2.0, 0.0), Angle::from_degrees(180.0));
+
+    // Scene with a side wall for the NLOS fallback.
+    let base_rate = {
+        let mut scene = Scene::free_space();
+        scene.add_wall(Segment::new(Vec2::new(-1.0, 1.2), Vec2::new(4.0, 1.2)));
+        evaluate_link(&reader, &tag, &scene, rp, tp).rate
+    };
+
+    // Same scene, person (0.6 m blocker) standing mid-path.
+    let blocked = {
+        let mut scene = Scene::free_space();
+        scene.add_wall(Segment::new(Vec2::new(-1.0, 1.2), Vec2::new(4.0, 1.2)));
+        scene.add_blocker(Segment::new(Vec2::new(1.0, -0.3), Vec2::new(1.0, 0.3)));
+        evaluate_link(&reader, &tag, &scene, rp, tp)
+    };
+    assert!(!blocked.via_los);
+    assert!(blocked.is_up(), "NLOS keeps the link alive");
+    assert!(blocked.rate.bps() <= base_rate.bps());
+}
+
+/// Inventory scales sanely: 4× the tags costs more time but stays within
+/// a small multiple (adaptive framing tracks the population).
+#[test]
+fn inventory_time_scales_with_population() {
+    let deploy = |n: usize| {
+        let mut net = Network::new(Scene::free_space(), Reader::mmtag_setup(), reader_pose());
+        for i in 0..n {
+            let deg = -55.0 + 110.0 * i as f64 / (n.max(2) - 1) as f64;
+            let pos = Vec2::from_feet(
+                6.0 * deg.to_radians().cos(),
+                6.0 * deg.to_radians().sin(),
+            );
+            net.add_tag(
+                MmTag::prototype(),
+                Static(Pose::new(pos, Angle::from_degrees(deg + 180.0))),
+            );
+        }
+        net
+    };
+    let small = deploy(16).inventory(&mut StdRng::seed_from_u64(5));
+    let large = deploy(64).inventory(&mut StdRng::seed_from_u64(5));
+    assert_eq!(small.tags_read, 16);
+    assert_eq!(large.tags_read, 64);
+    assert!(large.slots > small.slots);
+    let ratio = large.slots as f64 / small.slots as f64;
+    assert!(ratio < 12.0, "4× tags cost {ratio}× slots");
+}
+
+/// Mixed fleet: Van Atta tags keep their links at oblique placements where
+/// fixed-beam tags are unreadable, so inventory sees only the former.
+#[test]
+fn oblique_fixed_beam_tags_are_invisible() {
+    let mut net = Network::new(Scene::free_space(), Reader::mmtag_setup(), reader_pose());
+    // Both tags at 40° off their own broadside toward the reader.
+    let place = |net: &mut Network, wiring| {
+        let tag = MmTag::new(TagConfig {
+            wiring,
+            ..TagConfig::default()
+        });
+        net.add_tag(
+            tag,
+            Static(Pose::new(
+                Vec2::from_feet(4.0, 0.0),
+                Angle::from_degrees(140.0), // 40° twisted from face-on
+            )),
+        )
+    };
+    let va = place(&mut net, ReflectorWiring::VanAtta);
+    let fb = place(&mut net, ReflectorWiring::FixedBeam);
+    let snap = net.snapshot(Instant::ZERO);
+    assert!(snap[va].rate.mbps() >= 10.0, "VA at 40°: {}", snap[va].rate);
+    assert!(
+        snap[fb].rate.bps() < snap[va].rate.bps() / 10.0,
+        "fixed-beam at 40°: {} vs VA {}",
+        snap[fb].rate,
+        snap[va].rate
+    );
+}
+
+/// Long-horizon determinism: two identical 20-second mobility runs produce
+/// bit-identical traces (the DES/mobility stack has no hidden state).
+#[test]
+fn mobility_traces_are_reproducible() {
+    let run = || {
+        let mut net =
+            Network::new(Scene::room(8.0, 6.0), Reader::mmtag_setup(), Pose::new(
+                Vec2::new(0.5, 3.0),
+                Angle::ZERO,
+            ));
+        let idx = net.add_tag(
+            MmTag::prototype(),
+            Waypoints::new(
+                vec![
+                    Vec2::new(2.0, 3.0),
+                    Vec2::new(6.0, 1.0),
+                    Vec2::new(6.0, 5.0),
+                    Vec2::new(2.0, 3.0),
+                ],
+                1.2,
+            ),
+        );
+        net.rate_trace(idx, Duration::from_secs(20), Duration::from_millis(500))
+            .points()
+            .to_vec()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over the whole stack through the public `mmtag`
+//! API: the invariants a *user* of the library relies on, quantified over
+//! random geometries and configurations.
+
+use mmtag::link::{evaluate_link, ray_power};
+use mmtag::prelude::*;
+use mmtag::storage::{steady_state_cycle, StorageCap};
+use mmtag::tag::TagConfig;
+use proptest::prelude::*;
+
+fn face_to_face(feet: f64, rotation_deg: f64) -> (Pose, Pose) {
+    (
+        Pose::new(Vec2::ORIGIN, Angle::ZERO),
+        Pose::new(
+            Vec2::from_feet(feet, 0.0),
+            Angle::from_degrees(180.0 - rotation_deg),
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Received power decreases monotonically with range for any tag size
+    /// and rotation within the front hemisphere.
+    #[test]
+    fn power_monotone_in_range(
+        elements in 2usize..16,
+        rot in -50f64..50.0,
+        feet in 2f64..11.0,
+    ) {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::new(TagConfig { elements, ..TagConfig::default() });
+        let scene = Scene::free_space();
+        let p_at = |d: f64| {
+            let (rp, tp) = face_to_face(d, rot);
+            evaluate_link(&reader, &tag, &scene, rp, tp)
+                .power
+                .expect("free space, front hemisphere")
+                .dbm()
+        };
+        prop_assert!(p_at(feet) > p_at(feet + 1.0));
+    }
+
+    /// The achievable rate never *increases* with range.
+    #[test]
+    fn rate_non_increasing_in_range(feet in 2f64..10.0, extra in 0.1f64..4.0) {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let scene = Scene::free_space();
+        let r = |d: f64| {
+            let (rp, tp) = face_to_face(d, 0.0);
+            evaluate_link(&reader, &tag, &scene, rp, tp).rate.bps()
+        };
+        prop_assert!(r(feet + extra) <= r(feet));
+    }
+
+    /// Rotating the mmTag tag (within ±55°) never drops the link below
+    /// 10 Mbps at 4 ft — the retrodirectivity guarantee end to end.
+    #[test]
+    fn rotation_tolerance_at_4ft(rot in -55f64..55.0) {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let (rp, tp) = face_to_face(4.0, rot);
+        let report = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
+        prop_assert!(
+            report.rate.mbps() >= 10.0,
+            "rotation {rot}°: {}",
+            report.rate
+        );
+    }
+
+    /// The Van Atta tag's rate at any rotation ≥ the fixed-beam tag's at
+    /// the same pose (equality only near broadside).
+    #[test]
+    fn van_atta_dominates_fixed_beam(rot in 0f64..60.0, feet in 3f64..9.0) {
+        let reader = Reader::mmtag_setup();
+        let scene = Scene::free_space();
+        let (rp, tp) = face_to_face(feet, rot);
+        let va = evaluate_link(&reader, &MmTag::prototype(), &scene, rp, tp);
+        let fb_tag = MmTag::new(TagConfig {
+            wiring: ReflectorWiring::FixedBeam,
+            ..TagConfig::default()
+        });
+        let fb = evaluate_link(&reader, &fb_tag, &scene, rp, tp);
+        prop_assert!(va.rate.bps() >= fb.rate.bps());
+    }
+
+    /// More elements never hurt: rate is non-decreasing in N at any pose.
+    #[test]
+    fn elements_never_hurt(
+        n in 2usize..12,
+        extra in 1usize..8,
+        feet in 3f64..10.0,
+        rot in -40f64..40.0,
+    ) {
+        let reader = Reader::mmtag_setup();
+        let scene = Scene::free_space();
+        let (rp, tp) = face_to_face(feet, rot);
+        let rate = |elements: usize| {
+            let tag = MmTag::new(TagConfig { elements, ..TagConfig::default() });
+            evaluate_link(&reader, &tag, &scene, rp, tp).rate.bps()
+        };
+        prop_assert!(rate(n + extra) >= rate(n));
+    }
+
+    /// Adding a blocker can only remove rays / reduce the best power, never
+    /// improve it.
+    #[test]
+    fn blockers_never_help(
+        feet in 3f64..10.0,
+        bx_frac in 0.2f64..0.8,
+        half_len in 0.05f64..1.0,
+    ) {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let (rp, tp) = face_to_face(feet, 0.0);
+        let clear = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
+        let mut scene = Scene::free_space();
+        let bx = Distance::from_feet(feet).meters() * bx_frac;
+        scene.add_blocker(Segment::new(
+            Vec2::new(bx, -half_len),
+            Vec2::new(bx, half_len),
+        ));
+        let blocked = evaluate_link(&reader, &tag, &scene, rp, tp);
+        match (clear.power, blocked.power) {
+            (Some(c), Some(b)) => prop_assert!(b <= c),
+            (Some(_), None) => {} // fully blocked: fine
+            (None, _) => prop_assert!(false, "free space cannot be blocked"),
+        }
+    }
+
+    /// In a room, every NLOS serving ray is weaker than the LOS serving ray
+    /// would be (per-ray power ordering survives the full pipeline).
+    #[test]
+    fn ray_power_orders_by_length_and_loss(
+        feet in 2f64..8.0,
+        wall_off in 0.5f64..3.0,
+    ) {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let mut scene = Scene::free_space();
+        scene.add_wall(Segment::new(
+            Vec2::new(-5.0, wall_off),
+            Vec2::new(10.0, wall_off),
+        ));
+        let (rp, tp) = face_to_face(feet, 0.0);
+        let rays = scene.paths(rp, tp);
+        let los = rays.los().expect("LOS clear");
+        let p_los = ray_power(&reader, &tag, los);
+        for ray in rays.rays().iter().filter(|r| r.bounces > 0) {
+            prop_assert!(ray_power(&reader, &tag, ray) < p_los);
+        }
+    }
+
+    /// Storage: the steady-state burst cycle always balances energy, for
+    /// any capacitor geometry and harvester level that supports operation.
+    #[test]
+    fn burst_cycle_energy_balance(
+        cap_uf in 1f64..2000.0,
+        v_min in 0.5f64..2.5,
+        v_span in 0.1f64..2.0,
+        harvest_uw in 2f64..360.0,
+    ) {
+        let budget = EnergyBudget::for_tag(&MmTag::prototype(), DataRate::from_gbps(1.0));
+        let cap = StorageCap::new(cap_uf * 1e-6, v_min, v_min + v_span);
+        let h = Harvester::RfRectenna { dc_power_w: harvest_uw * 1e-6 };
+        if let Some(cycle) = steady_state_cycle(&budget, h, &cap) {
+            prop_assert!((0.0..=1.0).contains(&cycle.duty_cycle));
+            if cycle.duty_cycle < 1.0 {
+                let harvested = h.power_w() * cycle.period().as_secs_f64();
+                let consumed = budget.active_w() * cycle.burst.as_secs_f64()
+                    + budget.logic_w * cycle.recharge.as_secs_f64();
+                prop_assert!(
+                    (harvested - consumed).abs() / consumed < 1e-6,
+                    "imbalance: {harvested} vs {consumed}"
+                );
+            }
+        }
+    }
+
+    /// Baseline rate models are monotone in range and zero past max range.
+    #[test]
+    fn baseline_rate_models_sane(feet in 0.5f64..40.0, extra in 0.1f64..5.0) {
+        for profile in SystemProfile::all_baselines() {
+            let near = profile.rate_at(Distance::from_feet(feet));
+            let far = profile.rate_at(Distance::from_feet(feet + extra));
+            prop_assert!(far.bps() <= near.bps(), "{}", profile.name);
+            let beyond = profile.rate_at(Distance::from_feet(
+                profile.max_range.feet() + 0.1,
+            ));
+            prop_assert_eq!(beyond.bps(), 0.0);
+        }
+    }
+
+    /// Localization bearing error stays under half a beamwidth across the
+    /// usable sector and range span.
+    #[test]
+    fn localization_bearing_bounded(feet in 3f64..9.0, deg in -40f64..40.0) {
+        let reader = Reader::mmtag_setup();
+        let tag = MmTag::prototype();
+        let rad = deg.to_radians();
+        let tp = Pose::new(
+            Vec2::from_feet(feet * rad.cos(), feet * rad.sin()),
+            Angle::from_degrees(deg + 180.0),
+        );
+        let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+        let est = mmtag::localization::locate(
+            &reader, &tag, &Scene::free_space(), rp, tp,
+        ).expect("in sector");
+        let err = est.bearing.separation(Angle::from_degrees(deg)).degrees();
+        prop_assert!(err < 10.2, "({feet} ft, {deg}°): bearing error {err}°");
+    }
+}
