@@ -1,196 +1,217 @@
-//! Criterion performance benches for the stack's hot paths: array-factor
-//! evaluation (every pattern sweep), Van Atta bistatic response (every link
-//! evaluation), waveform demodulation (per-sample work), the DES scheduler,
-//! and a full inventory round.
+//! Performance benches for the stack's hot paths on the in-house
+//! [`mmtag_bench::timing`] harness (no external bench framework — the
+//! workspace builds offline): array-factor evaluation (every pattern
+//! sweep), Van Atta bistatic response (every link evaluation), waveform
+//! demodulation (per-sample work), the DES scheduler, full inventory
+//! rounds, and — the headline — the serial-vs-parallel Monte-Carlo
+//! comparisons for BER and inventory ensembles.
+//!
+//! Run with `cargo bench -p mmtag-bench`. The parallel rows use the
+//! machine's full `available_parallelism` (override with `MMTAG_THREADS`);
+//! on a multi-core machine the `*_par` rows should be several times
+//! faster than their `*_serial` twins, with bit-identical results —
+//! which this harness also asserts.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmtag_antenna::element::PatchElement;
 use mmtag_antenna::planar::{Direction, PlanarVanAtta};
 use mmtag_antenna::{LinearArray, ReflectorWiring, VanAttaArray};
-use mmtag_mac::aloha::{inventory_until_drained, QAlgorithm};
+use mmtag_bench::timing::{bench, format_result, BenchResult};
+use mmtag_mac::aloha::{inventory_ensemble_par_with, inventory_until_drained, QAlgorithm};
 use mmtag_mac::gen2::{run_gen2_inventory, Gen2Tag, Gen2Timing};
-use mmtag_phy::waveform::{Awgn, OokModem};
+use mmtag_phy::waveform::{ber_sweep_par_with, measure_ber_par_with, Awgn, OokModem};
 use mmtag_rf::fft::{fft, welch_psd};
+use mmtag_rf::rng::{Rng, SeedTree, Xoshiro256pp};
 use mmtag_rf::units::Angle;
 use mmtag_rf::Complex;
 use mmtag_sim::des::Scheduler;
 use mmtag_sim::mobility::Pose;
 use mmtag_sim::time::Instant;
 use mmtag_sim::{Scene, Vec2};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-fn bench_array_factor(c: &mut Criterion) {
+const BER_BITS: usize = 100_000;
+const BER_SNRS: [f64; 8] = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+const ENSEMBLE_TAGS: usize = 128;
+const ENSEMBLE_REPS: usize = 16;
+
+fn micro_benches(results: &mut Vec<BenchResult>) {
     let arr = LinearArray::half_wavelength(16);
     let w = arr.beam_weights(Angle::from_degrees(17.0));
-    c.bench_function("array_factor_16el", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            let mut deg = -90.0;
-            while deg <= 90.0 {
-                acc += arr.response(&w, Angle::from_degrees(deg)).norm_sqr();
-                deg += 1.0;
-            }
-            black_box(acc)
-        })
-    });
-}
+    results.push(bench("array_factor_16el", || {
+        let mut acc = 0.0;
+        let mut deg = -90.0;
+        while deg <= 90.0 {
+            acc += arr.response(&w, Angle::from_degrees(deg)).norm_sqr();
+            deg += 1.0;
+        }
+        acc
+    }));
 
-fn bench_vanatta_monostatic(c: &mut Criterion) {
     let va = VanAttaArray::new(
         LinearArray::half_wavelength(6),
         PatchElement::mmtag_default(),
         ReflectorWiring::VanAtta,
     );
-    c.bench_function("vanatta_monostatic_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            let mut deg = -75.0;
-            while deg <= 75.0 {
-                acc += va.monostatic_gain(Angle::from_degrees(deg));
-                deg += 1.0;
-            }
-            black_box(acc)
-        })
-    });
-}
+    results.push(bench("vanatta_monostatic_sweep", || {
+        let mut acc = 0.0;
+        let mut deg = -75.0;
+        while deg <= 75.0 {
+            acc += va.monostatic_gain(Angle::from_degrees(deg));
+            deg += 1.0;
+        }
+        acc
+    }));
 
-fn bench_ook_demod(c: &mut Criterion) {
     let modem = OokModem::new(4);
-    let mut rng = StdRng::seed_from_u64(1);
-    let bits: Vec<bool> = (0..4096).map(|_| rng.random()).collect();
+    let mut rng = Xoshiro256pp::seed_from(1);
+    let bits: Vec<bool> = (0..4096).map(|_| rng.bit()).collect();
     let mut samples = modem.modulate(&bits);
     Awgn::for_eb_n0(&modem, 10.0).apply(&mut samples, &mut rng);
-    c.bench_function("ook_demod_4096bits", |b| {
-        b.iter(|| black_box(modem.demodulate_coherent(&samples)))
-    });
-}
+    results.push(bench("ook_demod_4096bits", || {
+        modem.demodulate_coherent(&samples)
+    }));
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("des_schedule_pop_10k", |b| {
-        b.iter_batched(
-            || {
-                let mut s = Scheduler::new();
-                let mut x: u64 = 0x9E3779B97F4A7C15;
-                for i in 0..10_000u64 {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    s.schedule_at(Instant::from_nanos(x % 1_000_000), i);
-                }
-                s
-            },
-            |mut s| {
-                while let Some(e) = s.pop() {
-                    black_box(e);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+    results.push(bench("des_schedule_pop_10k", || {
+        let mut s = Scheduler::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.schedule_at(Instant::from_nanos(x % 1_000_000), i);
+        }
+        while let Some(e) = s.pop() {
+            black_box(e);
+        }
+    }));
 
-fn bench_inventory(c: &mut Criterion) {
-    c.bench_function("aloha_inventory_256tags", |b| {
-        b.iter_batched(
-            || StdRng::seed_from_u64(42),
-            |mut rng| {
-                black_box(inventory_until_drained(
-                    256,
-                    QAlgorithm::new(),
-                    100_000,
-                    &mut rng,
-                ))
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+    results.push(bench("aloha_inventory_256tags", || {
+        let mut rng = Xoshiro256pp::seed_from(42);
+        inventory_until_drained(256, QAlgorithm::new(), 100_000, &mut rng)
+    }));
 
-fn bench_fft(c: &mut Criterion) {
     let base: Vec<Complex> = (0..4096)
         .map(|i| Complex::from_phase(i as f64 * 0.37))
         .collect();
-    c.bench_function("fft_4096", |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut buf| {
-                fft(&mut buf);
-                black_box(buf)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("welch_psd_16k_512", |b| {
-        let sig: Vec<Complex> = (0..16384)
-            .map(|i| Complex::from_phase(i as f64 * 0.11))
-            .collect();
-        b.iter(|| black_box(welch_psd(&sig, 512)))
-    });
-}
+    results.push(bench("fft_4096", || {
+        let mut buf = base.clone();
+        fft(&mut buf);
+        buf
+    }));
+    let sig: Vec<Complex> = (0..16384)
+        .map(|i| Complex::from_phase(i as f64 * 0.11))
+        .collect();
+    results.push(bench("welch_psd_16k_512", || welch_psd(&sig, 512)));
 
-fn bench_planar_gain(c: &mut Criterion) {
     let p = PlanarVanAtta::mmtag_planar();
-    c.bench_function("planar_6x4_gain_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..60 {
-                let th = Angle::from_degrees(-60.0 + 2.0 * i as f64);
-                acc += p.monostatic_gain(Direction::from_spherical(
-                    th,
-                    Angle::from_degrees(30.0),
-                ));
-            }
-            black_box(acc)
-        })
-    });
-}
+    results.push(bench("planar_6x4_gain_sweep", || {
+        let mut acc = 0.0;
+        for i in 0..60 {
+            let th = Angle::from_degrees(-60.0 + 2.0 * i as f64);
+            acc += p.monostatic_gain(Direction::from_spherical(th, Angle::from_degrees(30.0)));
+        }
+        acc
+    }));
 
-fn bench_gen2(c: &mut Criterion) {
-    c.bench_function("gen2_inventory_128tags", |b| {
-        b.iter_batched(
-            || {
-                (
-                    (0..128).map(|i| Gen2Tag::new(i as u64)).collect::<Vec<_>>(),
-                    StdRng::seed_from_u64(7),
-                )
-            },
-            |(mut tags, mut rng)| {
-                black_box(run_gen2_inventory(
-                    &mut tags,
-                    Gen2Timing::fast_mmwave(),
-                    1_000_000,
-                    &mut rng,
-                ))
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+    results.push(bench("gen2_inventory_128tags", || {
+        let mut rng = Xoshiro256pp::seed_from(7);
+        let mut tags: Vec<Gen2Tag> = (0..128).map(|i| Gen2Tag::new(i as u64)).collect();
+        run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 1_000_000, &mut rng)
+    }));
 
-fn bench_scene_paths(c: &mut Criterion) {
     let scene = Scene::room(8.0, 6.0);
     let reader = Pose::new(Vec2::new(1.0, 3.0), Angle::ZERO);
     let tag = Pose::new(Vec2::new(6.5, 2.0), Angle::from_degrees(180.0));
-    c.bench_function("scene_paths_one_bounce", |b| {
-        b.iter(|| black_box(scene.paths(reader, tag)))
-    });
-    c.bench_function("scene_paths_two_bounce", |b| {
-        b.iter(|| black_box(scene.paths_with_order(reader, tag, 2)))
-    });
+    results.push(bench("scene_paths_one_bounce", || scene.paths(reader, tag)));
+    results.push(bench("scene_paths_two_bounce", || {
+        scene.paths_with_order(reader, tag, 2)
+    }));
 }
 
-criterion_group!(
-    benches,
-    bench_array_factor,
-    bench_vanatta_monostatic,
-    bench_ook_demod,
-    bench_scheduler,
-    bench_inventory,
-    bench_fft,
-    bench_planar_gain,
-    bench_gen2,
-    bench_scene_paths
-);
-criterion_main!(benches);
+/// Serial-vs-parallel pairs. Returns (results, named speedups).
+fn engine_benches(threads: usize) -> (Vec<BenchResult>, Vec<(String, f64)>) {
+    let mut results = Vec::new();
+    let mut speedups = Vec::new();
+    let tree = SeedTree::new(0xBE9C);
+    let modem = OokModem::new(4);
+
+    // Single-point BER: the chunked Monte-Carlo core.
+    let serial = bench("ber_point_100kbit_serial", || {
+        measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree)
+    });
+    let par = bench("ber_point_100kbit_par", || {
+        measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree)
+    });
+    let a = measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree);
+    let b = measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree);
+    assert_eq!(a.to_bits(), b.to_bits(), "parallel BER must be bit-identical");
+    speedups.push(("ber_point_100kbit".to_string(), par.speedup_over(&serial)));
+    results.push(serial);
+    results.push(par);
+
+    // Full 8-point sweep: parallel over (SNR × chunk).
+    let serial = bench("ber_sweep_8x100kbit_serial", || {
+        ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree)
+    });
+    let par = bench("ber_sweep_8x100kbit_par", || {
+        ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree)
+    });
+    let a = ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree);
+    let b = ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree);
+    assert!(
+        a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "parallel BER sweep must be bit-identical"
+    );
+    speedups.push(("ber_sweep_8x100kbit".to_string(), par.speedup_over(&serial)));
+    results.push(serial);
+    results.push(par);
+
+    // Inventory ensemble: one repetition per work unit.
+    let serial = bench("aloha_ensemble_128tags_x16_serial", || {
+        inventory_ensemble_par_with(1, ENSEMBLE_TAGS, QAlgorithm::new(), 100_000, ENSEMBLE_REPS, &tree)
+    });
+    let par = bench("aloha_ensemble_128tags_x16_par", || {
+        inventory_ensemble_par_with(
+            threads,
+            ENSEMBLE_TAGS,
+            QAlgorithm::new(),
+            100_000,
+            ENSEMBLE_REPS,
+            &tree,
+        )
+    });
+    let a = inventory_ensemble_par_with(1, ENSEMBLE_TAGS, QAlgorithm::new(), 100_000, ENSEMBLE_REPS, &tree);
+    let b = inventory_ensemble_par_with(
+        threads,
+        ENSEMBLE_TAGS,
+        QAlgorithm::new(),
+        100_000,
+        ENSEMBLE_REPS,
+        &tree,
+    );
+    assert_eq!(a, b, "parallel ensemble must be bit-identical");
+    speedups.push((
+        "aloha_ensemble_128tags_x16".to_string(),
+        par.speedup_over(&serial),
+    ));
+    results.push(serial);
+    results.push(par);
+
+    (results, speedups)
+}
+
+fn main() {
+    let threads = mmtag_rf::par::thread_limit();
+    println!("== mmtag hot-path benches (parallel rows: {threads} threads) ==");
+    let mut results = Vec::new();
+    micro_benches(&mut results);
+    let (engine, speedups) = engine_benches(threads);
+    results.extend(engine);
+    for r in &results {
+        println!("{}", format_result(r));
+    }
+    println!("\n== serial → parallel speedups ({threads} threads) ==");
+    for (name, ratio) in &speedups {
+        println!("{name:<40} {ratio:>6.2}×");
+    }
+}

@@ -10,8 +10,7 @@ use mmtag_phy::cancellation::{AdcClip, Canceller, LeakageChannel};
 use mmtag_phy::waveform::{Awgn, OokModem};
 use mmtag_sim::experiment::Table;
 use mmtag_sim::mobility::Pose;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mmtag_rf::rng::{Rng, Xoshiro256pp};
 
 /// **E23** — ISI analysis: delay spread, coherence bandwidth and echo
 /// strength as the room grows around a 4 ft LOS link. Columns: `room_m`,
@@ -75,10 +74,16 @@ pub fn fig_gen2(seed: u64) -> Table {
             "per_tag_us",
         ],
     );
-    for n in [8usize, 32, 128, 512] {
-        let mut rng = StdRng::seed_from_u64(seed + n as u64);
+    // One population point per parallel work unit: each draws from its own
+    // SeedTree subtree, so the sweep is bit-identical at any thread count.
+    let tree = mmtag_rf::rng::SeedTree::new(seed);
+    let pops = [8usize, 32, 128, 512];
+    let results = mmtag_sim::par::par_sweep(&tree, "gen2-pop", &pops, |sub, &n| {
+        let mut rng = sub.rng("inventory");
         let mut tags: Vec<Gen2Tag> = (0..n).map(|i| Gen2Tag::new(i as u64)).collect();
-        let stats = run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 1_000_000, &mut rng);
+        run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 1_000_000, &mut rng)
+    });
+    for (&n, stats) in pops.iter().zip(&results) {
         assert_eq!(stats.epcs.len(), n, "inventory must drain");
         let ms = stats.elapsed.as_secs_f64() * 1e3;
         t.push_row(&[
@@ -150,8 +155,8 @@ pub fn fig_cancellation(bits: usize, seed: u64) -> Table {
     for leak_db in [20.0, 30.0, 40.0] {
         let amplitude = 10f64.powf(leak_db / 20.0);
         let run = |cancel: bool, seed: u64| -> f64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let data: Vec<bool> = (0..bits).map(|_| rng.random()).collect();
+            let mut rng = Xoshiro256pp::seed_from(seed);
+            let data: Vec<bool> = (0..bits).map(|_| rng.bit()).collect();
             let leakage = LeakageChannel {
                 amplitude,
                 phase: 0.9,

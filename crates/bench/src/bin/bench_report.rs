@@ -1,0 +1,89 @@
+//! Serial-vs-parallel speedup report for the Monte-Carlo engine.
+//!
+//! Runs the engine's hot paths — single-point BER, an 8-point BER sweep,
+//! and an Aloha inventory ensemble — once pinned to one thread and once at
+//! the machine's thread limit (`MMTAG_THREADS` or `available_parallelism`),
+//! asserts the outputs are bit-identical, and writes `BENCH_report.json`
+//! (name → ns/iter plus named speedup ratios) to the current directory.
+//!
+//! On a single-core box the speedups hover near 1×; on a 4+-core machine
+//! the BER rows should clear 3×.
+
+use mmtag_bench::timing::{bench, format_result, report_json, BenchResult};
+use mmtag_mac::aloha::{inventory_ensemble_par_with, QAlgorithm};
+use mmtag_phy::waveform::{ber_sweep_par_with, measure_ber_par_with, OokModem};
+use mmtag_rf::rng::SeedTree;
+
+const BER_BITS: usize = 100_000;
+const BER_SNRS: [f64; 8] = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+const TAGS: usize = 128;
+const REPS: usize = 16;
+
+fn main() {
+    let threads = mmtag_rf::par::thread_limit();
+    let tree = SeedTree::new(0xBE9C);
+    let modem = OokModem::new(4);
+    let mut results: Vec<BenchResult> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    let pair = |name: &str,
+                    results: &mut Vec<BenchResult>,
+                    speedups: &mut Vec<(String, f64)>,
+                    serial: BenchResult,
+                    par: BenchResult| {
+        speedups.push((name.to_string(), par.speedup_over(&serial)));
+        results.push(serial);
+        results.push(par);
+    };
+
+    // Single-point BER, chunk-parallel.
+    let s = bench("ber_point_100kbit_serial", || {
+        measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree)
+    });
+    let p = bench("ber_point_100kbit_par", || {
+        measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree)
+    });
+    let a = measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree);
+    let b = measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree);
+    assert_eq!(a.to_bits(), b.to_bits(), "parallel BER must be bit-identical");
+    pair("ber_point_100kbit", &mut results, &mut speedups, s, p);
+
+    // Full sweep, parallel over (SNR × chunk).
+    let s = bench("ber_sweep_8x100kbit_serial", || {
+        ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree)
+    });
+    let p = bench("ber_sweep_8x100kbit_par", || {
+        ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree)
+    });
+    let a = ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree);
+    let b = ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree);
+    assert!(
+        a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "parallel BER sweep must be bit-identical"
+    );
+    pair("ber_sweep_8x100kbit", &mut results, &mut speedups, s, p);
+
+    // Inventory ensemble, one repetition per work unit.
+    let s = bench("aloha_ensemble_128tags_x16_serial", || {
+        inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)
+    });
+    let p = bench("aloha_ensemble_128tags_x16_par", || {
+        inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)
+    });
+    let a = inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
+    let b = inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
+    assert_eq!(a, b, "parallel ensemble must be bit-identical");
+    pair("aloha_ensemble_128tags_x16", &mut results, &mut speedups, s, p);
+
+    for r in &results {
+        println!("{}", format_result(r));
+    }
+    println!("\n== serial → parallel speedups ({threads} threads) ==");
+    for (name, ratio) in &speedups {
+        println!("{name:<40} {ratio:>6.2}×");
+    }
+
+    let json = report_json(&results, &speedups, threads);
+    std::fs::write("BENCH_report.json", &json).expect("write BENCH_report.json");
+    println!("\nwrote BENCH_report.json");
+}

@@ -18,15 +18,14 @@ use mmtag_phy::pulse::PulseShaper;
 use mmtag_phy::spectrum::Spectrum;
 use mmtag_phy::waveform::{measure_ber, OokModem};
 use mmtag_sim::experiment::{linspace, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mmtag_rf::rng::Xoshiro256pp;
 
 /// **E13** — OOK spectrum occupancy: the measurement behind the paper's
 /// `symbol rate = B/2` rule. Columns: `half_band_symbol_rates`,
 /// `power_fraction`.
 pub fn fig_spectrum(seed: u64) -> Table {
     let modem = OokModem::new(8);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from(seed);
     let spec = Spectrum::of_ook(&modem, 16384, 1024, &mut rng);
     let mut t = Table::new(
         "E13 — OOK waveform spectrum: power captured vs channel half-width",
@@ -102,17 +101,28 @@ pub fn fig_ablation() -> Table {
 /// under Rician fading, vs K-factor. Columns: `k_db`,
 /// `outage_3db_margin`, `outage_7db_margin`.
 pub fn fig_fading(trials: usize, seed: u64) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Each (K, margin) cell runs its trials chunked over the parallel
+    // engine under its own SeedTree subtree — bit-identical at any thread
+    // count, and each cell independent of the others.
+    let tree = mmtag_rf::rng::SeedTree::new(seed);
     let mut t = Table::new(
         "E15 — Rician fading: outage probability vs K-factor and margin",
         &["k_db", "outage_3db_margin", "outage_7db_margin"],
     );
-    for k_db in [0.0, 5.0, 10.0, 15.0] {
+    for (i, k_db) in [0.0, 5.0, 10.0, 15.0].into_iter().enumerate() {
         let fader = RicianFading::from_k_db(Db::new(k_db));
         t.push_row(&[
             k_db,
-            fader.outage_probability(Db::new(3.0), trials, &mut rng),
-            fader.outage_probability(Db::new(7.0), trials, &mut rng),
+            fader.outage_probability_par(
+                Db::new(3.0),
+                trials,
+                &tree.subtree_indexed("outage-3db", i as u64),
+            ),
+            fader.outage_probability_par(
+                Db::new(7.0),
+                trials,
+                &tree.subtree_indexed("outage-7db", i as u64),
+            ),
         ]);
     }
     t
@@ -122,7 +132,7 @@ pub fn fig_fading(trials: usize, seed: u64) -> Table {
 /// range each scheme's threshold buys. Columns: `eb_n0_db`, `ook_ber`,
 /// `bpsk_ber`.
 pub fn fig_bpsk(bits: usize, seed: u64) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from(seed);
     let ook = OokModem::new(4);
     let bpsk = BpskModem::new(4);
     let mut t = Table::new(
@@ -236,8 +246,8 @@ pub fn fig_acquisition() -> Table {
 pub fn fig_pulse(seed: u64) -> Table {
     use mmtag_phy::spectrum::Spectrum;
     let sps = 8;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let bits: Vec<bool> = (0..4096).map(|_| rand::Rng::random(&mut rng)).collect();
+    let mut rng = Xoshiro256pp::seed_from(seed);
+    let bits: Vec<bool> = (0..4096).map(|_| mmtag_rf::rng::Rng::bit(&mut rng)).collect();
     let modem = OokModem::new(sps);
     let mut t = Table::new(
         "E20 — raised-cosine shaped OOK: confinement and admissible rate",
@@ -264,7 +274,7 @@ pub fn fig_pulse(seed: u64) -> Table {
 /// without capture, vs population, for the backscatter d⁻⁴ power spread.
 /// Columns: `tags`, `with_capture`, `without_capture`, `gain_pct`.
 pub fn fig_capture(trials: usize, seed: u64) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from(seed);
     let mut t = Table::new(
         "E21 — capture effect on framed Aloha (d⁻⁴ power spread, 7 dB threshold)",
         &["tags", "with_capture", "without_capture", "gain_pct"],
@@ -299,7 +309,7 @@ pub fn fig_mimo(seed: u64) -> Table {
         &["beams", "makespan_slots", "speedup"],
     );
     for k in [1usize, 2, 4, 8, 12] {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from(seed);
         let inv = mimo_inventory(&part, k, &mut rng);
         assert_eq!(inv.tags_read, 240);
         t.push_row(&[k as f64, inv.makespan() as f64, inv.speedup()]);

@@ -3,8 +3,10 @@
 //! One function per experiment in `DESIGN.md`'s per-experiment index; each
 //! returns a [`mmtag_sim::experiment::Table`] so the figure binaries print
 //! it and the smoke tests assert its headline numbers. Binaries live in
-//! `src/bin/` (`cargo run -p mmtag-bench --bin fig7_link_budget`), Criterion
-//! performance benches in `benches/`.
+//! `src/bin/` (`cargo run -p mmtag-bench --bin fig7_link_budget`);
+//! performance benches in `benches/` run on the in-house [`timing`]
+//! harness (`cargo bench -p mmtag-bench`), and `--bin bench_report`
+//! writes the serial-vs-parallel speedup summary to `BENCH_report.json`.
 //!
 //! | experiment | paper artifact | function |
 //! |---|---|---|
@@ -33,3 +35,4 @@ pub mod extensions;
 pub mod network_figs;
 pub mod phy_figs;
 pub mod system_tables;
+pub mod timing;

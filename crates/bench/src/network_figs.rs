@@ -5,8 +5,7 @@ use mmtag::tag::TagConfig;
 use mmtag_mac::aloha::{inventory_until_drained, slotted_aloha_throughput, QAlgorithm};
 use mmtag_mac::{ScanSchedule, SectorScheduler};
 use mmtag_sim::experiment::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mmtag_rf::rng::Xoshiro256pp;
 
 /// **E7** — multi-tag inventory: adaptive framed-Aloha slot efficiency and
 /// the SDM comparison, vs population size. Columns: `tags`,
@@ -18,7 +17,7 @@ pub fn fig_aloha(seed: u64) -> Table {
         Angle::from_degrees(20.0),
         Duration::from_millis(1),
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from(seed);
     let mut t = Table::new(
         "E7 — inventory cost vs population: single domain vs SDM sectors",
         &[

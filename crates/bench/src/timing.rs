@@ -1,0 +1,177 @@
+//! A zero-dependency micro-benchmark harness: warmup, auto-calibrated
+//! iteration counts, best-of-N rounds, and a hand-rolled JSON report.
+//!
+//! This replaces the external Criterion dependency so the workspace builds
+//! offline. It is deliberately simple — wall-clock `std::time::Instant`,
+//! minimum-of-rounds (the standard low-noise estimator for CPU-bound
+//! kernels), no statistics beyond that — but it is enough to (a) catch
+//! order-of-magnitude regressions in the hot paths and (b) measure the
+//! serial-vs-parallel speedup of the Monte-Carlo engine, which is this
+//! crate's headline number (`BENCH_report.json`).
+
+use std::time::Instant;
+
+/// One benchmark's outcome.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (stable key in the JSON report).
+    pub name: String,
+    /// Iterations per timing round after calibration.
+    pub iters: u64,
+    /// Best observed nanoseconds per iteration (min over rounds).
+    pub ns_per_iter: f64,
+}
+
+impl BenchResult {
+    /// Speedup of `self` over `other` (how many times faster `self` is):
+    /// `other.ns_per_iter / self.ns_per_iter`.
+    pub fn speedup_over(&self, other: &BenchResult) -> f64 {
+        other.ns_per_iter / self.ns_per_iter
+    }
+}
+
+/// Target wall time per timing round. Short enough that the full suite
+/// stays in seconds, long enough to amortize timer overhead.
+const TARGET_ROUND_NANOS: u128 = 80_000_000;
+/// Timing rounds; the minimum is reported.
+const ROUNDS: usize = 5;
+/// Iteration ceiling, so trivially cheap closures can't spin forever
+/// during calibration.
+const MAX_ITERS: u64 = 1 << 24;
+
+/// Runs `f` under the harness: one calibration pass sizes the iteration
+/// count toward [`TARGET_ROUND_NANOS`], then [`ROUNDS`] timed rounds run
+/// and the fastest is reported. The closure's result is passed through
+/// [`std::hint::black_box`] so the optimizer cannot delete the work.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> BenchResult {
+    // Calibration: double iterations until a round is long enough.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = t.elapsed().as_nanos();
+        if elapsed >= TARGET_ROUND_NANOS / 2 || iters >= MAX_ITERS {
+            break;
+        }
+        // Aim straight for the target when we have signal; else double.
+        iters = if elapsed > 0 {
+            (iters.saturating_mul(TARGET_ROUND_NANOS.div_ceil(elapsed) as u64))
+                .clamp(iters + 1, iters.saturating_mul(16).min(MAX_ITERS))
+        } else {
+            (iters * 16).min(MAX_ITERS)
+        };
+    }
+
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        ns_per_iter: best,
+    }
+}
+
+/// Formats a result as the one-line summary the bench binaries print.
+pub fn format_result(r: &BenchResult) -> String {
+    format!(
+        "{:<40} {:>14.1} ns/iter   ({} iters/round)",
+        r.name, r.ns_per_iter, r.iters
+    )
+}
+
+/// Serializes results plus named speedup ratios into a JSON object string
+/// (hand-rolled — no serde): `{"benches": {name: ns_per_iter, ...},
+/// "speedups": {name: ratio, ...}, "threads": N}`.
+pub fn report_json(results: &[BenchResult], speedups: &[(String, f64)], threads: usize) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"threads\": ");
+    out.push_str(&threads.to_string());
+    out.push_str(",\n  \"benches\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+            esc(&r.name),
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"speedups\": {\n");
+    for (i, (name, ratio)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            esc(name),
+            ratio,
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let r = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iters >= 1);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let results = vec![
+            BenchResult {
+                name: "a".into(),
+                iters: 10,
+                ns_per_iter: 123.4,
+            },
+            BenchResult {
+                name: "b\"q\"".into(),
+                iters: 5,
+                ns_per_iter: 5.0,
+            },
+        ];
+        let json = report_json(&results, &[("a_vs_b".into(), 2.5)], 4);
+        assert!(json.contains("\"a\": {\"ns_per_iter\": 123.4"));
+        assert!(json.contains("\\\"q\\\""));
+        assert!(json.contains("\"a_vs_b\": 2.500"));
+        assert!(json.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn speedup_ratio_orientation() {
+        let fast = BenchResult {
+            name: "fast".into(),
+            iters: 1,
+            ns_per_iter: 10.0,
+        };
+        let slow = BenchResult {
+            name: "slow".into(),
+            iters: 1,
+            ns_per_iter: 40.0,
+        };
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+    }
+}

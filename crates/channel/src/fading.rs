@@ -5,10 +5,21 @@
 //! most scatter. We provide a Rician power-envelope sampler (Rayleigh as the
 //! `K = 0` special case) for robustness experiments — e.g. how much fade
 //! margin the Fig. 7 rate thresholds need in a real room.
+//!
+//! Outage estimation is Monte-Carlo over many independent fades, so it is
+//! also one of the stack's parallel hot paths: [`RicianFading::outage_probability_par`]
+//! runs the trial loop chunked over the [`mmtag_rf::par`] engine with one
+//! [`SeedTree`] stream per chunk, bit-identical at any thread count.
 
+use mmtag_rf::par;
+use mmtag_rf::rng::{Rng, SeedTree};
 use mmtag_rf::units::Db;
 use mmtag_rf::Complex;
-use rand::Rng;
+
+/// Trials per work unit for parallel outage estimation. Fixed (not derived
+/// from the thread count) so the chunk decomposition — and therefore the
+/// sampled randomness — is identical no matter how many workers run it.
+pub const OUTAGE_CHUNK_TRIALS: usize = 16_384;
 
 /// A Rician fading channel with linear K-factor `k` (dominant/scattered
 /// power ratio). The mean power gain is normalized to 1 (0 dB).
@@ -53,7 +64,7 @@ impl RicianFading {
         // h = √(K/(K+1)) + √(1/(K+1))·CN(0,1)
         let los = (self.k / (self.k + 1.0)).sqrt();
         let sigma = (0.5 / (self.k + 1.0)).sqrt();
-        let g = Complex::new(sample_gaussian(rng) * sigma, sample_gaussian(rng) * sigma);
+        let g = Complex::new(rng.normal() * sigma, rng.normal() * sigma);
         Complex::new(los, 0.0) + g
     }
 
@@ -63,7 +74,8 @@ impl RicianFading {
     }
 
     /// Monte-Carlo outage probability: fraction of fades deeper than
-    /// `margin` dB below the mean, over `trials` samples.
+    /// `margin` dB below the mean, over `trials` samples drawn serially
+    /// from `rng`.
     pub fn outage_probability<R: Rng + ?Sized>(
         &self,
         margin: Db,
@@ -71,38 +83,66 @@ impl RicianFading {
         rng: &mut R,
     ) -> f64 {
         assert!(trials > 0, "need at least one trial");
-        let threshold = 10f64.powf(-margin.db() / 10.0);
-        let mut outages = 0usize;
-        for _ in 0..trials {
-            if self.sample_power(rng) < threshold {
-                outages += 1;
-            }
-        }
+        let threshold = outage_threshold(margin);
+        let outages = self.count_outages(threshold, trials, rng);
         outages as f64 / trials as f64
+    }
+
+    /// Parallel Monte-Carlo outage probability, chunked over the
+    /// [`mmtag_rf::par`] engine: chunk `i` draws its fades from
+    /// `tree.rng_indexed("outage-chunk", i)`, so the estimate is
+    /// bit-identical at any thread count (including `MMTAG_THREADS=1`).
+    pub fn outage_probability_par(&self, margin: Db, trials: usize, tree: &SeedTree) -> f64 {
+        self.outage_probability_par_with(par::thread_limit(), margin, trials, tree)
+    }
+
+    /// [`RicianFading::outage_probability_par`] with an explicit thread
+    /// budget (what the determinism tests and serial-vs-parallel benches
+    /// call).
+    pub fn outage_probability_par_with(
+        &self,
+        threads: usize,
+        margin: Db,
+        trials: usize,
+        tree: &SeedTree,
+    ) -> f64 {
+        assert!(trials > 0, "need at least one trial");
+        let threshold = outage_threshold(margin);
+        let outages: u64 = par::par_chunks_with(
+            threads,
+            trials,
+            OUTAGE_CHUNK_TRIALS,
+            |ci, range| {
+                let mut rng = tree.rng_indexed("outage-chunk", ci as u64);
+                self.count_outages(threshold, range.len(), &mut rng) as u64
+            },
+        )
+        .into_iter()
+        .sum();
+        outages as f64 / trials as f64
+    }
+
+    /// Counts fades below `threshold` over `trials` draws from `rng`.
+    fn count_outages<R: Rng + ?Sized>(&self, threshold: f64, trials: usize, rng: &mut R) -> usize {
+        (0..trials)
+            .filter(|_| self.sample_power(rng) < threshold)
+            .count()
     }
 }
 
-/// Box–Muller standard normal sample.
-fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.random();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.random();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    }
+/// Linear power threshold for a fade `margin` dB below the (unit) mean.
+fn outage_threshold(margin: Db) -> f64 {
+    10f64.powf(-margin.db() / 10.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     #[test]
     fn mean_power_is_unity() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from(7);
         for fader in [
             RicianFading::rayleigh(),
             RicianFading::mmwave_los(),
@@ -118,7 +158,7 @@ mod tests {
     #[test]
     fn rayleigh_outage_matches_closed_form() {
         // Rayleigh power is exponential: P(|h|² < t) = 1 − e^(−t).
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from(42);
         let fader = RicianFading::rayleigh();
         let p = fader.outage_probability(Db::new(10.0), 200_000, &mut rng);
         let expected = 1.0 - (-0.1f64).exp(); // t = 10^(−1)
@@ -126,8 +166,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_outage_matches_closed_form_and_is_thread_invariant() {
+        let tree = SeedTree::new(2024);
+        let fader = RicianFading::rayleigh();
+        let serial = fader.outage_probability_par_with(1, Db::new(10.0), 200_000, &tree);
+        let expected = 1.0 - (-0.1f64).exp();
+        assert!((serial - expected).abs() < 0.005, "got {serial}");
+        for threads in [2, 4, 8] {
+            let par = fader.outage_probability_par_with(threads, Db::new(10.0), 200_000, &tree);
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn higher_k_means_fewer_deep_fades() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from(3);
         let deep = Db::new(10.0);
         let ray = RicianFading::rayleigh().outage_probability(deep, 100_000, &mut rng);
         let rice = RicianFading::mmwave_los().outage_probability(deep, 100_000, &mut rng);
@@ -139,7 +192,7 @@ mod tests {
 
     #[test]
     fn strong_k_concentrates_near_unity() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from(11);
         let fader = RicianFading::new(1000.0);
         for _ in 0..1000 {
             let p = fader.sample_power(&mut rng);
@@ -150,13 +203,13 @@ mod tests {
     #[test]
     fn seeded_sampling_is_deterministic() {
         let a: Vec<f64> = {
-            let mut rng = StdRng::seed_from_u64(5);
+            let mut rng = Xoshiro256pp::seed_from(5);
             (0..10)
                 .map(|_| RicianFading::mmwave_los().sample_power(&mut rng))
                 .collect()
         };
         let b: Vec<f64> = {
-            let mut rng = StdRng::seed_from_u64(5);
+            let mut rng = Xoshiro256pp::seed_from(5);
             (0..10)
                 .map(|_| RicianFading::mmwave_los().sample_power(&mut rng))
                 .collect()

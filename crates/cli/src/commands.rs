@@ -12,8 +12,7 @@ use mmtag::prelude::*;
 use mmtag::storage::{steady_state_cycle, StorageCap};
 use mmtag::tag::TagConfig;
 use mmtag_antenna::sparams::{ElementPort, SwitchState};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mmtag_rf::rng::Xoshiro256pp;
 use std::fmt::Write as _;
 
 /// Top-level dispatch. Unknown/missing commands return the help text.
@@ -175,7 +174,7 @@ fn cmd_inventory(args: &Args) -> Result<String, ArgError> {
             mmtag_sim::mobility::Static(Pose::new(pos, Angle::from_degrees(deg + 180.0))),
         );
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from(seed);
     let inv = net.inventory(&mut rng);
     let mut out = String::new();
     let _ = writeln!(out, "inventory of {n} tags (seed {seed}):");

@@ -14,7 +14,7 @@ use mmtag_sim::metrics::TimeSeries;
 use mmtag_sim::mobility::{Mobility, Pose};
 use mmtag_sim::time::{Duration, Instant};
 use mmtag_sim::Scene;
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// A tag deployed in the network, with its trajectory.
 pub struct DeployedTag {
@@ -171,8 +171,7 @@ mod tests {
     use super::*;
     use mmtag_sim::mobility::{Linear, Spin, Static};
     use mmtag_sim::Vec2;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     fn reader_pose() -> Pose {
         Pose::new(Vec2::ORIGIN, Angle::ZERO)
@@ -279,7 +278,7 @@ mod tests {
                 )),
             );
         }
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from(11);
         let inv = net.inventory(&mut rng);
         assert_eq!(inv.tags_read, 12);
         assert!(inv.elapsed > Duration::ZERO);
@@ -288,7 +287,7 @@ mod tests {
     #[test]
     fn empty_network_inventory_is_cheap() {
         let net = Network::new(Scene::free_space(), Reader::mmtag_setup(), reader_pose());
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Xoshiro256pp::seed_from(12);
         let inv = net.inventory(&mut rng);
         assert_eq!(inv.tags_read, 0);
     }

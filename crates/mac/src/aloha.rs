@@ -8,7 +8,7 @@
 //! EPC Gen2 style — adapts the next frame size via the Q algorithm so that
 //! `L` tracks the unread population.
 
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// Closed-form slotted-Aloha throughput `S(G) = G·e^{−G}` (successes/slot)
 /// for offered load `G` attempts/slot.
@@ -69,7 +69,7 @@ impl FramedAloha {
         let mut slot_owner: Vec<Option<usize>> = vec![None; frame_size];
         let mut slot_count = vec![0u32; frame_size];
         for tag in 0..n_tags {
-            let slot = rng.random_range(0..frame_size);
+            let slot = rng.index(frame_size);
             slot_count[slot] += 1;
             slot_owner[slot] = Some(tag);
         }
@@ -196,11 +196,41 @@ pub fn inventory_until_drained<R: Rng + ?Sized>(
     stats
 }
 
+/// An ensemble of `reps` independent [`inventory_until_drained`] runs over
+/// the [`mmtag_sim::par`] engine: repetition `i` draws all its slot choices
+/// from `tree.rng_indexed("aloha-rep", i)`, so the ensemble is bit-identical
+/// at any thread count and repetition `i`'s outcome never depends on how
+/// many repetitions were requested.
+pub fn inventory_ensemble_par(
+    n_tags: usize,
+    q: QAlgorithm,
+    max_rounds: usize,
+    reps: usize,
+    tree: &mmtag_sim::SeedTree,
+) -> Vec<InventoryStats> {
+    inventory_ensemble_par_with(mmtag_sim::par::thread_limit(), n_tags, q, max_rounds, reps, tree)
+}
+
+/// [`inventory_ensemble_par`] with an explicit thread budget (what the
+/// determinism tests and serial-vs-parallel benches call).
+pub fn inventory_ensemble_par_with(
+    threads: usize,
+    n_tags: usize,
+    q: QAlgorithm,
+    max_rounds: usize,
+    reps: usize,
+    tree: &mmtag_sim::SeedTree,
+) -> Vec<InventoryStats> {
+    mmtag_sim::par::par_indexed_with(threads, reps, |i| {
+        let mut rng = tree.rng_indexed("aloha-rep", i as u64);
+        inventory_until_drained(n_tags, q, max_rounds, &mut rng)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     #[test]
     fn throughput_peaks_at_1_over_e() {
@@ -212,7 +242,7 @@ mod tests {
 
     #[test]
     fn round_accounting_is_consistent() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from(1);
         let out = FramedAloha.run_round(40, 64, &mut rng);
         assert_eq!(
             out.success_slots() + out.empty_slots + out.collision_slots,
@@ -229,7 +259,7 @@ mod tests {
 
     #[test]
     fn zero_tags_round_is_all_empty() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from(2);
         let out = FramedAloha.run_round(0, 16, &mut rng);
         assert_eq!(out.empty_slots, 16);
         assert!(out.read.is_empty());
@@ -237,7 +267,7 @@ mod tests {
 
     #[test]
     fn monte_carlo_matches_expected_read_fraction() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from(3);
         let (n, l, trials) = (32, 32, 3000);
         let mut total = 0usize;
         for _ in 0..trials {
@@ -252,11 +282,26 @@ mod tests {
     }
 
     #[test]
+    fn ensemble_is_thread_invariant_and_rep_stable() {
+        let tree = mmtag_sim::SeedTree::new(0xA70A);
+        let serial = inventory_ensemble_par_with(1, 50, QAlgorithm::new(), 200, 12, &tree);
+        assert_eq!(serial.len(), 12);
+        assert!(serial.iter().all(|s| s.tags_read == 50));
+        for threads in [2, 4, 8] {
+            let par = inventory_ensemble_par_with(threads, 50, QAlgorithm::new(), 200, 12, &tree);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // Repetition i's result doesn't depend on the ensemble size.
+        let fewer = inventory_ensemble_par_with(4, 50, QAlgorithm::new(), 200, 5, &tree);
+        assert_eq!(&serial[..5], &fewer[..]);
+    }
+
+    #[test]
     fn matched_frame_size_is_most_efficient() {
         // Efficiency peaks when L ≈ n (the G = 1 condition).
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from(4);
         let n = 64;
-        let eff = |l: usize, rng: &mut StdRng| {
+        let eff = |l: usize, rng: &mut Xoshiro256pp| {
             let trials = 2000;
             let mut successes = 0;
             for _ in 0..trials {
@@ -320,7 +365,7 @@ mod tests {
 
     #[test]
     fn inventory_drains_all_tags() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from(7);
         for n in [1, 10, 100, 500] {
             let stats = inventory_until_drained(n, QAlgorithm::new(), 10_000, &mut rng);
             assert_eq!(stats.tags_read, n, "population {n}");
@@ -330,7 +375,7 @@ mod tests {
 
     #[test]
     fn inventory_efficiency_is_near_aloha_bound() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Xoshiro256pp::seed_from(8);
         let stats = inventory_until_drained(1000, QAlgorithm::new(), 100_000, &mut rng);
         let eff = stats.efficiency();
         // Adaptive framed Aloha settles near (but below) 1/e.
@@ -342,7 +387,7 @@ mod tests {
 
     #[test]
     fn inventory_scales_roughly_linearly() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from(9);
         let s100 = inventory_until_drained(100, QAlgorithm::new(), 100_000, &mut rng);
         let s400 = inventory_until_drained(400, QAlgorithm::new(), 100_000, &mut rng);
         let ratio = s400.total_slots as f64 / s100.total_slots as f64;
@@ -352,7 +397,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one slot")]
     fn zero_frame_is_a_bug() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from(0);
         let _ = FramedAloha.run_round(5, 0, &mut rng);
     }
 }

@@ -10,7 +10,7 @@
 //! underestimates a real mmTag reader.
 
 use mmtag_rf::units::Db;
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// Outcome of one framed round with capture.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,7 +44,7 @@ pub fn run_round_with_capture<R: Rng + ?Sized>(
     );
     let mut slots: Vec<Vec<usize>> = vec![Vec::new(); frame_size];
     for tag in 0..powers.len() {
-        slots[rng.random_range(0..frame_size)].push(tag);
+        slots[rng.index(frame_size)].push(tag);
     }
     let need = threshold.linear();
     let mut out = CaptureOutcome {
@@ -92,7 +92,7 @@ pub fn backscatter_power_spread<R: Rng + ?Sized>(
     assert!(0.0 < r_min && r_min < r_max, "need 0 < r_min < r_max");
     (0..n)
         .map(|_| {
-            let r = r_min + (r_max - r_min) * rng.random::<f64>();
+            let r = rng.in_range(r_min, r_max);
             r.powi(-4)
         })
         .collect()
@@ -125,12 +125,11 @@ pub fn capture_gain<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     #[test]
     fn accounting_is_consistent() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from(1);
         let powers = backscatter_power_spread(50, 1.0, 3.0, &mut rng);
         let o = run_round_with_capture(&powers, 64, Db::new(7.0), &mut rng);
         let singles = o.read.len() - o.captured_slots;
@@ -150,7 +149,7 @@ mod tests {
     fn equal_powers_never_capture() {
         // With identical powers, best = rest for pairs and worse for more:
         // 0 dB threshold would tie, 7 dB never passes.
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from(2);
         let powers = vec![1.0; 100];
         let o = run_round_with_capture(&powers, 32, Db::new(7.0), &mut rng);
         assert_eq!(o.captured_slots, 0);
@@ -159,7 +158,7 @@ mod tests {
     #[test]
     fn extreme_spread_captures_almost_everything() {
         // Powers decades apart: every collision resolves to its strongest.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from(3);
         let powers: Vec<f64> = (0..40).map(|i| 10f64.powi(i)).collect();
         let o = run_round_with_capture(&powers, 16, Db::new(7.0), &mut rng);
         assert_eq!(o.lost_slots, 0, "all collisions must capture");
@@ -168,7 +167,7 @@ mod tests {
 
     #[test]
     fn capture_beats_no_capture() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from(4);
         let (with, without) = capture_gain(64, Db::new(7.0), 500, &mut rng);
         assert!(with > without, "capture {with} vs plain {without}");
         // The d⁻⁴ spread over 1–3 range units is ~19 dB: meaningful gain.
@@ -179,7 +178,7 @@ mod tests {
 
     #[test]
     fn lower_threshold_captures_more() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from(5);
         let (easy, _) = capture_gain(64, Db::new(3.0), 400, &mut rng);
         let (hard, _) = capture_gain(64, Db::new(12.0), 400, &mut rng);
         assert!(easy > hard, "3 dB {easy} vs 12 dB {hard}");
@@ -187,7 +186,7 @@ mod tests {
 
     #[test]
     fn power_spread_is_d4() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from(6);
         let p = backscatter_power_spread(10_000, 1.0, 3.0, &mut rng);
         let max = p.iter().cloned().fold(f64::MIN, f64::max);
         let min = p.iter().cloned().fold(f64::MAX, f64::min);
@@ -199,7 +198,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_power_is_a_bug() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from(0);
         let _ = run_round_with_capture(&[1.0, 0.0], 4, Db::new(7.0), &mut rng);
     }
 }

@@ -20,7 +20,7 @@
 //! airtime model turns protocol chatter into wall-clock time.
 
 use mmtag_sim::time::Duration;
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// Reader → tag commands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,10 +102,10 @@ impl Gen2Tag {
         match (self.state, cmd) {
             (TagState::Acknowledged, _) => None,
             (_, Command::Query { q }) | (_, Command::QueryAdjust { q }) => {
-                self.slot = rng.random_range(0..(1u32 << q.min(15)));
+                self.slot = rng.below(1u64 << u64::from(q.min(15))) as u32;
                 if self.slot == 0 {
                     self.state = TagState::Reply;
-                    self.rn16 = rng.random();
+                    self.rn16 = rng.u16();
                     Some(Reply::Rn16(self.rn16))
                 } else {
                     self.state = TagState::Arbitrate;
@@ -116,7 +116,7 @@ impl Gen2Tag {
                 self.slot -= 1;
                 if self.slot == 0 {
                     self.state = TagState::Reply;
-                    self.rn16 = rng.random();
+                    self.rn16 = rng.u16();
                     Some(Reply::Rn16(self.rn16))
                 } else {
                     None
@@ -269,11 +269,48 @@ pub fn run_gen2_inventory<R: Rng + ?Sized>(
     stats
 }
 
+/// An ensemble of `reps` independent Gen2 inventories over a fresh
+/// `n_tags`-tag population (EPCs `0..n_tags`), run over the
+/// [`mmtag_sim::par`] engine. Repetition `i` draws all its slot counters
+/// and RN16s from `tree.rng_indexed("gen2-rep", i)`, so the ensemble is
+/// bit-identical at any thread count.
+pub fn gen2_ensemble_par(
+    n_tags: usize,
+    timing: Gen2Timing,
+    max_commands: usize,
+    reps: usize,
+    tree: &mmtag_sim::SeedTree,
+) -> Vec<Gen2Stats> {
+    gen2_ensemble_par_with(
+        mmtag_sim::par::thread_limit(),
+        n_tags,
+        timing,
+        max_commands,
+        reps,
+        tree,
+    )
+}
+
+/// [`gen2_ensemble_par`] with an explicit thread budget.
+pub fn gen2_ensemble_par_with(
+    threads: usize,
+    n_tags: usize,
+    timing: Gen2Timing,
+    max_commands: usize,
+    reps: usize,
+    tree: &mmtag_sim::SeedTree,
+) -> Vec<Gen2Stats> {
+    mmtag_sim::par::par_indexed_with(threads, reps, |i| {
+        let mut rng = tree.rng_indexed("gen2-rep", i as u64);
+        let mut tags: Vec<Gen2Tag> = (0..n_tags as u64).map(Gen2Tag::new).collect();
+        run_gen2_inventory(&mut tags, timing, max_commands, &mut rng)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     fn population(n: usize) -> Vec<Gen2Tag> {
         (0..n).map(|i| Gen2Tag::new(0xE200_0000_0000_0000 + i as u64)).collect()
@@ -281,7 +318,7 @@ mod tests {
 
     #[test]
     fn tag_fsm_happy_path() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from(1);
         let mut tag = Gen2Tag::new(42);
         // Query with q=0: slot is always 0 ⇒ immediate RN16.
         let reply = tag.on_command(Command::Query { q: 0 }, &mut rng).unwrap();
@@ -297,8 +334,21 @@ mod tests {
     }
 
     #[test]
+    fn ensemble_is_thread_invariant() {
+        let tree = mmtag_sim::SeedTree::new(0x6E2);
+        let timing = Gen2Timing::fast_mmwave();
+        let serial = gen2_ensemble_par_with(1, 30, timing, 5000, 8, &tree);
+        assert_eq!(serial.len(), 8);
+        assert!(serial.iter().all(|s| s.epcs.len() == 30));
+        for threads in [2, 4, 8] {
+            let par = gen2_ensemble_par_with(threads, 30, timing, 5000, 8, &tree);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn wrong_rn16_is_rejected() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from(2);
         let mut tag = Gen2Tag::new(7);
         let Reply::Rn16(rn) = tag.on_command(Command::Query { q: 0 }, &mut rng).unwrap()
         else {
@@ -314,7 +364,7 @@ mod tests {
     #[test]
     fn arbitrate_counts_down_on_queryrep() {
         // Force a nonzero slot by querying with a large q until Arbitrate.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from(3);
         let mut tag = Gen2Tag::new(9);
         loop {
             match tag.on_command(Command::Query { q: 4 }, &mut rng) {
@@ -336,7 +386,7 @@ mod tests {
 
     #[test]
     fn unacked_reply_retires_until_next_round() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from(4);
         let mut tag = Gen2Tag::new(5);
         let _ = tag.on_command(Command::Query { q: 0 }, &mut rng).unwrap();
         // Reader moves on (collision): tag must retire, not re-reply.
@@ -357,7 +407,7 @@ mod tests {
     #[test]
     fn inventory_reads_every_tag_exactly_once() {
         for n in [1usize, 7, 40, 150] {
-            let mut rng = StdRng::seed_from_u64(n as u64);
+            let mut rng = Xoshiro256pp::seed_from(n as u64);
             let mut tags = population(n);
             let stats =
                 run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 200_000, &mut rng);
@@ -373,7 +423,7 @@ mod tests {
     #[test]
     fn inventory_is_deterministic() {
         let run = |seed: u64| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256pp::seed_from(seed);
             let mut tags = population(64);
             run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 200_000, &mut rng)
         };
@@ -385,7 +435,7 @@ mod tests {
     fn handshake_shields_epc_from_collisions() {
         // The protocol's point: EPCs are only ever sent after a clean
         // single-RN16 slot, so EPC count equals the singles count.
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from(6);
         let mut tags = population(100);
         let stats =
             run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 200_000, &mut rng);
@@ -399,7 +449,7 @@ mod tests {
 
     #[test]
     fn command_budget_bounds_runtime() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from(7);
         let mut tags = population(50);
         let stats = run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 30, &mut rng);
         // One loop iteration may issue up to two commands (ACK + next

@@ -12,7 +12,7 @@ use crate::sdm::SectorScheduler;
 use mmtag_rf::units::{Angle, DataRate};
 use mmtag_sim::des::Scheduler;
 use mmtag_sim::time::{Duration, Instant};
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// Timing parameters of one inventory slot.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -115,8 +115,7 @@ pub fn run_timed_inventory<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     fn scan() -> ScanSchedule {
         ScanSchedule::new(
@@ -143,7 +142,7 @@ mod tests {
 
     #[test]
     fn inventory_reads_all_tags_and_takes_time() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from(5);
         let tags: Vec<Angle> = (0..60)
             .map(|i| Angle::from_degrees(-50.0 + i as f64 * 1.7))
             .collect();
@@ -162,7 +161,7 @@ mod tests {
 
     #[test]
     fn empty_population_costs_only_probes_and_steering() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from(6);
         let r = run_timed_inventory(
             scan(),
             &[],
@@ -184,14 +183,14 @@ mod tests {
             &tags,
             timing(10.0),
             Duration::from_micros(10),
-            &mut StdRng::seed_from_u64(7),
+            &mut Xoshiro256pp::seed_from(7),
         );
         let fast = run_timed_inventory(
             scan(),
             &tags,
             timing(1000.0),
             Duration::from_micros(10),
-            &mut StdRng::seed_from_u64(7),
+            &mut Xoshiro256pp::seed_from(7),
         );
         assert_eq!(slow.tags_read, fast.tags_read);
         assert!(fast.elapsed < slow.elapsed, "{} !< {}", fast.elapsed, slow.elapsed);
@@ -207,14 +206,14 @@ mod tests {
             &tags,
             timing(50.0),
             Duration::from_micros(5),
-            &mut StdRng::seed_from_u64(42),
+            &mut Xoshiro256pp::seed_from(42),
         );
         let b = run_timed_inventory(
             scan(),
             &tags,
             timing(50.0),
             Duration::from_micros(5),
-            &mut StdRng::seed_from_u64(42),
+            &mut Xoshiro256pp::seed_from(42),
         );
         assert_eq!(a, b);
     }

@@ -11,7 +11,7 @@
 
 use crate::aloha::{inventory_until_drained, QAlgorithm};
 use crate::sdm::SectorScheduler;
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// The outcome of a multi-beam inventory.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,8 +87,7 @@ mod tests {
     use crate::scan::ScanSchedule;
     use mmtag_rf::units::Angle;
     use mmtag_sim::time::Duration;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     fn partition(n: usize) -> SectorScheduler {
         let scan = ScanSchedule::new(
@@ -106,7 +105,7 @@ mod tests {
     fn reads_everyone_at_any_beam_count() {
         let part = partition(120);
         for k in [1, 2, 4, 8] {
-            let mut rng = StdRng::seed_from_u64(k as u64);
+            let mut rng = Xoshiro256pp::seed_from(k as u64);
             let inv = mimo_inventory(&part, k, &mut rng);
             assert_eq!(inv.tags_read, 120, "K={k}");
             assert_eq!(inv.per_beam_slots.len(), k);
@@ -116,7 +115,7 @@ mod tests {
     #[test]
     fn single_beam_makespan_equals_total() {
         let part = partition(80);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from(9);
         let inv = mimo_inventory(&part, 1, &mut rng);
         assert_eq!(inv.makespan(), inv.total_slots);
         assert!((inv.speedup() - 1.0).abs() < 1e-12);
@@ -126,7 +125,7 @@ mod tests {
     fn more_beams_shrink_makespan() {
         let part = partition(240);
         let run = |k: usize| {
-            let mut rng = StdRng::seed_from_u64(77);
+            let mut rng = Xoshiro256pp::seed_from(77);
             mimo_inventory(&part, k, &mut rng).makespan()
         };
         let m1 = run(1);
@@ -140,7 +139,7 @@ mod tests {
         let part = partition(200);
         let occupied = part.occupied_sectors();
         for k in [2usize, 4, 16] {
-            let mut rng = StdRng::seed_from_u64(k as u64 + 100);
+            let mut rng = Xoshiro256pp::seed_from(k as u64 + 100);
             let inv = mimo_inventory(&part, k, &mut rng);
             assert!(inv.speedup() <= k as f64 + 1e-9);
             assert!(inv.speedup() <= occupied as f64 + 1e-9);
@@ -153,7 +152,7 @@ mod tests {
         // the longest single sector is the floor.
         let part = partition(150);
         let run = |k: usize| {
-            let mut rng = StdRng::seed_from_u64(5);
+            let mut rng = Xoshiro256pp::seed_from(5);
             mimo_inventory(&part, k, &mut rng).makespan()
         };
         let m12 = run(12);
@@ -164,7 +163,7 @@ mod tests {
     #[test]
     fn empty_population_is_trivial() {
         let part = partition(0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from(1);
         let inv = mimo_inventory(&part, 4, &mut rng);
         assert_eq!(inv.tags_read, 0);
         assert_eq!(inv.makespan(), 0);
@@ -174,7 +173,7 @@ mod tests {
     #[should_panic(expected = "at least one beam")]
     fn zero_beams_is_a_bug() {
         let part = partition(10);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from(0);
         let _ = mimo_inventory(&part, 0, &mut rng);
     }
 }

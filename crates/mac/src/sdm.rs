@@ -9,7 +9,7 @@
 use crate::aloha::{inventory_until_drained, InventoryStats, QAlgorithm};
 use crate::scan::ScanSchedule;
 use mmtag_rf::units::Angle;
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// A partition of tags into beam sectors.
 #[derive(Clone, Debug)]
@@ -77,8 +77,7 @@ impl SectorScheduler {
 mod tests {
     use super::*;
     use mmtag_sim::time::Duration;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     fn schedule() -> ScanSchedule {
         ScanSchedule::new(
@@ -113,7 +112,7 @@ mod tests {
 
     #[test]
     fn sdm_reads_everyone() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Xoshiro256pp::seed_from(21);
         let tags = spread_tags(120);
         let part = SectorScheduler::partition(schedule(), &tags);
         let stats = part.inventory_sdm(&mut rng);
@@ -122,7 +121,7 @@ mod tests {
 
     #[test]
     fn sdm_and_single_domain_read_the_same_population() {
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = Xoshiro256pp::seed_from(22);
         let tags = spread_tags(200);
         let part = SectorScheduler::partition(schedule(), &tags);
         let sdm = part.inventory_sdm(&mut rng);
@@ -137,7 +136,7 @@ mod tests {
         // in parallel with multiple beams (§9's MIMO note) and that each
         // sector's population is small enough for Q to settle fast. Assert
         // SDM is within 25% of single-domain efficiency and drains fully.
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Xoshiro256pp::seed_from(23);
         let tags = spread_tags(300);
         let part = SectorScheduler::partition(schedule(), &tags);
         let sdm = part.inventory_sdm(&mut rng);
@@ -152,7 +151,7 @@ mod tests {
 
     #[test]
     fn empty_population_is_free() {
-        let mut rng = StdRng::seed_from_u64(24);
+        let mut rng = Xoshiro256pp::seed_from(24);
         let part = SectorScheduler::partition(schedule(), &[]);
         let stats = part.inventory_sdm(&mut rng);
         assert_eq!(stats.total_slots, 0);

@@ -1,68 +1,90 @@
 //! Property-based tests for the MAC: conservation and bound invariants of
 //! the Aloha machinery over arbitrary populations and frame sizes.
+//!
+//! Cases are drawn deterministically from the in-house [`mmtag_rf::rng`]
+//! generator (no external property-testing framework — the workspace
+//! builds offline); each assertion prints the inputs that produced it.
 
 use mmtag_mac::aloha::{
     inventory_until_drained, slotted_aloha_throughput, FramedAloha, QAlgorithm,
 };
 use mmtag_mac::scan::ScanSchedule;
 use mmtag_mac::sdm::SectorScheduler;
+use mmtag_rf::rng::{Rng, SeedTree, Xoshiro256pp};
 use mmtag_rf::units::Angle;
 use mmtag_sim::time::Duration;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    /// Slot accounting always conserves the frame; reads never exceed the
-    /// population; read indices are unique and in range.
-    #[test]
-    fn round_conservation(n in 0usize..300, l in 1usize..512, seed in 0u64..100) {
-        let mut rng = StdRng::seed_from_u64(seed);
+const CASES: usize = 200;
+
+fn cases(label: &'static str) -> impl Iterator<Item = Xoshiro256pp> {
+    let tree = SeedTree::new(0x3AC_AC3);
+    (0..CASES).map(move |i| tree.rng_indexed(label, i as u64))
+}
+
+/// Slot accounting always conserves the frame; reads never exceed the
+/// population; read indices are unique and in range.
+#[test]
+fn round_conservation() {
+    for mut rng in cases("round") {
+        let n = rng.index(300);
+        let l = 1 + rng.index(511);
         let out = FramedAloha.run_round(n, l, &mut rng);
-        prop_assert_eq!(out.success_slots() + out.empty_slots + out.collision_slots, l);
-        prop_assert!(out.read.len() <= n);
+        assert_eq!(
+            out.success_slots() + out.empty_slots + out.collision_slots,
+            l,
+            "n={n} l={l}"
+        );
+        assert!(out.read.len() <= n, "n={n} l={l}");
         let mut sorted = out.read.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), out.read.len());
-        prop_assert!(sorted.iter().all(|&t| t < n));
+        assert_eq!(sorted.len(), out.read.len(), "n={n} l={l}");
+        assert!(sorted.iter().all(|&t| t < n), "n={n} l={l}");
     }
+}
 
-    /// Throughput formula: S(G) ≤ 1/e everywhere, equality only at G = 1.
-    #[test]
-    fn aloha_bound(g in 0f64..20.0) {
+/// Throughput formula: S(G) ≤ 1/e everywhere, equality only at G = 1.
+#[test]
+fn aloha_bound() {
+    for mut rng in cases("bound") {
+        let g = rng.in_range(0.0, 20.0);
         let s = slotted_aloha_throughput(g);
-        prop_assert!(s <= (-1.0f64).exp() + 1e-12);
+        assert!(s <= (-1.0f64).exp() + 1e-12, "g={g}");
         if (g - 1.0).abs() > 0.2 {
-            prop_assert!(s < (-1.0f64).exp());
+            assert!(s < (-1.0f64).exp(), "g={g}");
         }
     }
+}
 
-    /// Inventory always drains the full population and uses at least one
-    /// slot per tag.
-    #[test]
-    fn inventory_drains(n in 1usize..400, seed in 0u64..50) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Inventory always drains the full population and uses at least one
+/// slot per tag.
+#[test]
+fn inventory_drains() {
+    for mut rng in cases("drain").take(60) {
+        let n = 1 + rng.index(399);
         let stats = inventory_until_drained(n, QAlgorithm::new(), 1_000_000, &mut rng);
-        prop_assert_eq!(stats.tags_read, n);
-        prop_assert!(stats.total_slots >= n);
+        assert_eq!(stats.tags_read, n);
+        assert!(stats.total_slots >= n);
         // Efficiency can spike for tiny populations (12 lucky tags in a
         // 16-slot first frame is 0.75); the 1/e-ish ceiling only binds
         // once the adaptive loop dominates.
-        prop_assert!(stats.efficiency() <= 1.0);
+        assert!(stats.efficiency() <= 1.0);
         if n >= 100 {
-            prop_assert!(stats.efficiency() <= 0.40, "eff {}", stats.efficiency());
+            assert!(stats.efficiency() <= 0.40, "n={n} eff {}", stats.efficiency());
         }
     }
+}
 
-    /// Q stays clamped to [0, 15] under any feedback sequence.
-    #[test]
-    fn q_stays_clamped(
-        start in 0f64..15.0,
-        feedback in prop::collection::vec((0usize..64, 0usize..64), 1..50),
-    ) {
+/// Q stays clamped to [0, 15] under any feedback sequence.
+#[test]
+fn q_stays_clamped() {
+    for mut rng in cases("q-clamp") {
+        let start = rng.in_range(0.0, 15.0);
+        let rounds = 1 + rng.index(49);
         let mut q = QAlgorithm::with_q(start);
-        for (collisions, empties) in feedback {
+        for _ in 0..rounds {
+            let collisions = rng.index(64);
+            let empties = rng.index(64);
             let frame = (collisions + empties).max(1);
             q.update(&mmtag_mac::aloha::RoundOutcome {
                 read: vec![],
@@ -70,20 +92,21 @@ proptest! {
                 collision_slots: collisions,
                 frame_size: frame,
             });
-            prop_assert!((0.0..=15.0).contains(&q.q()));
+            assert!((0.0..=15.0).contains(&q.q()), "start={start}");
             let fs = q.frame_size();
-            prop_assert!((1..=1 << 15).contains(&fs));
+            assert!((1..=1 << 15).contains(&fs), "start={start}");
         }
     }
+}
 
-    /// Scan schedules: every target angle inside the sector maps to a beam
-    /// position within half a beam step.
-    #[test]
-    fn scan_covers_all_angles(
-        sector_deg in 20f64..180.0,
-        beam_deg in 2f64..40.0,
-        target_frac in -0.5f64..0.5,
-    ) {
+/// Scan schedules: every target angle inside the sector maps to a beam
+/// position within half a beam step.
+#[test]
+fn scan_covers_all_angles() {
+    for mut rng in cases("scan") {
+        let sector_deg = rng.in_range(20.0, 180.0);
+        let beam_deg = rng.in_range(2.0, 40.0);
+        let target_frac = rng.in_range(-0.5, 0.5);
         let s = ScanSchedule::new(
             Angle::from_degrees(sector_deg),
             Angle::from_degrees(beam_deg),
@@ -94,41 +117,79 @@ proptest! {
         let beam = s.angle_of(idx);
         // Positions step by beam/2 across the sector; nearest beam center
         // is within ~beam/2 (+ slack for the ends of a coarse grid).
-        prop_assert!(
+        assert!(
             beam.separation(target).degrees() <= beam_deg * 0.75 + 1e-9,
             "target {} → beam {} ({} positions)",
-            target.degrees(), beam.degrees(), s.positions()
+            target.degrees(),
+            beam.degrees(),
+            s.positions()
         );
     }
+}
 
-    /// Sector partition conserves the population for any angle set.
-    #[test]
-    fn partition_conserves(angles_deg in prop::collection::vec(-58f64..58.0, 0..200)) {
+/// Sector partition conserves the population for any angle set.
+#[test]
+fn partition_conserves() {
+    for mut rng in cases("partition") {
+        let n = rng.index(200);
+        let angles: Vec<Angle> = (0..n)
+            .map(|_| Angle::from_degrees(rng.in_range(-58.0, 58.0)))
+            .collect();
         let scan = ScanSchedule::new(
             Angle::from_degrees(120.0),
             Angle::from_degrees(20.0),
             Duration::from_millis(1),
         );
-        let angles: Vec<Angle> = angles_deg.iter().map(|&d| Angle::from_degrees(d)).collect();
         let part = SectorScheduler::partition(scan, &angles);
-        prop_assert_eq!(part.sector_counts().iter().sum::<usize>(), angles.len());
+        assert_eq!(part.sector_counts().iter().sum::<usize>(), angles.len());
     }
+}
 
-    /// SDM and single-domain read the same population, always fully.
-    #[test]
-    fn sdm_reads_everything(
-        angles_deg in prop::collection::vec(-58f64..58.0, 1..120),
-        seed in 0u64..30,
-    ) {
+/// SDM and single-domain read the same population, always fully.
+#[test]
+fn sdm_reads_everything() {
+    for mut rng in cases("sdm").take(60) {
+        let n = 1 + rng.index(119);
+        let angles: Vec<Angle> = (0..n)
+            .map(|_| Angle::from_degrees(rng.in_range(-58.0, 58.0)))
+            .collect();
         let scan = ScanSchedule::new(
             Angle::from_degrees(120.0),
             Angle::from_degrees(20.0),
             Duration::from_millis(1),
         );
-        let angles: Vec<Angle> = angles_deg.iter().map(|&d| Angle::from_degrees(d)).collect();
         let part = SectorScheduler::partition(scan, &angles);
-        let mut rng = StdRng::seed_from_u64(seed);
         let sdm = part.inventory_sdm(&mut rng);
-        prop_assert_eq!(sdm.tags_read, angles.len());
+        assert_eq!(sdm.tags_read, angles.len());
+    }
+}
+
+/// Parallel inventory ensembles are bit-identical across thread counts for
+/// random populations and ensemble sizes.
+#[test]
+fn ensembles_are_thread_invariant() {
+    for mut rng in cases("ensemble").take(10) {
+        let tree = SeedTree::new(rng.next_u64());
+        let n = 1 + rng.index(120);
+        let reps = 1 + rng.index(10);
+        let serial = mmtag_mac::aloha::inventory_ensemble_par_with(
+            1,
+            n,
+            QAlgorithm::new(),
+            100_000,
+            reps,
+            &tree,
+        );
+        let threads = 2 + rng.index(7);
+        let par = mmtag_mac::aloha::inventory_ensemble_par_with(
+            threads,
+            n,
+            QAlgorithm::new(),
+            100_000,
+            reps,
+            &tree,
+        );
+        assert_eq!(serial, par, "n={n} reps={reps} threads={threads}");
+        assert!(serial.iter().all(|s| s.tags_read == n));
     }
 }

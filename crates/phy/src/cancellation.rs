@@ -123,8 +123,7 @@ pub fn residual_ratio(samples: &[Complex], signal_power: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::waveform::{measure_ber, Awgn, OokModem};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+        use mmtag_rf::rng::{Rng, Xoshiro256pp};
 
     /// Leak 40 dB above the tag's mark amplitude — the budget-level
     /// situation (−27 dBm leak vs −67 dBm tag signal). Drift: thermal
@@ -153,8 +152,8 @@ mod tests {
     fn chain_ber(cancel: bool, eb_n0_db: f64, n_bits: usize, seed: u64) -> f64 {
         let modem = OokModem::new(4);
         let adc = AdcClip { full_scale: 4.0 };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let bits: Vec<bool> = (0..n_bits).map(|_| rng.random()).collect();
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let bits: Vec<bool> = (0..n_bits).map(|_| rng.bit()).collect();
 
         // Quiet training window: leak + noise only.
         let mut quiet = vec![Complex::ZERO; 2048];
@@ -190,7 +189,7 @@ mod tests {
     fn cancellation_restores_clean_ber() {
         let ber = chain_ber(true, 12.0, 100_000, 2);
         // Clean-channel OOK at 12 dB: ~3.4e-5.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from(3);
         let clean = measure_ber(&OokModem::new(4), 12.0, 100_000, true, &mut rng);
         assert!(
             ber <= clean * 5.0 + 2e-4,
@@ -239,9 +238,9 @@ mod tests {
         // degrades versus the slow tracker. (Guards the design constraint
         // documented on `Canceller::alpha`.)
         let modem = OokModem::new(4);
-        let mut rng = StdRng::seed_from_u64(9);
-        let bits: Vec<bool> = (0..40_000).map(|_| rng.random()).collect();
-        let run = |alpha: f64, rng: &mut StdRng| {
+        let mut rng = Xoshiro256pp::seed_from(9);
+        let bits: Vec<bool> = (0..40_000).map(|_| rng.bit()).collect();
+        let run = |alpha: f64, rng: &mut Xoshiro256pp| {
             let mut samples = modem.modulate(&bits);
             leak().apply(&mut samples);
             Awgn::for_eb_n0(&modem, 12.0).apply(&mut samples, rng);

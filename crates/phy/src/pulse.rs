@@ -123,8 +123,7 @@ impl PulseShaper {
 mod tests {
     use super::*;
     use crate::spectrum::Spectrum;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+        use mmtag_rf::rng::{Rng, Xoshiro256pp};
 
     #[test]
     fn impulse_response_properties() {
@@ -154,8 +153,8 @@ mod tests {
         // The Nyquist property: at symbol centers the neighbors contribute
         // nothing, so the sampled values equal the transmitted amplitudes.
         let shaper = PulseShaper::new(0.35, 6, 8);
-        let mut rng = StdRng::seed_from_u64(4);
-        let amps: Vec<f64> = (0..64).map(|_| if rng.random() { 1.0 } else { 0.0 }).collect();
+        let mut rng = Xoshiro256pp::seed_from(4);
+        let amps: Vec<f64> = (0..64).map(|_| if rng.bit() { 1.0 } else { 0.0 }).collect();
         let shaped = shaper.shape(&amps);
         let sampled = shaper.symbol_samples(&shaped, amps.len());
         for (i, (&a, &s)) in amps.iter().zip(&sampled).enumerate() {
@@ -166,8 +165,8 @@ mod tests {
     #[test]
     fn shaped_spectrum_is_narrower_than_rect() {
         let sps = 8;
-        let mut rng = StdRng::seed_from_u64(9);
-        let bits: Vec<bool> = (0..4096).map(|_| rng.random()).collect();
+        let mut rng = Xoshiro256pp::seed_from(9);
+        let bits: Vec<bool> = (0..4096).map(|_| rng.bit()).collect();
         let modem = OokModem::new(sps);
 
         let rect = modem.modulate(&bits);
@@ -192,8 +191,8 @@ mod tests {
     #[test]
     fn smaller_beta_is_tighter() {
         let sps = 8;
-        let mut rng = StdRng::seed_from_u64(10);
-        let bits: Vec<bool> = (0..4096).map(|_| rng.random()).collect();
+        let mut rng = Xoshiro256pp::seed_from(10);
+        let bits: Vec<bool> = (0..4096).map(|_| rng.bit()).collect();
         let modem = OokModem::new(sps);
         let occupied = |beta: f64, rng_bits: &[bool]| {
             let shaped = PulseShaper::new(beta, 8, sps).shape_ook(&modem, rng_bits);

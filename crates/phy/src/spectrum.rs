@@ -11,7 +11,7 @@
 use crate::waveform::OokModem;
 use mmtag_rf::fft::{fft_shift, welch_psd};
 use mmtag_rf::Complex;
-use rand::Rng;
+use mmtag_rf::rng::Rng;
 
 /// A power spectral density estimate of a modulated waveform, with the
 /// frequency axis normalized to the *symbol rate* (so "1.0" means an offset
@@ -37,7 +37,7 @@ impl Spectrum {
         nfft: usize,
         rng: &mut R,
     ) -> Self {
-        let bits: Vec<bool> = (0..n_bits).map(|_| rng.random()).collect();
+        let bits: Vec<bool> = (0..n_bits).map(|_| rng.bit()).collect();
         let samples = modem.modulate(&bits);
         Self::of_samples(&samples, modem.samples_per_symbol, nfft)
     }
@@ -124,12 +124,11 @@ impl Spectrum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     fn ook_spectrum() -> Spectrum {
         let modem = OokModem::new(8);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256pp::seed_from(7);
         Spectrum::of_ook(&modem, 8192, 1024, &mut rng)
     }
 
@@ -191,7 +190,7 @@ mod tests {
         // Use the 90% OBW: the 95%+ tail integral depends on how much of
         // the sinc² skirt the sample rate captures (±sps/2 symbol rates),
         // which differs between the two modems by construction.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from(7);
         let s4 = Spectrum::of_ook(&OokModem::new(4), 8192, 1024, &mut rng);
         let s16 = Spectrum::of_ook(&OokModem::new(16), 8192, 1024, &mut rng);
         let b4 = s4.occupied_bandwidth(0.90);

@@ -9,15 +9,19 @@
 //! * [`Awgn`] — complex white Gaussian noise calibrated to a target `Eb/N0`,
 //! * [`OokModem::demodulate_coherent`] / [`OokModem::demodulate_noncoherent`] — matched
 //!   filter plus threshold (the reader side),
-//! * [`measure_ber`] — the Monte-Carlo harness behind experiment E5.
+//! * [`measure_ber`] — the Monte-Carlo harness behind experiment E5, and
+//!   [`measure_ber_par`] / [`ber_sweep_par`] — the same harness chunked
+//!   over the [`mmtag_rf::par`] engine (one RNG stream per bit-chunk, so
+//!   parallel estimates are bit-identical at any thread count).
 //!
 //! Bit convention: §6 of the paper maps data bit **0** to the reflective
 //! state ("the switches are off and the amplitude of the reflected power is
 //! high") and bit **1** to absorption. [`OokModem`] uses `mark_bit` to hold
 //! that mapping so the same modem expresses either convention.
 
+use mmtag_rf::par;
+use mmtag_rf::rng::{Rng, SeedTree};
 use mmtag_rf::Complex;
-use rand::Rng;
 
 /// Rectangular-pulse OOK modulator/demodulator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -144,24 +148,38 @@ impl Awgn {
     /// Adds noise to samples in place.
     pub fn apply<R: Rng + ?Sized>(&self, samples: &mut [Complex], rng: &mut R) {
         for s in samples {
-            *s += Complex::new(
-                self.sigma * gaussian(rng),
-                self.sigma * gaussian(rng),
-            );
+            *s += Complex::new(self.sigma * rng.normal(), self.sigma * rng.normal());
         }
     }
 }
 
-/// Box–Muller standard normal.
-fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.random();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.random();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    }
+/// Bits per work unit for the parallel BER harness. Fixed (never derived
+/// from the thread count) so the chunk decomposition — and therefore the
+/// randomness each chunk consumes — is identical at any worker budget.
+pub const MC_CHUNK_BITS: usize = 8_192;
+
+/// Bit errors of the full modulate → AWGN → demodulate chain over `n_bits`
+/// random bits drawn from `rng`. The core both the serial and the parallel
+/// BER estimators share.
+pub fn count_bit_errors<R: Rng + ?Sized>(
+    modem: &OokModem,
+    eb_n0_db: f64,
+    n_bits: usize,
+    coherent: bool,
+    rng: &mut R,
+) -> usize {
+    let bits: Vec<bool> = (0..n_bits).map(|_| rng.bit()).collect();
+    let mut samples = modem.modulate(&bits);
+    Awgn::for_eb_n0(modem, eb_n0_db).apply(&mut samples, rng);
+    let decided = if coherent {
+        modem.demodulate_coherent(&samples)
+    } else {
+        modem.demodulate_noncoherent(&samples)
+    };
+    bits.iter()
+        .zip(decided.iter())
+        .filter(|(a, b)| a != b)
+        .count()
 }
 
 /// Monte-Carlo BER of the full modulate → AWGN → demodulate chain at a mean
@@ -174,28 +192,98 @@ pub fn measure_ber<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> f64 {
     assert!(n_bits > 0, "need at least one bit");
-    let bits: Vec<bool> = (0..n_bits).map(|_| rng.random()).collect();
-    let mut samples = modem.modulate(&bits);
-    Awgn::for_eb_n0(modem, eb_n0_db).apply(&mut samples, rng);
-    let decided = if coherent {
-        modem.demodulate_coherent(&samples)
-    } else {
-        modem.demodulate_noncoherent(&samples)
-    };
-    let errors = bits
-        .iter()
-        .zip(decided.iter())
-        .filter(|(a, b)| a != b)
-        .count();
+    count_bit_errors(modem, eb_n0_db, n_bits, coherent, rng) as f64 / n_bits as f64
+}
+
+/// Parallel Monte-Carlo BER: `n_bits` split into [`MC_CHUNK_BITS`]-sized
+/// chunks over the [`mmtag_rf::par`] engine, chunk `i` drawing its bits and
+/// noise from `tree.rng_indexed("ber-chunk", i)`. The estimate is
+/// bit-identical at any thread count (including `MMTAG_THREADS=1`).
+pub fn measure_ber_par(
+    modem: &OokModem,
+    eb_n0_db: f64,
+    n_bits: usize,
+    coherent: bool,
+    tree: &SeedTree,
+) -> f64 {
+    measure_ber_par_with(par::thread_limit(), modem, eb_n0_db, n_bits, coherent, tree)
+}
+
+/// [`measure_ber_par`] with an explicit thread budget (what the determinism
+/// tests and serial-vs-parallel benches call).
+pub fn measure_ber_par_with(
+    threads: usize,
+    modem: &OokModem,
+    eb_n0_db: f64,
+    n_bits: usize,
+    coherent: bool,
+    tree: &SeedTree,
+) -> f64 {
+    assert!(n_bits > 0, "need at least one bit");
+    let errors: u64 = par::par_chunks_with(threads, n_bits, MC_CHUNK_BITS, |ci, range| {
+        let mut rng = tree.rng_indexed("ber-chunk", ci as u64);
+        count_bit_errors(modem, eb_n0_db, range.len(), coherent, &mut rng) as u64
+    })
+    .into_iter()
+    .sum();
     errors as f64 / n_bits as f64
+}
+
+/// A full BER-vs-SNR sweep parallelized over *both* axes: every
+/// (SNR point, bit-chunk) pair is one independent work unit, so a sweep
+/// with few points still saturates a many-core machine. Point `si` chunk
+/// `ci` draws from `tree.subtree_indexed("snr", si).rng_indexed("ber-chunk", ci)`
+/// — each point's randomness is independent of the sweep length, and the
+/// whole sweep is bit-identical at any thread count.
+pub fn ber_sweep_par(
+    modem: &OokModem,
+    snrs_db: &[f64],
+    bits_per_point: usize,
+    coherent: bool,
+    tree: &SeedTree,
+) -> Vec<f64> {
+    ber_sweep_par_with(
+        par::thread_limit(),
+        modem,
+        snrs_db,
+        bits_per_point,
+        coherent,
+        tree,
+    )
+}
+
+/// [`ber_sweep_par`] with an explicit thread budget.
+pub fn ber_sweep_par_with(
+    threads: usize,
+    modem: &OokModem,
+    snrs_db: &[f64],
+    bits_per_point: usize,
+    coherent: bool,
+    tree: &SeedTree,
+) -> Vec<f64> {
+    assert!(bits_per_point > 0, "need at least one bit per point");
+    let chunks_per_point = bits_per_point.div_ceil(MC_CHUNK_BITS);
+    let units = snrs_db.len() * chunks_per_point;
+    let errors = par::par_indexed_with(threads, units, |u| {
+        let (si, ci) = (u / chunks_per_point, u % chunks_per_point);
+        let lo = ci * MC_CHUNK_BITS;
+        let n = MC_CHUNK_BITS.min(bits_per_point - lo);
+        let mut rng = tree
+            .subtree_indexed("snr", si as u64)
+            .rng_indexed("ber-chunk", ci as u64);
+        count_bit_errors(modem, snrs_db[si], n, coherent, &mut rng) as u64
+    });
+    errors
+        .chunks(chunks_per_point)
+        .map(|point| point.iter().sum::<u64>() as f64 / bits_per_point as f64)
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ber::ook_coherent_ber;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     #[test]
     fn noiseless_roundtrip_is_error_free() {
@@ -235,7 +323,7 @@ mod tests {
     fn monte_carlo_matches_coherent_theory_at_10db() {
         // E5's core assertion: the sampled chain lands on Q(√(Eb/N0)).
         let modem = OokModem::new(4);
-        let mut rng = StdRng::seed_from_u64(2024);
+        let mut rng = Xoshiro256pp::seed_from(2024);
         let eb_n0_db = 10.0;
         let measured = measure_ber(&modem, eb_n0_db, 400_000, true, &mut rng);
         let theory = ook_coherent_ber(10f64.powf(eb_n0_db / 10.0));
@@ -250,7 +338,7 @@ mod tests {
     #[test]
     fn monte_carlo_matches_theory_at_6db() {
         let modem = OokModem::new(4);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from(7);
         let measured = measure_ber(&modem, 6.0, 200_000, true, &mut rng);
         let theory = ook_coherent_ber(10f64.powf(0.6));
         assert!(
@@ -262,7 +350,7 @@ mod tests {
     #[test]
     fn noncoherent_is_worse_but_close() {
         let modem = OokModem::new(4);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256pp::seed_from(99);
         let coh = measure_ber(&modem, 9.0, 300_000, true, &mut rng);
         let non = measure_ber(&modem, 9.0, 300_000, false, &mut rng);
         assert!(non > coh, "non-coherent {non} must exceed coherent {coh}");
@@ -272,7 +360,7 @@ mod tests {
     #[test]
     fn ber_decreases_with_snr() {
         let modem = OokModem::new(4);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from(5);
         let b4 = measure_ber(&modem, 4.0, 100_000, true, &mut rng);
         let b8 = measure_ber(&modem, 8.0, 100_000, true, &mut rng);
         let b12 = measure_ber(&modem, 12.0, 100_000, true, &mut rng);
@@ -282,7 +370,7 @@ mod tests {
     #[test]
     fn oversampling_does_not_change_ber() {
         // Matched filtering makes BER depend only on Eb/N0, not on sps.
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = Xoshiro256pp::seed_from(31);
         let b2 = measure_ber(&OokModem::new(2), 8.0, 200_000, true, &mut rng);
         let b16 = measure_ber(&OokModem::new(16), 8.0, 200_000, true, &mut rng);
         assert!((b2 - b16).abs() < 0.3 * (b2 + b16), "sps=2 {b2} vs sps=16 {b16}");

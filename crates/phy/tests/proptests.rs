@@ -1,44 +1,67 @@
 //! Property-based tests for the PHY: codecs must roundtrip for all inputs,
 //! corruption must never slip through silently, and the modem must be
 //! bit-exact in the noiseless limit.
+//!
+//! Cases are drawn deterministically from the in-house [`mmtag_rf::rng`]
+//! generator (no external property-testing framework — the workspace
+//! builds offline); each assertion prints the inputs that produced it.
 
 use mmtag_phy::bpsk::BpskModem;
-use mmtag_phy::coding::{manchester_decode, manchester_encode, longest_run, Whitener};
-use mmtag_phy::pulse::{raised_cosine, PulseShaper};
+use mmtag_phy::coding::{longest_run, manchester_decode, manchester_encode, Whitener};
 use mmtag_phy::frame::{crc16_ccitt, crc32_ieee, Frame, FrameError};
 use mmtag_phy::modulation::Modulation;
+use mmtag_phy::pulse::{raised_cosine, PulseShaper};
 use mmtag_phy::sync::{find_frame_start, to_chips, BARKER13};
 use mmtag_phy::waveform::OokModem;
+use mmtag_rf::rng::{Rng, SeedTree, Xoshiro256pp};
 use mmtag_rf::units::Bandwidth;
-use proptest::prelude::*;
 
-proptest! {
-    /// Frame encode/decode roundtrips for any payload up to max size.
-    #[test]
-    fn frame_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..512)) {
+const CASES: usize = 256;
+
+fn cases(label: &'static str) -> impl Iterator<Item = Xoshiro256pp> {
+    let tree = SeedTree::new(0x0DEC_0DE5);
+    (0..CASES).map(move |i| tree.rng_indexed(label, i as u64))
+}
+
+fn random_bytes<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.below(256) as u8).collect()
+}
+
+fn random_bits<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<bool> {
+    (0..len).map(|_| rng.bit()).collect()
+}
+
+/// Frame encode/decode roundtrips for any payload up to max size.
+#[test]
+fn frame_roundtrip() {
+    for mut rng in cases("frame-rt") {
+        let len = rng.index(512);
+        let payload = random_bytes(&mut rng, len);
         let f = Frame::new(payload.clone());
         let bits = f.encode();
-        prop_assert_eq!(bits.len(), Frame::bits_on_air(payload.len()));
+        assert_eq!(bits.len(), Frame::bits_on_air(payload.len()));
         let decoded = Frame::decode(&bits[BARKER13.len()..]).unwrap();
-        prop_assert_eq!(decoded.payload(), &payload[..]);
+        assert_eq!(decoded.payload(), &payload[..]);
     }
+}
 
-    /// Any single bit flip in the body is detected (never silently decodes
-    /// to different bytes).
-    #[test]
-    fn frame_detects_any_single_flip(
-        payload in prop::collection::vec(any::<u8>(), 1..64),
-        flip_frac in 0.0f64..1.0,
-    ) {
+/// Any single bit flip in the body is detected (never silently decodes
+/// to different bytes).
+#[test]
+fn frame_detects_any_single_flip() {
+    for mut rng in cases("frame-flip") {
+        let len = 1 + rng.index(63);
+        let payload = random_bytes(&mut rng, len);
         let f = Frame::new(payload.clone());
         let bits = f.encode();
         let body = &bits[BARKER13.len()..];
-        let idx = ((body.len() - 1) as f64 * flip_frac) as usize;
+        let idx = rng.index(body.len());
         let mut corrupted = body.to_vec();
         corrupted[idx] = !corrupted[idx];
         match Frame::decode(&corrupted) {
-            Ok(decoded) => prop_assert_eq!(
-                decoded.payload(), &payload[..],
+            Ok(decoded) => assert_eq!(
+                decoded.payload(),
+                &payload[..],
                 "a flip must never yield different bytes undetected"
             ),
             Err(FrameError::BadCrc)
@@ -48,154 +71,222 @@ proptest! {
         }
         // And in fact a single flip can never decode OK with equal bytes
         // (the flip is inside length/payload/CRC, all covered).
-        prop_assert!(Frame::decode(&corrupted).is_err());
+        assert!(Frame::decode(&corrupted).is_err(), "idx={idx}");
     }
+}
 
-    /// CRC16 differs for any two inputs differing in one byte (weak but
-    /// fast distinctness check).
-    #[test]
-    fn crc16_sensitive_to_any_byte(
-        data in prop::collection::vec(any::<u8>(), 1..128),
-        pos_frac in 0.0f64..1.0,
-        delta in 1u8..=255,
-    ) {
+/// CRC16 differs for any two inputs differing in one byte (weak but
+/// fast distinctness check).
+#[test]
+fn crc16_sensitive_to_any_byte() {
+    for mut rng in cases("crc16") {
+        let len = 1 + rng.index(127);
+        let data = random_bytes(&mut rng, len);
+        let delta = 1 + rng.below(255) as u8;
+        let idx = rng.index(data.len());
         let mut other = data.clone();
-        let idx = ((data.len() - 1) as f64 * pos_frac) as usize;
         other[idx] = other[idx].wrapping_add(delta);
-        prop_assert_ne!(crc16_ccitt(&data), crc16_ccitt(&other));
+        assert_ne!(crc16_ccitt(&data), crc16_ccitt(&other), "idx={idx} Δ={delta}");
     }
+}
 
-    /// CRC32 likewise.
-    #[test]
-    fn crc32_sensitive_to_any_byte(
-        data in prop::collection::vec(any::<u8>(), 1..128),
-        pos_frac in 0.0f64..1.0,
-        delta in 1u8..=255,
-    ) {
+/// CRC32 likewise.
+#[test]
+fn crc32_sensitive_to_any_byte() {
+    for mut rng in cases("crc32") {
+        let len = 1 + rng.index(127);
+        let data = random_bytes(&mut rng, len);
+        let delta = 1 + rng.below(255) as u8;
+        let idx = rng.index(data.len());
         let mut other = data.clone();
-        let idx = ((data.len() - 1) as f64 * pos_frac) as usize;
         other[idx] = other[idx].wrapping_add(delta);
-        prop_assert_ne!(crc32_ieee(&data), crc32_ieee(&other));
+        assert_ne!(crc32_ieee(&data), crc32_ieee(&other), "idx={idx} Δ={delta}");
     }
+}
 
-    /// Manchester roundtrips and always bounds run length at 2.
-    #[test]
-    fn manchester_roundtrip_and_runs(bits in prop::collection::vec(any::<bool>(), 0..512)) {
+/// Manchester roundtrips and always bounds run length at 2.
+#[test]
+fn manchester_roundtrip_and_runs() {
+    for mut rng in cases("manchester") {
+        let len = rng.index(512);
+        let bits = random_bits(&mut rng, len);
         let chips = manchester_encode(&bits);
-        prop_assert!(longest_run(&chips) <= 2);
-        prop_assert_eq!(manchester_decode(&chips).unwrap(), bits);
+        assert!(longest_run(&chips) <= 2);
+        assert_eq!(manchester_decode(&chips).unwrap(), bits);
     }
+}
 
-    /// Whitening roundtrips with the same seed and never with a different
-    /// nonzero seed (on non-trivial input).
-    #[test]
-    fn whitener_roundtrip(seed in 1u16..=u16::MAX, bits in prop::collection::vec(any::<bool>(), 64..256)) {
+/// Whitening roundtrips with the same seed.
+#[test]
+fn whitener_roundtrip() {
+    for mut rng in cases("whitener") {
+        let seed = 1 + rng.u16().wrapping_rem(u16::MAX - 1);
+        let len = 64 + rng.index(192);
+        let bits = random_bits(&mut rng, len);
         let white = Whitener::new(seed).apply(&bits);
-        prop_assert_eq!(Whitener::new(seed).apply(&white), bits);
+        assert_eq!(Whitener::new(seed).apply(&white), bits, "seed={seed}");
     }
+}
 
-    /// The noiseless modem chain is bit-exact for any data and any
-    /// oversampling, with both demodulators and both bit conventions.
-    #[test]
-    fn modem_noiseless_exact(
-        bits in prop::collection::vec(any::<bool>(), 1..256),
-        sps in 1usize..16,
-        mark_bit in any::<bool>(),
-    ) {
-        let modem = OokModem { samples_per_symbol: sps, amplitude: 1.0, mark_bit };
+/// The noiseless modem chain is bit-exact for any data and any
+/// oversampling, with both demodulators and both bit conventions.
+#[test]
+fn modem_noiseless_exact() {
+    for mut rng in cases("modem-exact") {
+        let len = 1 + rng.index(255);
+        let bits = random_bits(&mut rng, len);
+        let sps = 1 + rng.index(15);
+        let mark_bit = rng.bit();
+        let modem = OokModem {
+            samples_per_symbol: sps,
+            amplitude: 1.0,
+            mark_bit,
+        };
         let samples = modem.modulate(&bits);
-        prop_assert_eq!(modem.demodulate_coherent(&samples), bits.clone());
-        prop_assert_eq!(modem.demodulate_noncoherent(&samples), bits);
+        assert_eq!(modem.demodulate_coherent(&samples), bits.clone());
+        assert_eq!(modem.demodulate_noncoherent(&samples), bits);
     }
+}
 
-    /// soft_bits polarity always matches the logical bits in the noiseless
-    /// limit (as long as both levels are present to define the mean).
-    #[test]
-    fn soft_bits_polarity(
-        bits in prop::collection::vec(any::<bool>(), 2..128),
-        mark_bit in any::<bool>(),
-    ) {
-        prop_assume!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
-        let modem = OokModem { samples_per_symbol: 4, amplitude: 1.0, mark_bit };
+/// soft_bits polarity always matches the logical bits in the noiseless
+/// limit (as long as both levels are present to define the mean).
+#[test]
+fn soft_bits_polarity() {
+    for mut rng in cases("soft-bits") {
+        let len = 2 + rng.index(126);
+        let bits = random_bits(&mut rng, len);
+        if !(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b)) {
+            continue;
+        }
+        let mark_bit = rng.bit();
+        let modem = OokModem {
+            samples_per_symbol: 4,
+            amplitude: 1.0,
+            mark_bit,
+        };
         let soft = modem.soft_bits(&modem.modulate(&bits));
         for (s, &b) in soft.iter().zip(&bits) {
-            prop_assert!((*s > 0.0) == b, "bit {b} soft {s}");
+            assert!((*s > 0.0) == b, "bit {b} soft {s}");
         }
     }
+}
 
-    /// Preamble search finds a clean Barker-13 embedded at any offset.
-    #[test]
-    fn preamble_found_at_any_offset(
-        offset in 0usize..200,
-        tail in 0usize..50,
-    ) {
+/// Preamble search finds a clean Barker-13 embedded at any offset.
+#[test]
+fn preamble_found_at_any_offset() {
+    for mut rng in cases("preamble") {
+        let offset = rng.index(200);
+        let tail = rng.index(50);
         let mut soft = vec![0.0; offset];
         soft.extend(to_chips(&BARKER13));
         soft.extend(std::iter::repeat_n(0.0, tail));
         let start = find_frame_start(&soft, &BARKER13, 0.9);
-        prop_assert_eq!(start, Some(offset + BARKER13.len()));
+        assert_eq!(start, Some(offset + BARKER13.len()), "offset={offset}");
     }
+}
 
-    /// The paper's rate mapping is linear in bandwidth for every scheme.
-    #[test]
-    fn rate_linear_in_bandwidth(mhz in 0.1f64..3000.0) {
-        for m in [Modulation::Ook, Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+/// The paper's rate mapping is linear in bandwidth for every scheme.
+#[test]
+fn rate_linear_in_bandwidth() {
+    for mut rng in cases("rate-linear") {
+        let mhz = rng.log_range(0.1, 3000.0);
+        for m in [
+            Modulation::Ook,
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+        ] {
             let r1 = m.bit_rate(Bandwidth::from_mhz(mhz)).bps();
             let r2 = m.bit_rate(Bandwidth::from_mhz(2.0 * mhz)).bps();
-            prop_assert!((r2 - 2.0 * r1).abs() < 1e-6 * r2.max(1.0));
+            assert!((r2 - 2.0 * r1).abs() < 1e-6 * r2.max(1.0), "mhz={mhz}");
         }
     }
+}
 
-    /// BPSK modem roundtrips exactly with no noise, at any oversampling.
-    #[test]
-    fn bpsk_noiseless_exact(
-        bits in prop::collection::vec(any::<bool>(), 1..256),
-        sps in 1usize..16,
-    ) {
+/// BPSK modem roundtrips exactly with no noise, at any oversampling.
+#[test]
+fn bpsk_noiseless_exact() {
+    for mut rng in cases("bpsk-exact") {
+        let len = 1 + rng.index(255);
+        let bits = random_bits(&mut rng, len);
+        let sps = 1 + rng.index(15);
         let modem = BpskModem::new(sps);
-        prop_assert_eq!(modem.demodulate(&modem.modulate(&bits)), bits);
+        assert_eq!(modem.demodulate(&modem.modulate(&bits)), bits, "sps={sps}");
     }
+}
 
-    /// The raised-cosine pulse is Nyquist for any roll-off: unity at 0,
-    /// zero at every other integer, bounded by 1 everywhere.
-    #[test]
-    fn raised_cosine_is_nyquist(beta in 0f64..=1.0, t in -8f64..8.0) {
+/// The raised-cosine pulse is Nyquist for any roll-off: unity at 0,
+/// zero at every other integer, bounded by 1 everywhere.
+#[test]
+fn raised_cosine_is_nyquist() {
+    for mut rng in cases("rcos") {
+        let beta = rng.in_range(0.0, 1.0);
+        let t = rng.in_range(-8.0, 8.0);
         let h0 = raised_cosine(0.0, beta);
-        prop_assert!((h0 - 1.0).abs() < 1e-12);
+        assert!((h0 - 1.0).abs() < 1e-12, "β={beta}");
         let k = t.round();
         if k != 0.0 && (t - k).abs() < 1e-12 {
-            prop_assert!(raised_cosine(k, beta).abs() < 1e-9);
+            assert!(raised_cosine(k, beta).abs() < 1e-9, "β={beta} k={k}");
         }
-        prop_assert!(raised_cosine(t, beta).abs() <= 1.0 + 1e-9);
+        assert!(raised_cosine(t, beta).abs() <= 1.0 + 1e-9, "β={beta} t={t}");
     }
+}
 
-    /// Pulse shaping preserves symbol values at the sampling instants
-    /// (no ISI) for any data and roll-off.
-    #[test]
-    fn shaping_is_isi_free(
-        bits in prop::collection::vec(any::<bool>(), 8..64),
-        beta in 0.1f64..0.9,
-    ) {
+/// Pulse shaping preserves symbol values at the sampling instants
+/// (no ISI) for any data and roll-off.
+#[test]
+fn shaping_is_isi_free() {
+    for mut rng in cases("isi-free") {
+        let len = 8 + rng.index(56);
+        let bits = random_bits(&mut rng, len);
+        let beta = rng.in_range(0.1, 0.9);
         let sps = 8;
         let shaper = PulseShaper::new(beta, 6, sps);
         let amps: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         let shaped = shaper.shape(&amps);
         let sampled = shaper.symbol_samples(&shaped, amps.len());
         for (a, s) in amps.iter().zip(&sampled) {
-            prop_assert!((a - s).abs() < 0.03, "sent {a}, sampled {s}");
+            assert!((a - s).abs() < 0.03, "β={beta}: sent {a}, sampled {s}");
         }
     }
+}
 
-    /// Required Eb/N0 is monotone decreasing in the BER target for every
-    /// scheme (easier targets need less SNR).
-    #[test]
-    fn required_snr_monotone(exp in 2f64..6.0) {
+/// Required Eb/N0 is monotone decreasing in the BER target for every
+/// scheme (easier targets need less SNR).
+#[test]
+fn required_snr_monotone() {
+    for mut rng in cases("req-snr") {
+        let exp = rng.in_range(2.0, 6.0);
         let easier = 10f64.powf(-exp);
         let harder = 10f64.powf(-exp - 1.0);
         for m in [Modulation::Ook, Modulation::Bpsk, Modulation::Qam16] {
             let lo = m.required_eb_n0(easier).db();
             let hi = m.required_eb_n0(harder).db();
-            prop_assert!(hi > lo, "{m}: {hi} !> {lo}");
+            assert!(hi > lo, "{m}: {hi} !> {lo} (exp={exp})");
         }
+    }
+}
+
+/// The parallel BER estimator is bit-identical to its single-thread run
+/// for random modem/SNR configurations and thread counts, and the sweep
+/// points are independent of sweep length.
+#[test]
+fn parallel_ber_is_thread_invariant() {
+    use mmtag_phy::waveform::{ber_sweep_par_with, measure_ber_par_with};
+    for mut rng in cases("par-ber").take(8) {
+        let tree = SeedTree::new(rng.next_u64());
+        let modem = OokModem::new(1 + rng.index(4));
+        let snr = rng.in_range(2.0, 8.0);
+        let coherent = rng.bit();
+        let n_bits = 20_000 + rng.index(20_000);
+        let serial = measure_ber_par_with(1, &modem, snr, n_bits, coherent, &tree);
+        let threads = 2 + rng.index(7);
+        let par = measure_ber_par_with(threads, &modem, snr, n_bits, coherent, &tree);
+        assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+
+        let snrs = [snr, snr + 2.0, snr + 4.0];
+        let sweep = ber_sweep_par_with(threads, &modem, &snrs, n_bits, coherent, &tree);
+        let shorter = ber_sweep_par_with(1, &modem, &snrs[..2], n_bits, coherent, &tree);
+        assert_eq!(&sweep[..2], &shorter[..], "sweep points must be independent");
     }
 }

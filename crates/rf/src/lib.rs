@@ -9,10 +9,15 @@
 //! * [`db`] — decibel ↔ linear conversions done once, correctly,
 //! * [`fft`] — radix-2 FFT and Welch PSD for spectrum analysis,
 //! * [`constants`] — the physical constants the link budget rests on,
-//! * [`special`] — `erf`/`erfc`/Q-function needed for BER theory.
+//! * [`special`] — `erf`/`erfc`/Q-function needed for BER theory,
+//! * [`rng`] — the in-house xoshiro256++ generator, sampler trait and
+//!   [`rng::SeedTree`] stream derivation (zero external dependencies),
+//! * [`par`] — the deterministic `std::thread::scope` parallel engine
+//!   every Monte-Carlo hot path runs on (`MMTAG_THREADS` to override).
 //!
-//! Everything here is `no_std`-shaped in spirit (no allocation, no I/O); it is
-//! the part of the stack you would keep if you ported the models to firmware.
+//! The numerics are `no_std`-shaped in spirit (no allocation, no I/O); they
+//! are the part of the stack you would keep if you ported the models to
+//! firmware. `rng`/`par` are the simulation substrate layered on top.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +26,8 @@ pub mod complex;
 pub mod constants;
 pub mod db;
 pub mod fft;
+pub mod par;
+pub mod rng;
 pub mod special;
 pub mod units;
 

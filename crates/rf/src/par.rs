@@ -1,0 +1,245 @@
+//! Deterministic parallel execution on `std::thread::scope` — no thread
+//! pools, no external crates, no shared mutable state beyond one atomic
+//! work counter.
+//!
+//! ## The determinism contract
+//!
+//! Every primitive here partitions work into *indexed units* (items or
+//! fixed-size chunks), lets any number of worker threads race to claim
+//! units, and then merges the results **in unit order**. Because the
+//! closure receives only the unit index (plus the item it names), the
+//! result of unit `i` cannot depend on which thread ran it or on how many
+//! threads exist — so output is bit-identical at any thread count,
+//! including the serial `threads == 1` escape hatch. Randomized workloads
+//! keep the same property by deriving each unit's RNG stream from its
+//! index via [`crate::rng::SeedTree`], never by sharing a sequential
+//! stream across units.
+//!
+//! What the contract does *not* promise: results are invariant to the
+//! *chunk size*. Changing the chunk decomposition re-partitions the random
+//! streams, which is a different (equally valid) Monte-Carlo sample.
+//! Callers that expose chunked APIs fix their chunk size as a constant.
+//!
+//! ## Thread-count selection
+//!
+//! [`thread_limit`] reads the `MMTAG_THREADS` environment variable
+//! (clamped to ≥ 1, `MMTAG_THREADS=1` forces fully serial in-line
+//! execution) and falls back to [`std::thread::available_parallelism`].
+//! The `*_with` variants take an explicit count, which is what the
+//! determinism regression tests and the serial-vs-parallel benches use.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker-thread budget: `MMTAG_THREADS` if set and ≥ 1, otherwise
+/// the machine's available parallelism (1 if unknown).
+pub fn thread_limit() -> usize {
+    match std::env::var("MMTAG_THREADS") {
+        Ok(v) => parse_thread_override(&v).unwrap_or_else(available_threads),
+        Err(_) => available_threads(),
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses an `MMTAG_THREADS` value: `Some(n)` for an integer ≥ 1, `None`
+/// for anything unusable (which falls back to auto-detection).
+pub fn parse_thread_override(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Evaluates `f(0..n)` with an explicit thread budget and returns the
+/// results in index order. `threads <= 1` (or trivially small `n`) runs
+/// serially on the calling thread — no spawns, the exact loop a
+/// single-threaded caller would have written.
+///
+/// Worker panics are re-raised on the calling thread.
+pub fn par_indexed_with<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let f = &f;
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Deterministic merge: place every unit at its index.
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, u) in part {
+            debug_assert!(slots[i].is_none(), "unit {i} computed twice");
+            slots[i] = Some(u);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every unit claimed exactly once"))
+        .collect()
+}
+
+/// [`par_indexed_with`] at the default [`thread_limit`].
+pub fn par_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_indexed_with(thread_limit(), n, f)
+}
+
+/// Maps `f` over `items` in parallel; results come back in item order.
+/// `f` receives `(index, &item)` so randomized work can derive a
+/// per-item stream from the index.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(thread_limit(), items, f)
+}
+
+/// [`par_map`] with an explicit thread budget.
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_indexed_with(threads, items.len(), |i| f(i, &items[i]))
+}
+
+/// Splits `0..total` into fixed-size chunks (the last may be short) and
+/// evaluates `f(chunk_index, chunk_range)` in parallel; results come back
+/// in chunk order. The decomposition depends only on `(total,
+/// chunk_size)`, so chunked Monte-Carlo seeded by chunk index is
+/// reproducible at any thread count.
+///
+/// # Panics
+/// Panics when `chunk_size == 0`.
+pub fn par_chunks<U, F>(total: usize, chunk_size: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, Range<usize>) -> U + Sync,
+{
+    par_chunks_with(thread_limit(), total, chunk_size, f)
+}
+
+/// [`par_chunks`] with an explicit thread budget.
+pub fn par_chunks_with<U, F>(threads: usize, total: usize, chunk_size: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, Range<usize>) -> U + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be ≥ 1");
+    let n_chunks = total.div_ceil(chunk_size);
+    par_indexed_with(threads, n_chunks, |i| {
+        let start = i * chunk_size;
+        let end = (start + chunk_size).min(total);
+        f(i, start..end)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, SeedTree};
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map_with(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| {
+            let mut rng = SeedTree::new(7).rng_indexed("unit", i as u64);
+            (0..100).map(|_| rng.f64()).sum::<f64>()
+        };
+        let serial = par_indexed_with(1, 64, f);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(serial, par_indexed_with(threads, 64, f), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_decomposition_is_exact() {
+        let ranges = par_chunks_with(4, 10, 3, |i, r| (i, r));
+        assert_eq!(ranges, vec![(0, 0..3), (1, 3..6), (2, 6..9), (3, 9..10)]);
+        // total divisible by chunk: no runt chunk.
+        assert_eq!(par_chunks_with(2, 6, 3, |_, r| r.len()), vec![3, 3]);
+        // empty input: no chunks at all.
+        assert!(par_chunks_with(2, 0, 3, |_, _| 0).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_units_is_fine() {
+        assert_eq!(par_indexed_with(32, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(par_indexed_with(32, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 16 "), Some(16));
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override("-3"), None);
+        assert_eq!(parse_thread_override("auto"), None);
+        assert!(thread_limit() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_is_a_bug() {
+        let _ = par_chunks_with(2, 10, 0, |_, _| 0);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            par_indexed_with(4, 16, |i| {
+                if i == 7 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

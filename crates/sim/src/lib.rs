@@ -14,6 +14,9 @@
 //! * [`mobility`] — position/orientation trajectories for tags and blockers,
 //! * [`rng`] — deterministic per-entity RNG streams (add a tag without
 //!   perturbing anyone else's randomness),
+//! * [`par`] — deterministic parallel Monte-Carlo on `std::thread::scope`:
+//!   chunked work, per-chunk RNG streams, bit-identical at any thread
+//!   count (`MMTAG_THREADS` overrides the worker budget),
 //! * [`scene`] — a room: one reader, tags, walls; produces the ray sets the
 //!   channel layer consumes,
 //! * [`metrics`] — counters, histograms and time-series for experiments,
@@ -28,6 +31,7 @@ pub mod experiment;
 pub mod geom;
 pub mod metrics;
 pub mod mobility;
+pub mod par;
 pub mod rng;
 pub mod scene;
 pub mod time;

@@ -1,0 +1,136 @@
+//! Deterministic parallel Monte-Carlo: the simulation-facing face of the
+//! [`mmtag_rf::par`] engine, plus the [`SeedTree`]-aware sweep helpers the
+//! experiment harness uses.
+//!
+//! Everything follows one contract (see [`mmtag_rf::par`] for the fine
+//! print): work is partitioned into indexed units, each unit derives its
+//! own RNG stream from its index, and results merge in unit order —
+//! so output is **bit-identical at any thread count**. `MMTAG_THREADS=1`
+//! is the serial escape hatch; `MMTAG_THREADS=N` pins the worker budget;
+//! unset means [`std::thread::available_parallelism`].
+//!
+//! Layer map:
+//!
+//! * [`par_map`] / [`par_chunks`] / [`par_indexed`] — raw primitives
+//!   (re-exported from `mmtag-rf` so lower layers can use them too),
+//! * [`par_sweep`] — one [`SeedTree`] subtree per parameter point: the
+//!   shape of every figure sweep in `mmtag-bench`,
+//! * [`par_trials`] — chunked Monte-Carlo repetitions with per-chunk
+//!   streams: the shape of BER, outage and inventory-ensemble loops.
+
+pub use mmtag_rf::par::{
+    par_chunks, par_chunks_with, par_indexed, par_indexed_with, par_map, par_map_with,
+    parse_thread_override, thread_limit,
+};
+
+use crate::rng::{SeedTree, Xoshiro256pp};
+
+/// Evaluates `f` once per parameter point, each point under its own
+/// [`SeedTree`] subtree (derived from `label` and the point's index), in
+/// parallel. Results come back in parameter order, and each point's
+/// randomness is independent of every other point's — adding a point to a
+/// sweep never changes the existing points' results.
+pub fn par_sweep<P, U, F>(tree: &SeedTree, label: &str, params: &[P], f: F) -> Vec<U>
+where
+    P: Sync,
+    U: Send,
+    F: Fn(SeedTree, &P) -> U + Sync,
+{
+    par_sweep_with(thread_limit(), tree, label, params, f)
+}
+
+/// [`par_sweep`] with an explicit thread budget.
+pub fn par_sweep_with<P, U, F>(
+    threads: usize,
+    tree: &SeedTree,
+    label: &str,
+    params: &[P],
+    f: F,
+) -> Vec<U>
+where
+    P: Sync,
+    U: Send,
+    F: Fn(SeedTree, &P) -> U + Sync,
+{
+    par_map_with(threads, params, |i, p| {
+        f(tree.subtree_indexed(label, i as u64), p)
+    })
+}
+
+/// Runs `trials` Monte-Carlo repetitions in fixed-size chunks, each chunk
+/// on its own generator `tree.rng_indexed(label, chunk_index)`. Returns
+/// one result per chunk, in chunk order; the caller folds them (sum the
+/// error counts, average the stats, …). Because the chunk decomposition
+/// depends only on `(trials, chunk_size)` and each chunk's stream only on
+/// its index, the fold input — and therefore the fold output — is
+/// bit-identical at any thread count.
+pub fn par_trials<U, F>(
+    tree: &SeedTree,
+    label: &str,
+    trials: usize,
+    chunk_size: usize,
+    f: F,
+) -> Vec<U>
+where
+    U: Send,
+    F: Fn(&mut Xoshiro256pp, usize) -> U + Sync,
+{
+    par_trials_with(thread_limit(), tree, label, trials, chunk_size, f)
+}
+
+/// [`par_trials`] with an explicit thread budget.
+pub fn par_trials_with<U, F>(
+    threads: usize,
+    tree: &SeedTree,
+    label: &str,
+    trials: usize,
+    chunk_size: usize,
+    f: F,
+) -> Vec<U>
+where
+    U: Send,
+    F: Fn(&mut Xoshiro256pp, usize) -> U + Sync,
+{
+    par_chunks_with(threads, trials, chunk_size, |ci, range| {
+        let mut rng = tree.rng_indexed(label, ci as u64);
+        f(&mut rng, range.len())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn sweep_points_are_independent_of_sweep_size() {
+        let tree = SeedTree::new(99);
+        let f = |t: SeedTree, &p: &f64| t.rng("mc").f64() + p;
+        let short = par_sweep_with(4, &tree, "snr", &[1.0, 2.0], f);
+        let long = par_sweep_with(4, &tree, "snr", &[1.0, 2.0, 3.0, 4.0], f);
+        assert_eq!(&short[..], &long[..2]);
+    }
+
+    #[test]
+    fn trials_are_thread_count_invariant() {
+        let tree = SeedTree::new(7);
+        let run = |threads| {
+            par_trials_with(threads, &tree, "outage", 1000, 64, |rng, n| {
+                (0..n).filter(|_| rng.chance(0.1)).count()
+            })
+            .into_iter()
+            .sum::<usize>()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_covers_all_trials() {
+        let tree = SeedTree::new(1);
+        let sizes = par_trials_with(2, &tree, "t", 10, 4, |_, n| n);
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+}

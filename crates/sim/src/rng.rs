@@ -5,141 +5,36 @@
 //! from (experiment seed, entity label). That way adding a tag, or
 //! reordering who samples first, never perturbs anyone else's randomness —
 //! the property that makes A/B comparisons (with/without SDM, K beams vs 1)
-//! noise-free.
+//! noise-free, and the property the parallel engine ([`crate::par`]) builds
+//! on to make chunked execution bit-identical at any thread count.
 //!
-//! The derivation is SplitMix64 over a hash of the label — tiny, fast and
-//! well distributed; streams feed any `rand` RNG via `StdRng::seed_from_u64`.
+//! The implementation lives in [`mmtag_rf::rng`] (SplitMix64 stream
+//! derivation feeding xoshiro256++ generators) so that every layer of the
+//! stack — including crates below `mmtag-sim` — shares one seeding scheme;
+//! this module re-exports it as the simulation-facing entry point.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// A root seed from which independent named streams are derived.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SeedTree {
-    root: u64,
-}
-
-impl SeedTree {
-    /// A tree rooted at `seed`.
-    pub const fn new(seed: u64) -> Self {
-        SeedTree { root: seed }
-    }
-
-    /// The derived seed for a labeled stream.
-    pub fn seed_for(&self, label: &str) -> u64 {
-        let mut h = self.root ^ 0x9E37_79B9_7F4A_7C15;
-        for b in label.as_bytes() {
-            h ^= *b as u64;
-            h = splitmix64(h);
-        }
-        splitmix64(h)
-    }
-
-    /// The derived seed for an indexed entity (e.g. tag #7).
-    pub fn seed_for_indexed(&self, label: &str, index: u64) -> u64 {
-        splitmix64(self.seed_for(label) ^ splitmix64(index.wrapping_add(1)))
-    }
-
-    /// A ready-to-use RNG for a labeled stream.
-    pub fn rng(&self, label: &str) -> StdRng {
-        StdRng::seed_from_u64(self.seed_for(label))
-    }
-
-    /// A ready-to-use RNG for an indexed entity.
-    pub fn rng_indexed(&self, label: &str, index: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed_for_indexed(label, index))
-    }
-
-    /// A sub-tree for a nested scope (e.g. one repetition of a sweep).
-    pub fn subtree(&self, label: &str) -> SeedTree {
-        SeedTree {
-            root: self.seed_for(label),
-        }
-    }
-}
-
-/// SplitMix64 finalizer: the standard 64-bit mixing function.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+pub use mmtag_rf::rng::{splitmix64, Rng, SeedTree, Xoshiro256pp};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
-    fn streams_are_deterministic() {
-        let t = SeedTree::new(42);
-        assert_eq!(t.seed_for("tags"), SeedTree::new(42).seed_for("tags"));
-        let a: f64 = t.rng("x").random();
-        let b: f64 = t.rng("x").random();
-        assert_eq!(a, b);
+    fn sim_path_reaches_the_shared_seed_tree() {
+        // The re-export is the same type (and the same derivation) as the
+        // rf-layer original: one seeding scheme across the whole stack.
+        let via_sim = SeedTree::new(42).seed_for("tags");
+        let via_rf = mmtag_rf::rng::SeedTree::new(42).seed_for("tags");
+        assert_eq!(via_sim, via_rf);
     }
 
     #[test]
-    fn different_labels_differ() {
-        let t = SeedTree::new(7);
-        assert_ne!(t.seed_for("alpha"), t.seed_for("beta"));
-        assert_ne!(t.seed_for("a"), t.seed_for("aa"));
-        assert_ne!(t.seed_for(""), t.seed_for("x"));
-    }
-
-    #[test]
-    fn different_roots_differ() {
-        assert_ne!(
-            SeedTree::new(1).seed_for("same"),
-            SeedTree::new(2).seed_for("same")
-        );
-    }
-
-    #[test]
-    fn indexed_entities_are_independent() {
-        let t = SeedTree::new(99);
-        let s0 = t.seed_for_indexed("tag", 0);
-        let s1 = t.seed_for_indexed("tag", 1);
-        assert_ne!(s0, s1);
-        // Index 0 differs from the bare label (no collision by omission).
-        assert_ne!(s0, t.seed_for("tag"));
-    }
-
-    #[test]
-    fn adding_entities_does_not_shift_existing_streams() {
+    fn entity_streams_stay_independent() {
         // The whole point: tag #3's randomness is identical whether the
         // experiment has 4 tags or 400.
         let t = SeedTree::new(5);
-        let before: Vec<f64> = (0..4)
-            .map(|i| t.rng_indexed("tag", i).random())
-            .collect();
-        let after: Vec<f64> = (0..400)
-            .map(|i| t.rng_indexed("tag", i).random())
-            .collect();
+        let before: Vec<f64> = (0..4).map(|i| t.rng_indexed("tag", i).f64()).collect();
+        let after: Vec<f64> = (0..400).map(|i| t.rng_indexed("tag", i).f64()).collect();
         assert_eq!(&before[..], &after[..4]);
-    }
-
-    #[test]
-    fn subtrees_namespace_cleanly() {
-        let t = SeedTree::new(11);
-        let rep0 = t.subtree("rep0");
-        let rep1 = t.subtree("rep1");
-        assert_ne!(rep0.seed_for("tags"), rep1.seed_for("tags"));
-        // Subtree derivation is itself deterministic.
-        assert_eq!(
-            rep0.seed_for("tags"),
-            t.subtree("rep0").seed_for("tags")
-        );
-    }
-
-    #[test]
-    fn stream_values_look_uniform() {
-        // Cheap sanity: 10k derived seeds have balanced high bits.
-        let t = SeedTree::new(2024);
-        let ones: u32 = (0..10_000u64)
-            .map(|i| (t.seed_for_indexed("u", i) >> 63) as u32)
-            .sum();
-        assert!((4500..5500).contains(&ones), "high-bit count {ones}");
     }
 }

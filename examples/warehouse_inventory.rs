@@ -10,8 +10,7 @@
 
 use mmtag::prelude::*;
 use mmtag_mac::{ScanSchedule, SectorScheduler};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mmtag_rf::rng::Xoshiro256pp;
 
 fn main() {
     let reader = Reader::mmtag_setup();
@@ -34,7 +33,7 @@ fn main() {
     println!("deployed {n_tags} tags on shelves, 5–8 ft, ±55°\n");
 
     // Timed SDM inventory through the full stack.
-    let mut rng = StdRng::seed_from_u64(2020);
+    let mut rng = Xoshiro256pp::seed_from(2020);
     let result = net.inventory(&mut rng);
     println!("SDM inventory (beam scan + per-sector adaptive Aloha):");
     println!("  tags read        : {}/{n_tags}", result.tags_read);
@@ -51,7 +50,7 @@ fn main() {
     );
     let angles = net.tag_angles(Instant::ZERO);
     let part = SectorScheduler::partition(scan, &angles);
-    let mut rng2 = StdRng::seed_from_u64(7);
+    let mut rng2 = Xoshiro256pp::seed_from(7);
     let sdm = part.inventory_sdm(&mut rng2);
     let single = part.inventory_single_domain(&mut rng2);
     println!("\nslot efficiency (tags read per Aloha slot):");

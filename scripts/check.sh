@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Full offline gate: build, test, lint. Run from the repo root; everything
+# works without network access (the workspace has zero external crates).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: build + tests + clippy all green"

@@ -125,8 +125,7 @@ fn more_elements_extend_rate_at_range() {
 /// deterministic under a fixed seed.
 #[test]
 fn network_end_to_end_deterministic() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     let build = || {
         let mut net = Network::new(
@@ -147,8 +146,8 @@ fn network_end_to_end_deterministic() {
         }
         net
     };
-    let a = build().inventory(&mut StdRng::seed_from_u64(99));
-    let b = build().inventory(&mut StdRng::seed_from_u64(99));
+    let a = build().inventory(&mut Xoshiro256pp::seed_from(99));
+    let b = build().inventory(&mut Xoshiro256pp::seed_from(99));
     assert_eq!(a, b);
     assert_eq!(a.tags_read, 10);
 }

@@ -4,8 +4,7 @@
 
 use mmtag::prelude::*;
 use mmtag::tag::TagConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mmtag_rf::rng::Xoshiro256pp;
 
 fn reader_pose() -> Pose {
     Pose::new(Vec2::ORIGIN, Angle::ZERO)
@@ -82,8 +81,8 @@ fn inventory_time_scales_with_population() {
         }
         net
     };
-    let small = deploy(16).inventory(&mut StdRng::seed_from_u64(5));
-    let large = deploy(64).inventory(&mut StdRng::seed_from_u64(5));
+    let small = deploy(16).inventory(&mut Xoshiro256pp::seed_from(5));
+    let large = deploy(64).inventory(&mut Xoshiro256pp::seed_from(5));
     assert_eq!(small.tags_read, 16);
     assert_eq!(large.tags_read, 64);
     assert!(large.slots > small.slots);

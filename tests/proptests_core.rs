@@ -1,12 +1,23 @@
 //! Property-based tests over the whole stack through the public `mmtag`
 //! API: the invariants a *user* of the library relies on, quantified over
 //! random geometries and configurations.
+//!
+//! Cases are drawn deterministically from the in-house [`mmtag_rf::rng`]
+//! generator (no external property-testing framework — the workspace
+//! builds offline); each assertion prints the inputs that produced it.
 
 use mmtag::link::{evaluate_link, ray_power};
 use mmtag::prelude::*;
 use mmtag::storage::{steady_state_cycle, StorageCap};
 use mmtag::tag::TagConfig;
-use proptest::prelude::*;
+use mmtag_rf::rng::{Rng, SeedTree, Xoshiro256pp};
+
+const CASES: usize = 64;
+
+fn cases(label: &'static str) -> impl Iterator<Item = Xoshiro256pp> {
+    let tree = SeedTree::new(0xC0DE_57AC);
+    (0..CASES).map(move |i| tree.rng_indexed(label, i as u64))
+}
 
 fn face_to_face(feet: f64, rotation_deg: f64) -> (Pose, Pose) {
     (
@@ -18,19 +29,19 @@ fn face_to_face(feet: f64, rotation_deg: f64) -> (Pose, Pose) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Received power decreases monotonically with range for any tag size
-    /// and rotation within the front hemisphere.
-    #[test]
-    fn power_monotone_in_range(
-        elements in 2usize..16,
-        rot in -50f64..50.0,
-        feet in 2f64..11.0,
-    ) {
+/// Received power decreases monotonically with range for any tag size
+/// and rotation within the front hemisphere.
+#[test]
+fn power_monotone_in_range() {
+    for mut rng in cases("pow-mono") {
+        let elements = 2 + rng.index(14);
+        let rot = rng.in_range(-50.0, 50.0);
+        let feet = rng.in_range(2.0, 11.0);
         let reader = Reader::mmtag_setup();
-        let tag = MmTag::new(TagConfig { elements, ..TagConfig::default() });
+        let tag = MmTag::new(TagConfig {
+            elements,
+            ..TagConfig::default()
+        });
         let scene = Scene::free_space();
         let p_at = |d: f64| {
             let (rp, tp) = face_to_face(d, rot);
@@ -39,12 +50,16 @@ proptest! {
                 .expect("free space, front hemisphere")
                 .dbm()
         };
-        prop_assert!(p_at(feet) > p_at(feet + 1.0));
+        assert!(p_at(feet) > p_at(feet + 1.0), "n={elements} rot={rot} d={feet}");
     }
+}
 
-    /// The achievable rate never *increases* with range.
-    #[test]
-    fn rate_non_increasing_in_range(feet in 2f64..10.0, extra in 0.1f64..4.0) {
+/// The achievable rate never *increases* with range.
+#[test]
+fn rate_non_increasing_in_range() {
+    for mut rng in cases("rate-mono") {
+        let feet = rng.in_range(2.0, 10.0);
+        let extra = rng.in_range(0.1, 4.0);
         let reader = Reader::mmtag_setup();
         let tag = MmTag::prototype();
         let scene = Scene::free_space();
@@ -52,28 +67,35 @@ proptest! {
             let (rp, tp) = face_to_face(d, 0.0);
             evaluate_link(&reader, &tag, &scene, rp, tp).rate.bps()
         };
-        prop_assert!(r(feet + extra) <= r(feet));
+        assert!(r(feet + extra) <= r(feet), "d={feet} extra={extra}");
     }
+}
 
-    /// Rotating the mmTag tag (within ±55°) never drops the link below
-    /// 10 Mbps at 4 ft — the retrodirectivity guarantee end to end.
-    #[test]
-    fn rotation_tolerance_at_4ft(rot in -55f64..55.0) {
+/// Rotating the mmTag tag (within ±55°) never drops the link below
+/// 10 Mbps at 4 ft — the retrodirectivity guarantee end to end.
+#[test]
+fn rotation_tolerance_at_4ft() {
+    for mut rng in cases("rot-tol") {
+        let rot = rng.in_range(-55.0, 55.0);
         let reader = Reader::mmtag_setup();
         let tag = MmTag::prototype();
         let (rp, tp) = face_to_face(4.0, rot);
         let report = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
-        prop_assert!(
+        assert!(
             report.rate.mbps() >= 10.0,
             "rotation {rot}°: {}",
             report.rate
         );
     }
+}
 
-    /// The Van Atta tag's rate at any rotation ≥ the fixed-beam tag's at
-    /// the same pose (equality only near broadside).
-    #[test]
-    fn van_atta_dominates_fixed_beam(rot in 0f64..60.0, feet in 3f64..9.0) {
+/// The Van Atta tag's rate at any rotation ≥ the fixed-beam tag's at
+/// the same pose (equality only near broadside).
+#[test]
+fn van_atta_dominates_fixed_beam() {
+    for mut rng in cases("va-vs-fb") {
+        let rot = rng.in_range(0.0, 60.0);
+        let feet = rng.in_range(3.0, 9.0);
         let reader = Reader::mmtag_setup();
         let scene = Scene::free_space();
         let (rp, tp) = face_to_face(feet, rot);
@@ -83,35 +105,40 @@ proptest! {
             ..TagConfig::default()
         });
         let fb = evaluate_link(&reader, &fb_tag, &scene, rp, tp);
-        prop_assert!(va.rate.bps() >= fb.rate.bps());
+        assert!(va.rate.bps() >= fb.rate.bps(), "rot={rot} d={feet}");
     }
+}
 
-    /// More elements never hurt: rate is non-decreasing in N at any pose.
-    #[test]
-    fn elements_never_hurt(
-        n in 2usize..12,
-        extra in 1usize..8,
-        feet in 3f64..10.0,
-        rot in -40f64..40.0,
-    ) {
+/// More elements never hurt: rate is non-decreasing in N at any pose.
+#[test]
+fn elements_never_hurt() {
+    for mut rng in cases("elem-mono") {
+        let n = 2 + rng.index(10);
+        let extra = 1 + rng.index(7);
+        let feet = rng.in_range(3.0, 10.0);
+        let rot = rng.in_range(-40.0, 40.0);
         let reader = Reader::mmtag_setup();
         let scene = Scene::free_space();
         let (rp, tp) = face_to_face(feet, rot);
         let rate = |elements: usize| {
-            let tag = MmTag::new(TagConfig { elements, ..TagConfig::default() });
+            let tag = MmTag::new(TagConfig {
+                elements,
+                ..TagConfig::default()
+            });
             evaluate_link(&reader, &tag, &scene, rp, tp).rate.bps()
         };
-        prop_assert!(rate(n + extra) >= rate(n));
+        assert!(rate(n + extra) >= rate(n), "n={n} extra={extra} rot={rot}");
     }
+}
 
-    /// Adding a blocker can only remove rays / reduce the best power, never
-    /// improve it.
-    #[test]
-    fn blockers_never_help(
-        feet in 3f64..10.0,
-        bx_frac in 0.2f64..0.8,
-        half_len in 0.05f64..1.0,
-    ) {
+/// Adding a blocker can only remove rays / reduce the best power, never
+/// improve it.
+#[test]
+fn blockers_never_help() {
+    for mut rng in cases("blocker") {
+        let feet = rng.in_range(3.0, 10.0);
+        let bx_frac = rng.in_range(0.2, 0.8);
+        let half_len = rng.in_range(0.05, 1.0);
         let reader = Reader::mmtag_setup();
         let tag = MmTag::prototype();
         let (rp, tp) = face_to_face(feet, 0.0);
@@ -124,19 +151,20 @@ proptest! {
         ));
         let blocked = evaluate_link(&reader, &tag, &scene, rp, tp);
         match (clear.power, blocked.power) {
-            (Some(c), Some(b)) => prop_assert!(b <= c),
+            (Some(c), Some(b)) => assert!(b <= c, "d={feet}"),
             (Some(_), None) => {} // fully blocked: fine
-            (None, _) => prop_assert!(false, "free space cannot be blocked"),
+            (None, _) => panic!("free space cannot be blocked"),
         }
     }
+}
 
-    /// In a room, every NLOS serving ray is weaker than the LOS serving ray
-    /// would be (per-ray power ordering survives the full pipeline).
-    #[test]
-    fn ray_power_orders_by_length_and_loss(
-        feet in 2f64..8.0,
-        wall_off in 0.5f64..3.0,
-    ) {
+/// In a room, every NLOS serving ray is weaker than the LOS serving ray
+/// would be (per-ray power ordering survives the full pipeline).
+#[test]
+fn ray_power_orders_by_length_and_loss() {
+    for mut rng in cases("ray-order") {
+        let feet = rng.in_range(2.0, 8.0);
+        let wall_off = rng.in_range(0.5, 3.0);
         let reader = Reader::mmtag_setup();
         let tag = MmTag::prototype();
         let mut scene = Scene::free_space();
@@ -149,54 +177,63 @@ proptest! {
         let los = rays.los().expect("LOS clear");
         let p_los = ray_power(&reader, &tag, los);
         for ray in rays.rays().iter().filter(|r| r.bounces > 0) {
-            prop_assert!(ray_power(&reader, &tag, ray) < p_los);
+            assert!(ray_power(&reader, &tag, ray) < p_los, "d={feet}");
         }
     }
+}
 
-    /// Storage: the steady-state burst cycle always balances energy, for
-    /// any capacitor geometry and harvester level that supports operation.
-    #[test]
-    fn burst_cycle_energy_balance(
-        cap_uf in 1f64..2000.0,
-        v_min in 0.5f64..2.5,
-        v_span in 0.1f64..2.0,
-        harvest_uw in 2f64..360.0,
-    ) {
+/// Storage: the steady-state burst cycle always balances energy, for
+/// any capacitor geometry and harvester level that supports operation.
+#[test]
+fn burst_cycle_energy_balance() {
+    for mut rng in cases("burst") {
+        let cap_uf = rng.in_range(1.0, 2000.0);
+        let v_min = rng.in_range(0.5, 2.5);
+        let v_span = rng.in_range(0.1, 2.0);
+        let harvest_uw = rng.in_range(2.0, 360.0);
         let budget = EnergyBudget::for_tag(&MmTag::prototype(), DataRate::from_gbps(1.0));
         let cap = StorageCap::new(cap_uf * 1e-6, v_min, v_min + v_span);
-        let h = Harvester::RfRectenna { dc_power_w: harvest_uw * 1e-6 };
+        let h = Harvester::RfRectenna {
+            dc_power_w: harvest_uw * 1e-6,
+        };
         if let Some(cycle) = steady_state_cycle(&budget, h, &cap) {
-            prop_assert!((0.0..=1.0).contains(&cycle.duty_cycle));
+            assert!((0.0..=1.0).contains(&cycle.duty_cycle));
             if cycle.duty_cycle < 1.0 {
                 let harvested = h.power_w() * cycle.period().as_secs_f64();
                 let consumed = budget.active_w() * cycle.burst.as_secs_f64()
                     + budget.logic_w * cycle.recharge.as_secs_f64();
-                prop_assert!(
+                assert!(
                     (harvested - consumed).abs() / consumed < 1e-6,
                     "imbalance: {harvested} vs {consumed}"
                 );
             }
         }
     }
+}
 
-    /// Baseline rate models are monotone in range and zero past max range.
-    #[test]
-    fn baseline_rate_models_sane(feet in 0.5f64..40.0, extra in 0.1f64..5.0) {
+/// Baseline rate models are monotone in range and zero past max range.
+#[test]
+fn baseline_rate_models_sane() {
+    for mut rng in cases("baseline") {
+        let feet = rng.in_range(0.5, 40.0);
+        let extra = rng.in_range(0.1, 5.0);
         for profile in SystemProfile::all_baselines() {
             let near = profile.rate_at(Distance::from_feet(feet));
             let far = profile.rate_at(Distance::from_feet(feet + extra));
-            prop_assert!(far.bps() <= near.bps(), "{}", profile.name);
-            let beyond = profile.rate_at(Distance::from_feet(
-                profile.max_range.feet() + 0.1,
-            ));
-            prop_assert_eq!(beyond.bps(), 0.0);
+            assert!(far.bps() <= near.bps(), "{}", profile.name);
+            let beyond = profile.rate_at(Distance::from_feet(profile.max_range.feet() + 0.1));
+            assert_eq!(beyond.bps(), 0.0, "{}", profile.name);
         }
     }
+}
 
-    /// Localization bearing error stays under half a beamwidth across the
-    /// usable sector and range span.
-    #[test]
-    fn localization_bearing_bounded(feet in 3f64..9.0, deg in -40f64..40.0) {
+/// Localization bearing error stays under half a beamwidth across the
+/// usable sector and range span.
+#[test]
+fn localization_bearing_bounded() {
+    for mut rng in cases("localize") {
+        let feet = rng.in_range(3.0, 9.0);
+        let deg = rng.in_range(-40.0, 40.0);
         let reader = Reader::mmtag_setup();
         let tag = MmTag::prototype();
         let rad = deg.to_radians();
@@ -205,10 +242,9 @@ proptest! {
             Angle::from_degrees(deg + 180.0),
         );
         let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
-        let est = mmtag::localization::locate(
-            &reader, &tag, &Scene::free_space(), rp, tp,
-        ).expect("in sector");
+        let est = mmtag::localization::locate(&reader, &tag, &Scene::free_space(), rp, tp)
+            .expect("in sector");
         let err = est.bearing.separation(Angle::from_degrees(deg)).degrees();
-        prop_assert!(err < 10.2, "({feet} ft, {deg}°): bearing error {err}°");
+        assert!(err < 10.2, "({feet} ft, {deg}°): bearing error {err}°");
     }
 }

@@ -7,9 +7,9 @@ use mmtag::link::{evaluate_link, expected_eb_n0};
 use mmtag::prelude::*;
 use mmtag_phy::frame::Frame;
 use mmtag_phy::sync::{find_frame_start, BARKER13};
-use mmtag_phy::waveform::{measure_ber, Awgn, OokModem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mmtag_phy::ber::ook_coherent_ber;
+use mmtag_phy::waveform::{measure_ber, measure_ber_par, Awgn, OokModem};
+use mmtag_rf::rng::{SeedTree, Xoshiro256pp};
 
 fn link_at(feet: f64) -> (Reader, mmtag::link::LinkReport) {
     let reader = Reader::mmtag_setup();
@@ -30,7 +30,7 @@ fn measured_ber_at_4ft_meets_design_target() {
     let eb_n0 = expected_eb_n0(&reader, &report).expect("link is up").db();
     assert!(eb_n0 >= 9.7, "Eb/N0 at 4 ft = {eb_n0} dB");
     let modem = OokModem::new(4);
-    let mut rng = StdRng::seed_from_u64(4242);
+    let mut rng = Xoshiro256pp::seed_from(4242);
     let ber = measure_ber(&modem, eb_n0, 300_000, true, &mut rng);
     assert!(ber <= 1.5e-3, "BER at the 4 ft operating point: {ber}");
 }
@@ -42,7 +42,7 @@ fn frame_roundtrip_over_noisy_link() {
     let (reader, report) = link_at(10.0);
     let eb_n0 = expected_eb_n0(&reader, &report).expect("link is up").db();
     let modem = OokModem::new(4);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from(7);
 
     let mut delivered = 0;
     let trials = 30;
@@ -79,7 +79,7 @@ fn frame_roundtrip_over_noisy_link() {
 #[test]
 fn starved_link_never_delivers_corrupt_frames() {
     let modem = OokModem::new(4);
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut rng = Xoshiro256pp::seed_from(13);
     let mut false_accepts = 0;
     for i in 0..20 {
         let payload = vec![i as u8; 64];
@@ -94,6 +94,27 @@ fn starved_link_never_delivers_corrupt_frames() {
         }
     }
     assert_eq!(false_accepts, 0, "CRC must reject corrupted frames");
+}
+
+/// E5 smoke test on the parallel engine: the chunked Monte-Carlo BER at
+/// the paper's 7 dB operating point must agree with the closed-form
+/// coherent-OOK curve `Q(√(Eb/N0))` within Monte-Carlo statistical error.
+/// With 400 k bits at p ≈ 1.3 %, one standard deviation of the estimator
+/// is `√(p(1−p)/n)` ≈ 1.8·10⁻⁴; we allow 4σ.
+#[test]
+fn parallel_mc_ber_matches_closed_form_at_7db() {
+    let eb_n0_db = 7.0;
+    let n_bits = 400_000;
+    let p = ook_coherent_ber(10f64.powf(eb_n0_db / 10.0));
+    let modem = OokModem::new(4);
+    let tree = SeedTree::new(0xE5);
+    let measured = measure_ber_par(&modem, eb_n0_db, n_bits, true, &tree);
+    let sigma = (p * (1.0 - p) / n_bits as f64).sqrt();
+    assert!(
+        (measured - p).abs() <= 4.0 * sigma,
+        "measured {measured:.5} vs theory {p:.5} (4σ = {:.5})",
+        4.0 * sigma
+    );
 }
 
 /// The Eb/N0 ladder is consistent: every rung of the paper's bandwidth
