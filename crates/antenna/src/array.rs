@@ -223,7 +223,12 @@ mod tests {
             let expected = -std::f64::consts::PI * n as f64 * 0.5;
             let diff = (x.arg() - expected).rem_euclid(std::f64::consts::TAU);
             let diff = diff.min(std::f64::consts::TAU - diff);
-            assert!(diff < 1e-9, "element {n}: got {} want {}", x.arg(), expected);
+            assert!(
+                diff < 1e-9,
+                "element {n}: got {} want {}",
+                x.arg(),
+                expected
+            );
         }
     }
 

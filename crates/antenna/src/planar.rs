@@ -166,10 +166,7 @@ mod tests {
         // The 2-D Eq. 5: coherent recombination from any direction.
         let p = ideal(6, 4);
         for (th, ph) in [(0.0, 0.0), (30.0, 45.0), (50.0, -120.0), (60.0, 90.0)] {
-            let d = Direction::from_spherical(
-                Angle::from_degrees(th),
-                Angle::from_degrees(ph),
-            );
+            let d = Direction::from_spherical(Angle::from_degrees(th), Angle::from_degrees(ph));
             let g = p.monostatic_gain(d);
             let expect = (24 * 24) as f64;
             assert!((g - expect).abs() / expect < 1e-9, "θ={th} φ={ph}: {g}");
@@ -191,7 +188,10 @@ mod tests {
             let d = Direction::from_spherical(Angle::from_degrees(deg), Angle::ZERO);
             let gp = planar.monostatic_gain(d);
             let gl = linear.monostatic_gain(Angle::from_degrees(deg));
-            assert!((gp - gl).abs() / gl < 1e-9, "θ={deg}: planar {gp} linear {gl}");
+            assert!(
+                (gp - gl).abs() / gl < 1e-9,
+                "θ={deg}: planar {gp} linear {gl}"
+            );
         }
     }
 
@@ -210,10 +210,7 @@ mod tests {
     #[test]
     fn bistatic_peak_is_retro() {
         let p = ideal(4, 4);
-        let inc = Direction::from_spherical(
-            Angle::from_degrees(35.0),
-            Angle::from_degrees(60.0),
-        );
+        let inc = Direction::from_spherical(Angle::from_degrees(35.0), Angle::from_degrees(60.0));
         let retro = p.bistatic_response(inc, inc).abs();
         // Probe a grid of other directions: none beats the retro one.
         for du in [-0.4, -0.2, 0.1, 0.3] {
@@ -226,7 +223,12 @@ mod tests {
                     continue;
                 }
                 let other = p.bistatic_response(inc, out).abs();
-                assert!(other <= retro + 1e-9, "out ({}, {}) beat retro", out.u, out.v);
+                assert!(
+                    other <= retro + 1e-9,
+                    "out ({}, {}) beat retro",
+                    out.u,
+                    out.v
+                );
             }
         }
     }

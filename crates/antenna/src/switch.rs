@@ -64,7 +64,10 @@ impl RfSwitch {
     /// antenna is left almost undisturbed.
     pub fn off_impedance(&self, f: Frequency) -> Complex {
         let w = std::f64::consts::TAU * f.hz();
-        Complex::new(0.5, w * self.series_inductance_h - 1.0 / (w * self.off_capacitance_f))
+        Complex::new(
+            0.5,
+            w * self.series_inductance_h - 1.0 / (w * self.off_capacitance_f),
+        )
     }
 
     /// Energy to charge/discharge the gate once: `C·V²` joules per

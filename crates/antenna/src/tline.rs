@@ -75,12 +75,7 @@ impl Microstrip {
     ///
     /// Returns one length per pair (`ceil(n/2)`); for odd `n` the middle
     /// "pair" is the self-connected element with a stub of one λ_g.
-    pub fn vanatta_pair_lengths(
-        &self,
-        n: usize,
-        spacing: Distance,
-        f: Frequency,
-    ) -> Vec<Distance> {
+    pub fn vanatta_pair_lengths(&self, n: usize, spacing: Distance, f: Frequency) -> Vec<Distance> {
         assert!(n >= 2, "a Van Atta array needs at least one pair");
         let lam = self.guided_wavelength(f).meters();
         let pairs = n.div_ceil(2);

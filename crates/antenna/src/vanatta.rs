@@ -475,7 +475,11 @@ mod tests {
         // The cos² element pattern skews the beam peak a few degrees toward
         // broadside at wide scan, so allow that pull.
         let peak = v.reflection_peak_angle(Angle::from_degrees(60.0));
-        assert!((peak.degrees() - 60.0).abs() < 8.0, "peak {}", peak.degrees());
+        assert!(
+            (peak.degrees() - 60.0).abs() < 8.0,
+            "peak {}",
+            peak.degrees()
+        );
         assert!(peak.degrees() > 40.0);
     }
 

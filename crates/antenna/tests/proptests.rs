@@ -153,7 +153,10 @@ fn array_factor_peak_is_at_steer() {
         let at_steer = arr.array_factor_power(s, s);
         assert!((at_steer - 1.0).abs() < 1e-12, "n={n} steer={steer}");
         let elsewhere = arr.array_factor_power(s, Angle::from_degrees(probe));
-        assert!(elsewhere <= 1.0 + 1e-12, "n={n} steer={steer} probe={probe}");
+        assert!(
+            elsewhere <= 1.0 + 1e-12,
+            "n={n} steer={steer} probe={probe}"
+        );
     }
 }
 

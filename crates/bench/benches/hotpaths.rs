@@ -144,7 +144,11 @@ fn engine_benches(threads: usize) -> (Vec<BenchResult>, Vec<(String, f64)>) {
     });
     let a = measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree);
     let b = measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree);
-    assert_eq!(a.to_bits(), b.to_bits(), "parallel BER must be bit-identical");
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "parallel BER must be bit-identical"
+    );
     speedups.push(("ber_point_100kbit".to_string(), par.speedup_over(&serial)));
     results.push(serial);
     results.push(par);
@@ -168,7 +172,14 @@ fn engine_benches(threads: usize) -> (Vec<BenchResult>, Vec<(String, f64)>) {
 
     // Inventory ensemble: one repetition per work unit.
     let serial = bench("aloha_ensemble_128tags_x16_serial", || {
-        inventory_ensemble_par_with(1, ENSEMBLE_TAGS, QAlgorithm::new(), 100_000, ENSEMBLE_REPS, &tree)
+        inventory_ensemble_par_with(
+            1,
+            ENSEMBLE_TAGS,
+            QAlgorithm::new(),
+            100_000,
+            ENSEMBLE_REPS,
+            &tree,
+        )
     });
     let par = bench("aloha_ensemble_128tags_x16_par", || {
         inventory_ensemble_par_with(
@@ -180,7 +191,14 @@ fn engine_benches(threads: usize) -> (Vec<BenchResult>, Vec<(String, f64)>) {
             &tree,
         )
     });
-    let a = inventory_ensemble_par_with(1, ENSEMBLE_TAGS, QAlgorithm::new(), 100_000, ENSEMBLE_REPS, &tree);
+    let a = inventory_ensemble_par_with(
+        1,
+        ENSEMBLE_TAGS,
+        QAlgorithm::new(),
+        100_000,
+        ENSEMBLE_REPS,
+        &tree,
+    );
     let b = inventory_ensemble_par_with(
         threads,
         ENSEMBLE_TAGS,

@@ -2,22 +2,31 @@
 //! the Gen2-style protocol, localization, and waveform-level SI
 //! cancellation.
 
+use crate::scenarios::FigScenario;
 use mmtag::localization::{locate, position_error};
 use mmtag::prelude::*;
+use mmtag::scenario::{build_reader, build_tag, offset_poses};
 use mmtag_channel::delay::DelayProfile;
 use mmtag_mac::gen2::{run_gen2_inventory, Gen2Tag, Gen2Timing};
 use mmtag_phy::cancellation::{AdcClip, Canceller, LeakageChannel};
 use mmtag_phy::waveform::{Awgn, OokModem};
+use mmtag_rf::rng::{Rng, Xoshiro256pp};
 use mmtag_sim::experiment::Table;
 use mmtag_sim::mobility::Pose;
-use mmtag_rf::rng::{Rng, Xoshiro256pp};
+use mmtag_sim::scenario::{AxisKind, RunContext, ScenarioSpec};
 
-/// **E23** — ISI analysis: delay spread, coherence bandwidth and echo
-/// strength as the room grows around a 4 ft LOS link. Columns: `room_m`,
-/// `rms_spread_ns`, `coherence_bw_mhz`, `echo_db`, `flat_at_2ghz`.
-pub fn fig_delay_spread() -> Table {
-    let reader = Reader::mmtag_setup();
-    let tag = MmTag::prototype();
+/// **E23** spec: the room-size sweep around a fixed 4 ft LOS link.
+pub(crate) fn e23_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e23-delay-spread",
+        "E23 — delay spread vs room size (tag at 4 ft, LOS + wall bounces)",
+    )
+    .with_axis("room_m", AxisKind::Values(vec![2.0, 4.0, 8.0, 16.0]))
+}
+
+pub(crate) fn e23_body(ctx: &RunContext) -> Vec<Table> {
+    let reader = build_reader(&ctx.spec.reader);
+    let tag = build_tag(&ctx.spec.tag);
     let mut t = Table::new(
         "E23 — delay spread vs room size (tag at 4 ft, LOS + wall bounces)",
         &[
@@ -28,7 +37,7 @@ pub fn fig_delay_spread() -> Table {
             "flat_at_2ghz",
         ],
     );
-    for room in [2.0f64, 4.0, 8.0, 16.0] {
+    for room in ctx.spec.values("room_m") {
         let scene = Scene::room(room, room);
         let rp = Pose::new(Vec2::new(room / 2.0 - 0.61, room / 2.0), Angle::ZERO);
         let tp = Pose::new(
@@ -36,9 +45,8 @@ pub fn fig_delay_spread() -> Table {
             Angle::from_degrees(180.0),
         );
         let rays = scene.paths(rp, tp);
-        let profile = DelayProfile::from_rays(&rays, |r| {
-            mmtag::link::ray_power(&reader, &tag, r).dbm()
-        });
+        let profile =
+            DelayProfile::from_rays(&rays, |r| mmtag::link::ray_power(&reader, &tag, r).dbm());
         let spread = profile.rms_delay_spread().unwrap_or(0.0);
         let bc = profile
             .coherence_bandwidth()
@@ -56,13 +64,27 @@ pub fn fig_delay_spread() -> Table {
             profile.is_flat_for(Bandwidth::from_ghz(2.0)) as u8 as f64,
         ]);
     }
-    t
+    vec![t]
 }
 
-/// **E24** — the Gen2-style protocol: inventory cost vs population, with
-/// the handshake's efficiency. Columns: `tags`, `commands`, `singles`,
-/// `collisions`, `elapsed_ms`, `per_tag_us`.
-pub fn fig_gen2(seed: u64) -> Table {
+/// **E23** — ISI analysis: delay spread, coherence bandwidth and echo
+/// strength as the room grows around a 4 ft LOS link. Columns: `room_m`,
+/// `rms_spread_ns`, `coherence_bw_mhz`, `echo_db`, `flat_at_2ghz`.
+pub fn fig_delay_spread() -> Table {
+    FigScenario::new(e23_spec(), e23_body).table()
+}
+
+/// **E24** spec: the population sweep under `seed`.
+pub(crate) fn e24_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e24-gen2",
+        "E24 — Gen2-style inventory (Query→RN16→ACK→EPC) vs population",
+    )
+    .with_axis("tags", AxisKind::Values(vec![8.0, 32.0, 128.0, 512.0]))
+    .with_seed(seed)
+}
+
+pub(crate) fn e24_body(ctx: &RunContext) -> Vec<Table> {
     let mut t = Table::new(
         "E24 — Gen2-style inventory (Query→RN16→ACK→EPC) vs population",
         &[
@@ -76,9 +98,13 @@ pub fn fig_gen2(seed: u64) -> Table {
     );
     // One population point per parallel work unit: each draws from its own
     // SeedTree subtree, so the sweep is bit-identical at any thread count.
-    let tree = mmtag_rf::rng::SeedTree::new(seed);
-    let pops = [8usize, 32, 128, 512];
-    let results = mmtag_sim::par::par_sweep(&tree, "gen2-pop", &pops, |sub, &n| {
+    let pops: Vec<usize> = ctx
+        .spec
+        .values("tags")
+        .iter()
+        .map(|&v| v as usize)
+        .collect();
+    let results = mmtag_sim::par::par_sweep(&ctx.tree, "gen2-pop", &pops, |sub, &n| {
         let mut rng = sub.rng("inventory");
         let mut tags: Vec<Gen2Tag> = (0..n).map(|i| Gen2Tag::new(i as u64)).collect();
         run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 1_000_000, &mut rng)
@@ -95,18 +121,37 @@ pub fn fig_gen2(seed: u64) -> Table {
             ms * 1e3 / n as f64,
         ]);
     }
-    t
+    vec![t]
 }
 
-/// **E25** — localization accuracy across the sector: position error of
-/// the scan-based estimator at each true (range, bearing). Columns:
-/// `true_range_ft`, `true_bearing_deg`, `est_range_ft`, `est_bearing_deg`,
-/// `error_ft`.
-pub fn fig_localization() -> Table {
-    let reader = Reader::mmtag_setup();
-    let tag = MmTag::prototype();
-    let scene = Scene::free_space();
-    let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+/// **E24** — the Gen2-style protocol: inventory cost vs population, with
+/// the handshake's efficiency. Columns: `tags`, `commands`, `singles`,
+/// `collisions`, `elapsed_ms`, `per_tag_us`.
+pub fn fig_gen2(seed: u64) -> Table {
+    FigScenario::new(e24_spec(seed), e24_body).table()
+}
+
+/// **E25** spec: zipped truth axes — row `i` pairs `true_range_ft[i]`
+/// with `true_bearing_deg[i]`.
+pub(crate) fn e25_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e25-localization",
+        "E25 — beam-scan localization: estimate vs truth",
+    )
+    .with_axis(
+        "true_range_ft",
+        AxisKind::Values(vec![3.0, 4.0, 6.0, 8.0, 10.0]),
+    )
+    .with_axis(
+        "true_bearing_deg",
+        AxisKind::Values(vec![0.0, 15.0, -25.0, 40.0, -10.0]),
+    )
+}
+
+pub(crate) fn e25_body(ctx: &RunContext) -> Vec<Table> {
+    let reader = build_reader(&ctx.spec.reader);
+    let tag = build_tag(&ctx.spec.tag);
+    let scene = mmtag::scenario::build_scene(&ctx.spec.scene);
     let mut t = Table::new(
         "E25 — beam-scan localization: estimate vs truth",
         &[
@@ -117,19 +162,10 @@ pub fn fig_localization() -> Table {
             "error_ft",
         ],
     );
-    let cases: [(f64, f64); 5] = [
-        (3.0, 0.0),
-        (4.0, 15.0),
-        (6.0, -25.0),
-        (8.0, 40.0),
-        (10.0, -10.0),
-    ];
-    for (feet, deg) in cases {
-        let rad = deg.to_radians();
-        let tp = Pose::new(
-            Vec2::from_feet(feet * rad.cos(), feet * rad.sin()),
-            Angle::from_degrees(deg + 180.0),
-        );
+    let ranges = ctx.spec.values("true_range_ft");
+    let bearings = ctx.spec.values("true_bearing_deg");
+    for (&feet, &deg) in ranges.iter().zip(&bearings) {
+        let (rp, tp) = offset_poses(feet, 0.0, deg);
         let est = locate(&reader, &tag, &scene, rp, tp).expect("in-sector tag");
         t.push_row(&[
             feet,
@@ -139,20 +175,41 @@ pub fn fig_localization() -> Table {
             position_error(&est, tp).feet(),
         ]);
     }
-    t
+    vec![t]
 }
 
-/// **E26** — waveform-level SI cancellation: measured BER through the
-/// clipping ADC with and without the analog canceller, vs leak strength.
-/// Columns: `leak_over_signal_db`, `ber_no_cancel`, `ber_cancelled`.
-pub fn fig_cancellation(bits: usize, seed: u64) -> Table {
+/// **E25** — localization accuracy across the sector: position error of
+/// the scan-based estimator at each true (range, bearing). Columns:
+/// `true_range_ft`, `true_bearing_deg`, `est_range_ft`, `est_bearing_deg`,
+/// `error_ft`.
+pub fn fig_localization() -> Table {
+    FigScenario::new(e25_spec(), e25_body).table()
+}
+
+/// **E26** spec: the leak-strength sweep at `bits` Monte-Carlo bits per
+/// cell under `seed`.
+pub(crate) fn e26_spec(bits: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e26-cancellation",
+        "E26 — self-interference cancellation at the waveform level",
+    )
+    .with_axis(
+        "leak_over_signal_db",
+        AxisKind::Values(vec![20.0, 30.0, 40.0]),
+    )
+    .with_trials(bits)
+    .with_seed(seed)
+}
+
+pub(crate) fn e26_body(ctx: &RunContext) -> Vec<Table> {
+    let bits = ctx.spec.trials;
     let modem = OokModem::new(4);
     let adc = AdcClip { full_scale: 4.0 };
     let mut t = Table::new(
         "E26 — self-interference cancellation at the waveform level",
         &["leak_over_signal_db", "ber_no_cancel", "ber_cancelled"],
     );
-    for leak_db in [20.0, 30.0, 40.0] {
+    for leak_db in ctx.spec.values("leak_over_signal_db") {
         let amplitude = 10f64.powf(leak_db / 20.0);
         let run = |cancel: bool, seed: u64| -> f64 {
             let mut rng = Xoshiro256pp::seed_from(seed);
@@ -181,9 +238,20 @@ pub fn fig_cancellation(bits: usize, seed: u64) -> Table {
                 .count() as f64
                 / bits as f64
         };
-        t.push_row(&[leak_db, run(false, seed), run(true, seed + 1)]);
+        t.push_row(&[
+            leak_db,
+            run(false, ctx.spec.seed),
+            run(true, ctx.spec.seed + 1),
+        ]);
     }
-    t
+    vec![t]
+}
+
+/// **E26** — waveform-level SI cancellation: measured BER through the
+/// clipping ADC with and without the analog canceller, vs leak strength.
+/// Columns: `leak_over_signal_db`, `ber_no_cancel`, `ber_cancelled`.
+pub fn fig_cancellation(bits: usize, seed: u64) -> Table {
+    FigScenario::new(e26_spec(bits, seed), e26_body).table()
 }
 
 #[cfg(test)]
@@ -251,7 +319,11 @@ mod tests {
         let t = fig_cancellation(30_000, 7);
         for row in 0..t.len() {
             let (no, yes) = (t.cell(row, 1), t.cell(row, 2));
-            assert!(no > 0.1, "leak {} dB must break the link: {no}", t.cell(row, 0));
+            assert!(
+                no > 0.1,
+                "leak {} dB must break the link: {no}",
+                t.cell(row, 0)
+            );
             assert!(yes < 0.01, "cancelled BER {yes}");
         }
     }

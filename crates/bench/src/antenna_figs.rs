@@ -1,23 +1,33 @@
 //! E3 and E6: antenna-level figures — retrodirectivity and array scaling.
 
+use crate::scenarios::FigScenario;
 use mmtag_antenna::element::PatchElement;
 use mmtag_antenna::{LinearArray, ReflectorWiring, VanAttaArray};
 use mmtag_rf::units::{Angle, Db};
-use mmtag_sim::experiment::{linspace, Table};
+use mmtag_sim::experiment::Table;
+use mmtag_sim::scenario::{AxisKind, RunContext, ScenarioSpec};
 
-/// **E3** — monostatic (back-toward-reader) gain vs incidence angle for the
-/// three wirings: mmTag's Van Atta, the fixed-beam tag of \[18\], and a plain
-/// specular mirror. Columns: `incidence_deg`, `van_atta_db`, `fixed_beam_db`,
-/// `mirror_db`.
-///
-/// The paper's §5.2 claim to reproduce: the Van Atta tag "reflects the
-/// signal back to the direction of arrival regardless of incidence angle",
-/// while the fixed-beam tag "only works when the tag is exactly in front of
-/// the reader".
-pub fn fig_retro() -> Table {
+/// **E3** spec: the ±75° incidence sweep at 151 samples.
+pub(crate) fn e3_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e03-retro",
+        "E3 — monostatic gain vs incidence angle (6 elements)",
+    )
+    .with_axis(
+        "incidence_deg",
+        AxisKind::Linspace {
+            start: -75.0,
+            stop: 75.0,
+            points: 151,
+        },
+    )
+}
+
+pub(crate) fn e3_body(ctx: &RunContext) -> Vec<Table> {
+    let elements = ctx.spec.tag.elements;
     let build = |wiring| {
         VanAttaArray::new(
-            LinearArray::half_wavelength(6),
+            LinearArray::half_wavelength(elements),
             PatchElement::mmtag_default(),
             wiring,
         )
@@ -30,7 +40,7 @@ pub fn fig_retro() -> Table {
         "E3 — monostatic gain vs incidence angle (6 elements)",
         &["incidence_deg", "van_atta_db", "fixed_beam_db", "mirror_db"],
     );
-    for deg in linspace(-75.0, 75.0, 151) {
+    for deg in ctx.spec.values("incidence_deg") {
         let a = Angle::from_degrees(deg);
         t.push_row(&[
             deg,
@@ -39,16 +49,35 @@ pub fn fig_retro() -> Table {
             Db::from_linear(mirror.monostatic_gain(a)).db(),
         ]);
     }
-    t
+    vec![t]
 }
 
-/// **E6** — beamwidth, retro gain and implied link metrics vs element
-/// count. Columns: `elements`, `beamwidth_deg`, `retro_gain_db`,
-/// `gain_vs_n6_db`.
+/// **E3** — monostatic (back-toward-reader) gain vs incidence angle for the
+/// three wirings: mmTag's Van Atta, the fixed-beam tag of \[18\], and a plain
+/// specular mirror. Columns: `incidence_deg`, `van_atta_db`, `fixed_beam_db`,
+/// `mirror_db`.
 ///
-/// §7: 6 elements ⇒ ~20° beamwidth; §8: "range and data-rate … can be
-/// further increased by using more antenna elements."
-pub fn fig_beamwidth() -> Table {
+/// The paper's §5.2 claim to reproduce: the Van Atta tag "reflects the
+/// signal back to the direction of arrival regardless of incidence angle",
+/// while the fixed-beam tag "only works when the tag is exactly in front of
+/// the reader".
+pub fn fig_retro() -> Table {
+    FigScenario::new(e3_spec(), e3_body).table()
+}
+
+/// **E6** spec: the element-count sweep (the paper's 6 plus scaling points).
+pub(crate) fn e6_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e06-beamwidth",
+        "E6 — tag beamwidth and retro gain vs element count",
+    )
+    .with_axis(
+        "elements",
+        AxisKind::Values(vec![2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0]),
+    )
+}
+
+pub(crate) fn e6_body(ctx: &RunContext) -> Vec<Table> {
     let gain_of = |n: usize| {
         let va = VanAttaArray::new(
             LinearArray::half_wavelength(n),
@@ -60,14 +89,30 @@ pub fn fig_beamwidth() -> Table {
     let g6 = gain_of(6);
     let mut t = Table::new(
         "E6 — tag beamwidth and retro gain vs element count",
-        &["elements", "beamwidth_deg", "retro_gain_db", "gain_vs_n6_db"],
+        &[
+            "elements",
+            "beamwidth_deg",
+            "retro_gain_db",
+            "gain_vs_n6_db",
+        ],
     );
-    for n in [2usize, 4, 6, 8, 12, 16, 24, 32] {
+    for v in ctx.spec.values("elements") {
+        let n = v as usize;
         let arr = LinearArray::half_wavelength(n);
         let g = gain_of(n);
         t.push_row(&[n as f64, arr.half_power_beamwidth_deg(), g, g - g6]);
     }
-    t
+    vec![t]
+}
+
+/// **E6** — beamwidth, retro gain and implied link metrics vs element
+/// count. Columns: `elements`, `beamwidth_deg`, `retro_gain_db`,
+/// `gain_vs_n6_db`.
+///
+/// §7: 6 elements ⇒ ~20° beamwidth; §8: "range and data-rate … can be
+/// further increased by using more antenna elements."
+pub fn fig_beamwidth() -> Table {
+    FigScenario::new(e6_spec(), e6_body).table()
 }
 
 #[cfg(test)]
@@ -97,7 +142,7 @@ mod tests {
     }
 
     #[test]
-    fn van_atta_is_flat_over_pm60(){
+    fn van_atta_is_flat_over_pm60() {
         let t = fig_retro();
         // Within ±60°, the Van Atta column never falls more than the
         // element pattern's cos⁴ factor (≈ 12 dB at 60°) below broadside.

@@ -27,10 +27,10 @@ fn main() {
     let mut speedups: Vec<(String, f64)> = Vec::new();
 
     let pair = |name: &str,
-                    results: &mut Vec<BenchResult>,
-                    speedups: &mut Vec<(String, f64)>,
-                    serial: BenchResult,
-                    par: BenchResult| {
+                results: &mut Vec<BenchResult>,
+                speedups: &mut Vec<(String, f64)>,
+                serial: BenchResult,
+                par: BenchResult| {
         speedups.push((name.to_string(), par.speedup_over(&serial)));
         results.push(serial);
         results.push(par);
@@ -45,7 +45,11 @@ fn main() {
     });
     let a = measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree);
     let b = measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree);
-    assert_eq!(a.to_bits(), b.to_bits(), "parallel BER must be bit-identical");
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "parallel BER must be bit-identical"
+    );
     pair("ber_point_100kbit", &mut results, &mut speedups, s, p);
 
     // Full sweep, parallel over (SNR × chunk).
@@ -73,7 +77,13 @@ fn main() {
     let a = inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
     let b = inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
     assert_eq!(a, b, "parallel ensemble must be bit-identical");
-    pair("aloha_ensemble_128tags_x16", &mut results, &mut speedups, s, p);
+    pair(
+        "aloha_ensemble_128tags_x16",
+        &mut results,
+        &mut speedups,
+        s,
+        p,
+    );
 
     for r in &results {
         println!("{}", format_result(r));

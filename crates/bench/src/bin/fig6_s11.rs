@@ -1,5 +1,5 @@
 //! E1: regenerates Fig. 6 — S11 of a tag element, switch off vs on.
 fn main() {
-    println!("{}", mmtag_bench::eval::fig6_s11(201).render());
+    mmtag_bench::scenarios::print_scenario("e01-s11");
     println!("paper anchors: S11(24 GHz, off) ≈ −15 dB; S11(24 GHz, on) ≈ −5 dB");
 }

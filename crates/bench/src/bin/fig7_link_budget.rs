@@ -1,6 +1,6 @@
 //! E2: regenerates Fig. 7 — tag signal power vs range, noise floors, rates.
 fn main() {
-    println!("{}", mmtag_bench::eval::fig7_link_budget().render());
+    mmtag_bench::scenarios::print_scenario("e02-link-budget");
     println!("paper anchors: 1 Gbps @ 4 ft, 10 Mbps @ 10 ft;");
     println!("noise floors ≈ −76 / −86 / −96 dBm at 2 GHz / 200 MHz / 20 MHz");
 }

@@ -1,6 +1,6 @@
 //! E11: retuning to 60 GHz (§7 footnote 3).
 fn main() {
-    println!("{}", mmtag_bench::system_tables::fig_60ghz().render());
+    mmtag_bench::scenarios::print_scenario("e11-60ghz");
     println!("finding: O2 absorption is negligible at room scale; the λ² aperture loss");
     println!("is what costs range — and the tag shrinks by the same factor.");
 }

@@ -1,4 +1,4 @@
 //! E14: fabrication ablation — line phase errors and element failures.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_ablation().render());
+    mmtag_bench::scenarios::print_scenario("e14-ablation");
 }

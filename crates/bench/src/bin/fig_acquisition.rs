@@ -1,4 +1,4 @@
 //! E19: beam-acquisition latency, one- vs two-sided.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_acquisition().render());
+    mmtag_bench::scenarios::print_scenario("e19-acquisition");
 }

@@ -1,5 +1,5 @@
 //! E7: multi-tag inventory — Aloha efficiency and SDM sectoring (§9).
 fn main() {
-    println!("{}", mmtag_bench::network_figs::fig_aloha(11).render());
+    mmtag_bench::scenarios::print_scenario("e07-aloha");
     println!("bound: slotted-Aloha peak efficiency is 1/e ≈ 0.368 per contention domain.");
 }

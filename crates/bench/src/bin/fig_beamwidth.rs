@@ -1,5 +1,5 @@
 //! E6: tag beamwidth and retro gain vs element count (§7: 6 ⇒ ~20°).
 fn main() {
-    println!("{}", mmtag_bench::antenna_figs::fig_beamwidth().render());
+    mmtag_bench::scenarios::print_scenario("e06-beamwidth");
     println!("paper (§7): 6 elements ⇒ ~20° beam; (§8): more elements ⇒ more range/rate.");
 }

@@ -1,6 +1,5 @@
 //! E5: BER vs Eb/N0 — closed-form theory and the measured waveform chain.
 fn main() {
-    println!("{}", mmtag_bench::phy_figs::fig_ber(200_000, 2024).render());
-    println!("{}", mmtag_bench::phy_figs::table_required_snr().render());
+    mmtag_bench::scenarios::print_scenario("e05-ber");
     println!("paper (§8): \"ASK modulation requires SNR of 7 dB to achieve BER of 10⁻³\"");
 }

@@ -1,4 +1,4 @@
 //! E16: BPSK backscatter vs OOK, measured BER.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_bpsk(200_000, 5).render());
+    mmtag_bench::scenarios::print_scenario("e16-bpsk");
 }

@@ -1,4 +1,4 @@
 //! E26: waveform-level SI cancellation.
 fn main() {
-    println!("{}", mmtag_bench::advanced::fig_cancellation(100_000, 7).render());
+    mmtag_bench::scenarios::print_scenario("e26-cancellation");
 }

@@ -1,4 +1,4 @@
 //! E21: the capture effect on framed Aloha.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_capture(1000, 4).render());
+    mmtag_bench::scenarios::print_scenario("e21-capture");
 }

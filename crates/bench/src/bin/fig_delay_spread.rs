@@ -1,4 +1,4 @@
 //! E23: delay spread and ISI verdict vs room size.
 fn main() {
-    println!("{}", mmtag_bench::advanced::fig_delay_spread().render());
+    mmtag_bench::scenarios::print_scenario("e23-delay-spread");
 }

@@ -1,4 +1,4 @@
 //! E15: Rician fading margins and outage.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_fading(200_000, 3).render());
+    mmtag_bench::scenarios::print_scenario("e15-fading");
 }

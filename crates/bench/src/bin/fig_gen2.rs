@@ -1,4 +1,4 @@
 //! E24: Gen2-style protocol inventory cost.
 fn main() {
-    println!("{}", mmtag_bench::advanced::fig_gen2(33).render());
+    mmtag_bench::scenarios::print_scenario("e24-gen2");
 }

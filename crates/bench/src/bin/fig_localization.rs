@@ -1,4 +1,4 @@
 //! E25: beam-scan localization accuracy.
 fn main() {
-    println!("{}", mmtag_bench::advanced::fig_localization().render());
+    mmtag_bench::scenarios::print_scenario("e25-localization");
 }

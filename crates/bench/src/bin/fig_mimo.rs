@@ -1,4 +1,4 @@
 //! E22: multi-beam (MIMO) inventory speedup.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_mimo(7).render());
+    mmtag_bench::scenarios::print_scenario("e22-mimo");
 }

@@ -1,5 +1,5 @@
 //! E8: rate vs tag rotation — the mobility claim (§1/§3).
 fn main() {
-    println!("{}", mmtag_bench::network_figs::fig_mobility().render());
+    mmtag_bench::scenarios::print_scenario("e08-mobility");
     println!("claim: mmTag holds its link at any rotation; the fixed-beam tag collapses.");
 }

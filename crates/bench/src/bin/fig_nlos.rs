@@ -1,6 +1,6 @@
 //! E12: NLOS fallback when the LOS path is blocked (§4).
 fn main() {
-    println!("{}", mmtag_bench::network_figs::fig_nlos().render());
+    mmtag_bench::scenarios::print_scenario("e12-nlos");
     println!("claim (§4): \"when the LOS path is blocked, the tag and the reader");
     println!("chooses an NLOS path to communicate.\"");
 }

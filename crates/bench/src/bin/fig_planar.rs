@@ -1,4 +1,4 @@
 //! E17: planar vs linear Van Atta arrays.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_planar().render());
+    mmtag_bench::scenarios::print_scenario("e17-planar");
 }

@@ -1,4 +1,4 @@
 //! E20: raised-cosine pulse shaping — confinement and rate.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_pulse(3).render());
+    mmtag_bench::scenarios::print_scenario("e20-pulse");
 }

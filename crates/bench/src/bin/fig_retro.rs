@@ -1,6 +1,6 @@
 //! E3: retrodirectivity — monostatic gain vs incidence, three wirings.
 fn main() {
-    println!("{}", mmtag_bench::antenna_figs::fig_retro().render());
+    mmtag_bench::scenarios::print_scenario("e03-retro");
     println!("claim (§5.2): Van Atta reflects toward the reader at any angle;");
     println!("the fixed-beam tag [18] works only near broadside; a mirror only at 0°.");
 }

@@ -1,6 +1,6 @@
 //! E9: self-interference — required TX→RX isolation vs range (§9).
 fn main() {
-    println!("{}", mmtag_bench::system_tables::fig_selfint().render());
+    mmtag_bench::scenarios::print_scenario("e09-selfint");
     println!("passive horn isolation (~40 dB) is far short of the ~89 dB needed;");
     println!("§9 is right that SI is the reader's open problem at mmWave.");
 }

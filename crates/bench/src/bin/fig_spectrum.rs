@@ -1,4 +1,4 @@
 //! E13: OOK spectrum occupancy — the B/2 rule, measured.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_spectrum(7).render());
+    mmtag_bench::scenarios::print_scenario("e13-spectrum");
 }

@@ -1,4 +1,4 @@
 //! E18: capacitor-buffered burst operation.
 fn main() {
-    println!("{}", mmtag_bench::extensions::fig_storage().render());
+    mmtag_bench::scenarios::print_scenario("e18-storage");
 }

@@ -1,0 +1,119 @@
+//! The scenario front door: enumerate and run any registered experiment.
+//!
+//! ```text
+//! cargo run -p mmtag-bench --bin scenario -- list
+//! cargo run -p mmtag-bench --bin scenario -- run e02-link-budget
+//! cargo run -p mmtag-bench --bin scenario -- run e05-ber --csv --quick
+//! cargo run -p mmtag-bench --bin scenario -- smoke
+//! ```
+
+use mmtag_bench::scenarios::registry;
+use mmtag_sim::scenario::Runner;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: scenario <command>
+  list                      print every registered scenario name and title
+  run <name> [options]      run one scenario at its published defaults
+      --json                emit the structured record as JSON
+      --csv                 emit the tables as CSV (manifest as comments)
+      --quick               clamp axes to 3 points and trials to 200
+      --seed <n>            override the spec's root seed
+      --threads <n>         pin the runner's thread budget
+  smoke                     run every scenario at smoke size (CI gate)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let reg = registry();
+            for s in reg.iter() {
+                println!("{:18} {}", s.spec().name, s.spec().title);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some("smoke") => smoke(),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("scenario run: missing <name>\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let (mut json, mut csv, mut quick) = (false, false, false);
+    let (mut seed, mut threads) = (None, None);
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--csv" => csv = true,
+            "--quick" => quick = true,
+            "--seed" | "--threads" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("scenario run: {a} needs an integer value");
+                    return ExitCode::FAILURE;
+                };
+                if a == "--seed" {
+                    seed = Some(v);
+                } else {
+                    threads = Some(v as usize);
+                }
+            }
+            other => {
+                eprintln!("scenario run: unknown option '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let reg = registry();
+    let Some(s) = reg.get(name) else {
+        eprintln!("scenario run: '{name}' is not registered; try 'scenario list'");
+        return ExitCode::FAILURE;
+    };
+    let runner = match threads {
+        Some(n) => Runner::with_threads(n),
+        None => Runner::new(),
+    };
+    let scenario = seed.map(|seed| s.with_spec(s.spec().clone().with_seed(seed)));
+    let s = scenario.as_deref().unwrap_or(s);
+    let record = if quick {
+        runner.run_minimized(s, 3, 200)
+    } else {
+        runner.run(s)
+    };
+    if json {
+        println!("{}", record.to_json());
+    } else if csv {
+        print!("{}", record.to_csv());
+    } else {
+        print!("{}", record.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn smoke() -> ExitCode {
+    let reg = registry();
+    let runner = Runner::new();
+    for s in reg.iter() {
+        let record = runner.run_minimized(s, 3, 200);
+        assert!(
+            !record.tables.is_empty(),
+            "{} produced no tables",
+            record.manifest.scenario
+        );
+        println!(
+            "ok {:18} {:3} rows  {:8.1} ms",
+            record.manifest.scenario,
+            record.tables.iter().map(|t| t.len()).sum::<usize>(),
+            record.manifest.wall_ms
+        );
+    }
+    println!("smoke: all {} scenarios ran", reg.len());
+    ExitCode::SUCCESS
+}

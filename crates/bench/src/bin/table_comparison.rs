@@ -1,5 +1,5 @@
 //! E4: the backscatter-systems comparison table (§1/§3).
 fn main() {
-    println!("{}", mmtag_bench::system_tables::table_comparison().render());
+    mmtag_bench::scenarios::print_scenario("e04-comparison");
     println!("mmTag rows are computed live from the link model; others are published numbers.");
 }

@@ -1,5 +1,5 @@
 //! E10: the power table behind the batteryless claim (§1).
 fn main() {
-    println!("{}", mmtag_bench::system_tables::table_power().render());
+    mmtag_bench::scenarios::print_scenario("e10-power");
     println!("mmTag modulates at µW; active mmWave radios and phased arrays need W.");
 }

@@ -1,8 +1,54 @@
 //! E1 and E2: the paper's own evaluation figures (Fig. 6 and Fig. 7).
+//!
+//! Each experiment is a `(spec, body)` pair: the spec declares the sweep
+//! axes and hardware configs, the body interprets them through
+//! `mmtag::scenario`'s builders. The public `fig*` functions are thin
+//! wrappers that run the pair through the [`Runner`] pipeline
+//! (`crate::scenarios` registers the same pairs in the registry).
 
+use crate::scenarios::FigScenario;
 use mmtag::prelude::*;
+use mmtag::scenario::{face_to_face, LinkSetup};
 use mmtag_antenna::sparams::{ElementPort, SwitchState};
-use mmtag_sim::experiment::{linspace, Table};
+use mmtag_sim::experiment::Table;
+use mmtag_sim::scenario::{AxisKind, RunContext, ScenarioSpec};
+
+/// Default sample count of the E1 frequency sweep (the figure binary's
+/// resolution).
+pub const E1_POINTS: usize = 201;
+
+/// **E1 / Fig. 6** spec: S11 over 23.5–24.5 GHz at `points` samples.
+pub(crate) fn e1_spec(points: usize) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e01-s11",
+        "Fig. 6 — S11 of a tag antenna element (switch off vs on)",
+    )
+    .with_axis(
+        "freq_ghz",
+        AxisKind::Linspace {
+            start: 23.5,
+            stop: 24.5,
+            points,
+        },
+    )
+}
+
+pub(crate) fn e1_body(ctx: &RunContext) -> Vec<Table> {
+    let elem = ElementPort::mmtag_default();
+    let mut t = Table::new(
+        "Fig. 6 — S11 of a tag antenna element (switch off vs on)",
+        &["freq_ghz", "s11_off_db", "s11_on_db"],
+    );
+    for f in ctx.spec.values("freq_ghz") {
+        let freq = Frequency::from_ghz(f);
+        t.push_row(&[
+            f,
+            elem.s11_db(freq, SwitchState::Off),
+            elem.s11_db(freq, SwitchState::On),
+        ]);
+    }
+    vec![t]
+}
 
 /// **E1 / Fig. 6** — S11 of one tag element over 23.5–24.5 GHz in both
 /// switch states. Columns: `freq_ghz`, `s11_off_db`, `s11_on_db`.
@@ -11,38 +57,33 @@ use mmtag_sim::experiment::{linspace, Table};
 /// −15 dB at the 24 GHz carrier frequency… when the switch turns on…
 /// S11 is as high as −5 dB."
 pub fn fig6_s11(points: usize) -> Table {
-    let elem = ElementPort::mmtag_default();
-    let mut t = Table::new(
-        "Fig. 6 — S11 of a tag antenna element (switch off vs on)",
-        &["freq_ghz", "s11_off_db", "s11_on_db"],
-    );
-    for f in linspace(23.5, 24.5, points) {
-        let freq = Frequency::from_ghz(f);
-        t.push_row(&[
-            f,
-            elem.s11_db(freq, SwitchState::Off),
-            elem.s11_db(freq, SwitchState::On),
-        ]);
-    }
-    t
+    FigScenario::new(e1_spec(points), e1_body).table()
 }
 
-/// **E2 / Fig. 7** — tag signal power at the reader vs range, the three
-/// noise floors, and the achievable rate. Columns: `range_ft`,
-/// `tag_signal_dbm`, `floor_2ghz_dbm`, `floor_200mhz_dbm`,
-/// `floor_20mhz_dbm`, `rate_mbps`.
-///
-/// Anchors: 1 Gbps at 4 ft, 10 Mbps at 10 ft; floors ≈ −76/−86/−96 dBm.
-pub fn fig7_link_budget() -> Table {
-    let reader = Reader::mmtag_setup();
-    let tag = MmTag::prototype();
-    let scene = Scene::free_space();
-    let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+/// **E2 / Fig. 7** spec: the 2–12 ft range sweep over the paper's default
+/// hardware.
+pub(crate) fn e2_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e02-link-budget",
+        "Fig. 7 — tag signal power vs range, noise floors, achievable rate",
+    )
+    .with_axis(
+        "range_ft",
+        AxisKind::Linspace {
+            start: 2.0,
+            stop: 12.0,
+            points: 21,
+        },
+    )
+}
+
+pub(crate) fn e2_body(ctx: &RunContext) -> Vec<Table> {
+    let setup = LinkSetup::from_spec(ctx.spec);
 
     let floors = [
-        reader.noise().floor(Bandwidth::from_ghz(2.0)).dbm(),
-        reader.noise().floor(Bandwidth::from_mhz(200.0)).dbm(),
-        reader.noise().floor(Bandwidth::from_mhz(20.0)).dbm(),
+        setup.reader.noise().floor(Bandwidth::from_ghz(2.0)).dbm(),
+        setup.reader.noise().floor(Bandwidth::from_mhz(200.0)).dbm(),
+        setup.reader.noise().floor(Bandwidth::from_mhz(20.0)).dbm(),
     ];
     let mut t = Table::new(
         "Fig. 7 — tag signal power vs range, noise floors, achievable rate",
@@ -55,9 +96,9 @@ pub fn fig7_link_budget() -> Table {
             "rate_mbps",
         ],
     );
-    for feet in linspace(2.0, 12.0, 21) {
-        let tp = Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0));
-        let report = evaluate_link(&reader, &tag, &scene, rp, tp);
+    for feet in ctx.spec.values("range_ft") {
+        let (rp, tp) = face_to_face(feet);
+        let report = setup.evaluate(rp, tp);
         t.push_row(&[
             feet,
             report.power.map(|p| p.dbm()).unwrap_or(f64::NEG_INFINITY),
@@ -67,7 +108,17 @@ pub fn fig7_link_budget() -> Table {
             report.rate.mbps(),
         ]);
     }
-    t
+    vec![t]
+}
+
+/// **E2 / Fig. 7** — tag signal power at the reader vs range, the three
+/// noise floors, and the achievable rate. Columns: `range_ft`,
+/// `tag_signal_dbm`, `floor_2ghz_dbm`, `floor_200mhz_dbm`,
+/// `floor_20mhz_dbm`, `rate_mbps`.
+///
+/// Anchors: 1 Gbps at 4 ft, 10 Mbps at 10 ft; floors ≈ −76/−86/−96 dBm.
+pub fn fig7_link_budget() -> Table {
+    FigScenario::new(e2_spec(), e2_body).table()
 }
 
 #[cfg(test)]

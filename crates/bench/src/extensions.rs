@@ -1,49 +1,83 @@
-//! E13–E19: extension experiments beyond the paper's evaluation — ablations
+//! E13–E22: extension experiments beyond the paper's evaluation — ablations
 //! of the design choices DESIGN.md calls out, and the future-work items
 //! implemented as measurable systems.
 
+use crate::scenarios::FigScenario;
 use mmtag::prelude::*;
+use mmtag::scenario::build_tag;
 use mmtag::storage::{average_throughput_bps, bits_per_burst, steady_state_cycle, StorageCap};
 use mmtag_antenna::element::Isotropic;
 use mmtag_antenna::planar::{Direction, PlanarVanAtta};
 use mmtag_antenna::{LinearArray, PatchElement};
 use mmtag_channel::fading::RicianFading;
 use mmtag_mac::acquisition::{worst_case_latency, SearchMode};
-use mmtag_mac::ScanSchedule;
 use mmtag_mac::capture::capture_gain;
 use mmtag_mac::mimo::mimo_inventory;
+use mmtag_mac::ScanSchedule;
 use mmtag_mac::SectorScheduler;
 use mmtag_phy::bpsk::{measure_bpsk_ber, BpskModem};
 use mmtag_phy::pulse::PulseShaper;
 use mmtag_phy::spectrum::Spectrum;
 use mmtag_phy::waveform::{measure_ber, OokModem};
-use mmtag_sim::experiment::{linspace, Table};
 use mmtag_rf::rng::Xoshiro256pp;
+use mmtag_sim::experiment::Table;
+use mmtag_sim::scenario::{AxisKind, RunContext, ScenarioSpec};
 
-/// **E13** — OOK spectrum occupancy: the measurement behind the paper's
-/// `symbol rate = B/2` rule. Columns: `half_band_symbol_rates`,
-/// `power_fraction`.
-pub fn fig_spectrum(seed: u64) -> Table {
+/// **E13** spec: the channel half-width sweep under `seed`.
+pub(crate) fn e13_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e13-spectrum",
+        "E13 — OOK waveform spectrum: power captured vs channel half-width",
+    )
+    .with_axis(
+        "half_band_symbol_rates",
+        AxisKind::Values(vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0]),
+    )
+    .with_seed(seed)
+}
+
+pub(crate) fn e13_body(ctx: &RunContext) -> Vec<Table> {
     let modem = OokModem::new(8);
-    let mut rng = Xoshiro256pp::seed_from(seed);
+    let mut rng = Xoshiro256pp::seed_from(ctx.spec.seed);
     let spec = Spectrum::of_ook(&modem, 16384, 1024, &mut rng);
     let mut t = Table::new(
         "E13 — OOK waveform spectrum: power captured vs channel half-width",
         &["half_band_symbol_rates", "power_fraction"],
     );
-    for hb in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0] {
+    for hb in ctx.spec.values("half_band_symbol_rates") {
         t.push_row(&[hb, spec.power_within(hb)]);
     }
-    t
+    vec![t]
 }
 
-/// **E14** — fabrication ablation: retro gain vs per-pair line phase error
-/// (RMS radians) and vs failed elements, for the 6-element tag. Columns:
-/// `impairment` (label), `value`, `retro_gain_db`, `loss_vs_ideal_db`.
-pub fn fig_ablation() -> Table {
+/// **E13** — OOK spectrum occupancy: the measurement behind the paper's
+/// `symbol rate = B/2` rule. Columns: `half_band_symbol_rates`,
+/// `power_fraction`.
+pub fn fig_spectrum(seed: u64) -> Table {
+    FigScenario::new(e13_spec(seed), e13_body).table()
+}
+
+/// **E14** spec: the two impairment sweeps (phase RMS, failed elements).
+pub(crate) fn e14_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e14-ablation",
+        "E14 — impairment ablation at 25° incidence (6-element tag)",
+    )
+    .with_axis(
+        "line_phase_rms_rad",
+        AxisKind::Values(vec![0.0, 0.2, 0.5, 1.0, 1.5]),
+    )
+    .with_axis(
+        "failed_elements",
+        AxisKind::Values(vec![0.0, 1.0, 2.0, 3.0]),
+    )
+}
+
+pub(crate) fn e14_body(ctx: &RunContext) -> Vec<Table> {
+    let elements = ctx.spec.tag.elements;
     let ideal_tag = || {
         let mut v = mmtag_antenna::VanAttaArray::new(
-            LinearArray::half_wavelength(6),
+            LinearArray::half_wavelength(elements),
             Isotropic,
             ReflectorWiring::VanAtta,
         );
@@ -59,7 +93,7 @@ pub fn fig_ablation() -> Table {
     );
 
     // Line phase errors: deterministic pseudo-random with growing RMS.
-    for rms in [0.0, 0.2, 0.5, 1.0, 1.5] {
+    for rms in ctx.spec.values("line_phase_rms_rad") {
         let mut v = ideal_tag();
         // Fixed error shape scaled to the requested RMS.
         let shape = [0.9f64, -1.1, 0.6];
@@ -78,7 +112,8 @@ pub fn fig_ablation() -> Table {
     }
 
     // Element failures.
-    for failed in [0usize, 1, 2, 3] {
+    for failed in ctx.spec.values("failed_elements") {
+        let failed = failed as usize;
         let mut v = ideal_tag();
         v.set_off_state_leakage(Db::new(-60.0));
         for k in 0..failed {
@@ -94,59 +129,140 @@ pub fn fig_ablation() -> Table {
             ],
         );
     }
-    t
+    vec![t]
+}
+
+/// **E14** — fabrication ablation: retro gain vs per-pair line phase error
+/// (RMS radians) and vs failed elements, for the 6-element tag. Columns:
+/// `impairment` (label), `value`, `retro_gain_db`, `loss_vs_ideal_db`.
+pub fn fig_ablation() -> Table {
+    FigScenario::new(e14_spec(), e14_body).table()
+}
+
+/// **E15** spec: the K-factor sweep at `trials` Monte-Carlo draws per cell.
+pub(crate) fn e15_spec(trials: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e15-fading",
+        "E15 — Rician fading: outage probability vs K-factor and margin",
+    )
+    .with_axis("k_db", AxisKind::Values(vec![0.0, 5.0, 10.0, 15.0]))
+    .with_trials(trials)
+    .with_seed(seed)
+}
+
+pub(crate) fn e15_body(ctx: &RunContext) -> Vec<Table> {
+    // Each (K, margin) cell runs its trials chunked over the parallel
+    // engine under its own SeedTree subtree — bit-identical at any thread
+    // count, and each cell independent of the others.
+    let mut t = Table::new(
+        "E15 — Rician fading: outage probability vs K-factor and margin",
+        &["k_db", "outage_3db_margin", "outage_7db_margin"],
+    );
+    for (i, k_db) in ctx.spec.values("k_db").into_iter().enumerate() {
+        let fader = RicianFading::from_k_db(Db::new(k_db));
+        t.push_row(&[
+            k_db,
+            fader.outage_probability_par(
+                Db::new(3.0),
+                ctx.spec.trials,
+                &ctx.tree.subtree_indexed("outage-3db", i as u64),
+            ),
+            fader.outage_probability_par(
+                Db::new(7.0),
+                ctx.spec.trials,
+                &ctx.tree.subtree_indexed("outage-7db", i as u64),
+            ),
+        ]);
+    }
+    vec![t]
 }
 
 /// **E15** — fading margin: outage probability at each Fig. 7 rate rung
 /// under Rician fading, vs K-factor. Columns: `k_db`,
 /// `outage_3db_margin`, `outage_7db_margin`.
 pub fn fig_fading(trials: usize, seed: u64) -> Table {
-    // Each (K, margin) cell runs its trials chunked over the parallel
-    // engine under its own SeedTree subtree — bit-identical at any thread
-    // count, and each cell independent of the others.
-    let tree = mmtag_rf::rng::SeedTree::new(seed);
-    let mut t = Table::new(
-        "E15 — Rician fading: outage probability vs K-factor and margin",
-        &["k_db", "outage_3db_margin", "outage_7db_margin"],
-    );
-    for (i, k_db) in [0.0, 5.0, 10.0, 15.0].into_iter().enumerate() {
-        let fader = RicianFading::from_k_db(Db::new(k_db));
-        t.push_row(&[
-            k_db,
-            fader.outage_probability_par(
-                Db::new(3.0),
-                trials,
-                &tree.subtree_indexed("outage-3db", i as u64),
-            ),
-            fader.outage_probability_par(
-                Db::new(7.0),
-                trials,
-                &tree.subtree_indexed("outage-7db", i as u64),
-            ),
-        ]);
-    }
-    t
+    FigScenario::new(e15_spec(trials, seed), e15_body).table()
 }
 
-/// **E16** — BPSK backscatter vs OOK: measured BER at equal Eb/N0 and the
-/// range each scheme's threshold buys. Columns: `eb_n0_db`, `ook_ber`,
-/// `bpsk_ber`.
-pub fn fig_bpsk(bits: usize, seed: u64) -> Table {
-    let mut rng = Xoshiro256pp::seed_from(seed);
+/// **E16** spec: the 3–11 dB `Eb/N0` sweep at `bits` per point.
+pub(crate) fn e16_spec(bits: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e16-bpsk",
+        "E16 — BPSK backscatter vs OOK: measured BER at equal Eb/N0",
+    )
+    .with_axis(
+        "eb_n0_db",
+        AxisKind::Linspace {
+            start: 3.0,
+            stop: 11.0,
+            points: 5,
+        },
+    )
+    .with_trials(bits)
+    .with_seed(seed)
+}
+
+pub(crate) fn e16_body(ctx: &RunContext) -> Vec<Table> {
+    let mut rng = Xoshiro256pp::seed_from(ctx.spec.seed);
     let ook = OokModem::new(4);
     let bpsk = BpskModem::new(4);
     let mut t = Table::new(
         "E16 — BPSK backscatter vs OOK: measured BER at equal Eb/N0",
         &["eb_n0_db", "ook_ber", "bpsk_ber"],
     );
-    for snr in linspace(3.0, 11.0, 5) {
+    for snr in ctx.spec.values("eb_n0_db") {
         t.push_row(&[
             snr,
-            measure_ber(&ook, snr, bits, true, &mut rng),
-            measure_bpsk_ber(&bpsk, snr, bits, &mut rng),
+            measure_ber(&ook, snr, ctx.spec.trials, true, &mut rng),
+            measure_bpsk_ber(&bpsk, snr, ctx.spec.trials, &mut rng),
         ]);
     }
-    t
+    vec![t]
+}
+
+/// **E16** — BPSK backscatter vs OOK: measured BER at equal Eb/N0 and the
+/// range each scheme's threshold buys. Columns: `eb_n0_db`, `ook_ber`,
+/// `bpsk_ber`.
+pub fn fig_bpsk(bits: usize, seed: u64) -> Table {
+    FigScenario::new(e16_spec(bits, seed), e16_body).table()
+}
+
+/// **E17** spec: zipped az/el offset axes (row `i` pairs
+/// `theta_deg[i]` with `phi_deg[i]`).
+pub(crate) fn e17_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e17-planar",
+        "E17 — planar vs linear Van Atta: gain at az/el offsets",
+    )
+    .with_axis(
+        "theta_deg",
+        AxisKind::Values(vec![0.0, 30.0, 30.0, 30.0, 50.0]),
+    )
+    .with_axis(
+        "phi_deg",
+        AxisKind::Values(vec![0.0, 0.0, 90.0, 45.0, 45.0]),
+    )
+}
+
+pub(crate) fn e17_body(ctx: &RunContext) -> Vec<Table> {
+    let planar = PlanarVanAtta::new(6, 4, 0.5, 0.5, PatchElement::mmtag_default());
+    let linear = PlanarVanAtta::new(6, 1, 0.5, 0.5, PatchElement::mmtag_default());
+    let mut t = Table::new(
+        "E17 — planar vs linear Van Atta: gain at az/el offsets",
+        &["theta_deg", "phi_deg", "planar_db", "linear_db"],
+    );
+    let thetas = ctx.spec.values("theta_deg");
+    let phis = ctx.spec.values("phi_deg");
+    for (&th, &ph) in thetas.iter().zip(&phis) {
+        let d = Direction::from_spherical(Angle::from_degrees(th), Angle::from_degrees(ph));
+        t.push_row(&[
+            th,
+            ph,
+            Db::from_linear(planar.monostatic_gain(d)).db(),
+            Db::from_linear(linear.monostatic_gain(d)).db(),
+        ]);
+    }
+    vec![t]
 }
 
 /// **E17** — planar (6 × 4) vs linear (6 × 1) tag: monostatic gain at
@@ -161,42 +277,35 @@ pub fn fig_bpsk(bits: usize, seed: u64) -> Table {
 /// preserved — that is the upgrade path §8 alludes to ("more antenna
 /// elements"), realized in 2-D.
 pub fn fig_planar() -> Table {
-    let planar = PlanarVanAtta::new(6, 4, 0.5, 0.5, PatchElement::mmtag_default());
-    let linear = PlanarVanAtta::new(6, 1, 0.5, 0.5, PatchElement::mmtag_default());
-    let mut t = Table::new(
-        "E17 — planar vs linear Van Atta: gain at az/el offsets",
-        &["theta_deg", "phi_deg", "planar_db", "linear_db"],
-    );
-    for (th, ph) in [
-        (0.0, 0.0),
-        (30.0, 0.0),   // pure azimuth: both retro
-        (30.0, 90.0),  // pure elevation: the row sees uniform phase (fan beam)
-        (30.0, 45.0),  // skew
-        (50.0, 45.0),
-    ] {
-        let d = Direction::from_spherical(Angle::from_degrees(th), Angle::from_degrees(ph));
-        t.push_row(&[
-            th,
-            ph,
-            Db::from_linear(planar.monostatic_gain(d)).db(),
-            Db::from_linear(linear.monostatic_gain(d)).db(),
-        ]);
-    }
-    t
+    FigScenario::new(e17_spec(), e17_body).table()
 }
 
-/// **E18** — burst operation: bits per burst and average throughput vs
-/// capacitor size under a 10 cm² solar harvester at 1 Gbps. Columns:
-/// `cap_uf`, `burst_ms`, `bits_per_burst_mbit`, `avg_throughput_mbps`.
-pub fn fig_storage() -> Table {
-    let tag = MmTag::prototype();
+/// **E18** spec: the capacitor-size sweep.
+pub(crate) fn e18_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e18-storage",
+        "E18 — capacitor-buffered bursts at 1 Gbps on 100 µW solar",
+    )
+    .with_axis(
+        "cap_uf",
+        AxisKind::Values(vec![10.0, 47.0, 100.0, 470.0, 1000.0]),
+    )
+}
+
+pub(crate) fn e18_body(ctx: &RunContext) -> Vec<Table> {
+    let tag = build_tag(&ctx.spec.tag);
     let budget = EnergyBudget::for_tag(&tag, DataRate::from_gbps(1.0));
     let solar = Harvester::IndoorSolar { area_cm2: 10.0 };
     let mut t = Table::new(
         "E18 — capacitor-buffered bursts at 1 Gbps on 100 µW solar",
-        &["cap_uf", "burst_ms", "bits_per_burst_mbit", "avg_throughput_mbps"],
+        &[
+            "cap_uf",
+            "burst_ms",
+            "bits_per_burst_mbit",
+            "avg_throughput_mbps",
+        ],
     );
-    for cap_uf in [10.0, 47.0, 100.0, 470.0, 1000.0] {
+    for cap_uf in ctx.spec.values("cap_uf") {
         let cap = StorageCap::new(cap_uf * 1e-6, 1.8, 3.3);
         let cycle = steady_state_cycle(&budget, solar, &cap).expect("solar carries logic");
         t.push_row(&[
@@ -206,18 +315,40 @@ pub fn fig_storage() -> Table {
             average_throughput_bps(&cycle, 1e9) / 1e6,
         ]);
     }
-    t
+    vec![t]
 }
 
-/// **E19** — acquisition latency: one-sided (mmTag) vs two-sided
-/// (conventional pair) beam search, vs beamwidth. Columns: `beamwidth_deg`,
-/// `positions`, `one_sided_ms`, `two_sided_ms`, `speedup`.
-pub fn fig_acquisition() -> Table {
+/// **E18** — burst operation: bits per burst and average throughput vs
+/// capacitor size under a 10 cm² solar harvester at 1 Gbps. Columns:
+/// `cap_uf`, `burst_ms`, `bits_per_burst_mbit`, `avg_throughput_mbps`.
+pub fn fig_storage() -> Table {
+    FigScenario::new(e18_spec(), e18_body).table()
+}
+
+/// **E19** spec: the beamwidth sweep.
+pub(crate) fn e19_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e19-acquisition",
+        "E19 — worst-case beam acquisition: retrodirective vs two-sided",
+    )
+    .with_axis(
+        "beamwidth_deg",
+        AxisKind::Values(vec![30.0, 20.0, 10.0, 5.0]),
+    )
+}
+
+pub(crate) fn e19_body(ctx: &RunContext) -> Vec<Table> {
     let mut t = Table::new(
         "E19 — worst-case beam acquisition: retrodirective vs two-sided",
-        &["beamwidth_deg", "positions", "one_sided_ms", "two_sided_ms", "speedup"],
+        &[
+            "beamwidth_deg",
+            "positions",
+            "one_sided_ms",
+            "two_sided_ms",
+            "speedup",
+        ],
     );
-    for bw in [30.0, 20.0, 10.0, 5.0] {
+    for bw in ctx.spec.values("beamwidth_deg") {
         let scan = ScanSchedule::new(
             Angle::from_degrees(120.0),
             Angle::from_degrees(bw),
@@ -234,20 +365,33 @@ pub fn fig_acquisition() -> Table {
             two.as_secs_f64() / one.as_secs_f64(),
         ]);
     }
-    t
+    vec![t]
 }
 
-/// **E20** — pulse shaping: spectrum confinement of raised-cosine OOK vs
-/// hard switching, and the rate the same channel then admits. Columns:
-/// `beta`, `power_in_channel`, `rate_in_2ghz_gbps`.
-///
-/// The channel is the paper's 2 GHz band; hard switching needs the `B/2`
-/// rule (1 Gbps), shaped OOK runs at `B/(1+β)`.
-pub fn fig_pulse(seed: u64) -> Table {
-    use mmtag_phy::spectrum::Spectrum;
+/// **E19** — acquisition latency: one-sided (mmTag) vs two-sided
+/// (conventional pair) beam search, vs beamwidth. Columns: `beamwidth_deg`,
+/// `positions`, `one_sided_ms`, `two_sided_ms`, `speedup`.
+pub fn fig_acquisition() -> Table {
+    FigScenario::new(e19_spec(), e19_body).table()
+}
+
+/// **E20** spec: the roll-off sweep (the hard-switching "rect" row is part
+/// of the body) under `seed`.
+pub(crate) fn e20_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e20-pulse",
+        "E20 — raised-cosine shaped OOK: confinement and admissible rate",
+    )
+    .with_axis("beta", AxisKind::Values(vec![0.1, 0.35, 0.5, 1.0]))
+    .with_seed(seed)
+}
+
+pub(crate) fn e20_body(ctx: &RunContext) -> Vec<Table> {
     let sps = 8;
-    let mut rng = Xoshiro256pp::seed_from(seed);
-    let bits: Vec<bool> = (0..4096).map(|_| mmtag_rf::rng::Rng::bit(&mut rng)).collect();
+    let mut rng = Xoshiro256pp::seed_from(ctx.spec.seed);
+    let bits: Vec<bool> = (0..4096)
+        .map(|_| mmtag_rf::rng::Rng::bit(&mut rng))
+        .collect();
     let modem = OokModem::new(sps);
     let mut t = Table::new(
         "E20 — raised-cosine shaped OOK: confinement and admissible rate",
@@ -256,7 +400,7 @@ pub fn fig_pulse(seed: u64) -> Table {
     // Hard switching row (β = "rect"): channel ±1 symbol rate (B/2 rule).
     let rect = Spectrum::of_samples(&modem.modulate(&bits), sps, 1024);
     t.push_labeled_row("rect", &[f64::NAN, rect.power_within(1.0), 1.0]);
-    for beta in [0.1, 0.35, 0.5, 1.0] {
+    for beta in ctx.spec.values("beta") {
         let shaped = PulseShaper::new(beta, 8, sps).shape_ook(&modem, &bits);
         let spec = Spectrum::of_samples(&shaped, sps, 1024);
         // Shaped signal occupies ±(1+β)/2 symbol rates ⇒ in a fixed 2 GHz
@@ -267,34 +411,62 @@ pub fn fig_pulse(seed: u64) -> Table {
             &[beta, spec.power_within(half_channel), 2.0 / (1.0 + beta)],
         );
     }
-    t
+    vec![t]
+}
+
+/// **E20** — pulse shaping: spectrum confinement of raised-cosine OOK vs
+/// hard switching, and the rate the same channel then admits. Columns:
+/// `beta`, `power_in_channel`, `rate_in_2ghz_gbps`.
+///
+/// The channel is the paper's 2 GHz band; hard switching needs the `B/2`
+/// rule (1 Gbps), shaped OOK runs at `B/(1+β)`.
+pub fn fig_pulse(seed: u64) -> Table {
+    FigScenario::new(e20_spec(seed), e20_body).table()
+}
+
+/// **E21** spec: the population sweep at `trials` rounds per point.
+pub(crate) fn e21_spec(trials: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e21-capture",
+        "E21 — capture effect on framed Aloha (d⁻⁴ power spread, 7 dB threshold)",
+    )
+    .with_axis("tags", AxisKind::Values(vec![8.0, 32.0, 128.0]))
+    .with_trials(trials)
+    .with_seed(seed)
+}
+
+pub(crate) fn e21_body(ctx: &RunContext) -> Vec<Table> {
+    let mut rng = Xoshiro256pp::seed_from(ctx.spec.seed);
+    let mut t = Table::new(
+        "E21 — capture effect on framed Aloha (d⁻⁴ power spread, 7 dB threshold)",
+        &["tags", "with_capture", "without_capture", "gain_pct"],
+    );
+    for v in ctx.spec.values("tags") {
+        let n = v as usize;
+        let (with, without) = capture_gain(n, Db::new(7.0), ctx.spec.trials, &mut rng);
+        t.push_row(&[n as f64, with, without, (with / without - 1.0) * 100.0]);
+    }
+    vec![t]
 }
 
 /// **E21** — the capture effect: single-round read fraction with and
 /// without capture, vs population, for the backscatter d⁻⁴ power spread.
 /// Columns: `tags`, `with_capture`, `without_capture`, `gain_pct`.
 pub fn fig_capture(trials: usize, seed: u64) -> Table {
-    let mut rng = Xoshiro256pp::seed_from(seed);
-    let mut t = Table::new(
-        "E21 — capture effect on framed Aloha (d⁻⁴ power spread, 7 dB threshold)",
-        &["tags", "with_capture", "without_capture", "gain_pct"],
-    );
-    for n in [8usize, 32, 128] {
-        let (with, without) = capture_gain(n, Db::new(7.0), trials, &mut rng);
-        t.push_row(&[
-            n as f64,
-            with,
-            without,
-            (with / without - 1.0) * 100.0,
-        ]);
-    }
-    t
+    FigScenario::new(e21_spec(trials, seed), e21_body).table()
 }
 
-/// **E22** — §9's MIMO beams: inventory makespan vs number of simultaneous
-/// beams for a 240-tag sector population. Columns: `beams`, `makespan_slots`,
-/// `speedup`.
-pub fn fig_mimo(seed: u64) -> Table {
+/// **E22** spec: the simultaneous-beam sweep under `seed`.
+pub(crate) fn e22_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e22-mimo",
+        "E22 — multi-beam (MIMO) inventory: makespan vs beam count",
+    )
+    .with_axis("beams", AxisKind::Values(vec![1.0, 2.0, 4.0, 8.0, 12.0]))
+    .with_seed(seed)
+}
+
+pub(crate) fn e22_body(ctx: &RunContext) -> Vec<Table> {
     let scan = ScanSchedule::new(
         Angle::from_degrees(120.0),
         Angle::from_degrees(20.0),
@@ -308,13 +480,21 @@ pub fn fig_mimo(seed: u64) -> Table {
         "E22 — multi-beam (MIMO) inventory: makespan vs beam count",
         &["beams", "makespan_slots", "speedup"],
     );
-    for k in [1usize, 2, 4, 8, 12] {
-        let mut rng = Xoshiro256pp::seed_from(seed);
+    for v in ctx.spec.values("beams") {
+        let k = v as usize;
+        let mut rng = Xoshiro256pp::seed_from(ctx.spec.seed);
         let inv = mimo_inventory(&part, k, &mut rng);
         assert_eq!(inv.tags_read, 240);
         t.push_row(&[k as f64, inv.makespan() as f64, inv.speedup()]);
     }
-    t
+    vec![t]
+}
+
+/// **E22** — §9's MIMO beams: inventory makespan vs number of simultaneous
+/// beams for a 240-tag sector population. Columns: `beams`, `makespan_slots`,
+/// `speedup`.
+pub fn fig_mimo(seed: u64) -> Table {
+    FigScenario::new(e22_spec(seed), e22_body).table()
 }
 
 #[cfg(test)]
@@ -422,7 +602,12 @@ mod tests {
         let t = fig_pulse(3);
         // Every shaped row confines ≥ 99% into its channel…
         for row in 1..t.len() {
-            assert!(t.cell(row, 1) > 0.98, "β={}: {}", t.cell(row, 0), t.cell(row, 1));
+            assert!(
+                t.cell(row, 1) > 0.98,
+                "β={}: {}",
+                t.cell(row, 0),
+                t.cell(row, 1)
+            );
         }
         // …and admits at least the rect baseline's 1 Gbps — strictly more
         // for any roll-off below 1 (β = 1 degenerates to the B/2 rule).
@@ -456,7 +641,11 @@ mod tests {
         assert!(speedups.windows(2).all(|w| w[1] >= w[0] - 1e-9));
         // At K = 12 (one beam per sector) the speedup is bounded by the
         // largest sector's share but still well above 4×.
-        assert!(*speedups.last().unwrap() > 4.0, "K=12 speedup {}", speedups.last().unwrap());
+        assert!(
+            *speedups.last().unwrap() > 4.0,
+            "K=12 speedup {}",
+            speedups.last().unwrap()
+        );
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! | E12 | §4 NLOS | [`network_figs::fig_nlos`] |
 //! | E13–E22 | extensions/ablations | [`extensions`] |
 //! | E23–E26 | ISI / Gen2 / localization / SI cancellation | [`advanced`] |
+//!
+//! Every experiment is also registered as a named scenario in
+//! [`scenarios::registry`] — `cargo run -p mmtag-bench --bin scenario --
+//! list` enumerates them, and each runs through the typed
+//! [`mmtag_sim::scenario`] pipeline (spec → [`mmtag_sim::scenario::Runner`]
+//! → [`mmtag_sim::scenario::RunRecord`] with a reproducibility manifest).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,5 +40,6 @@ pub mod eval;
 pub mod extensions;
 pub mod network_figs;
 pub mod phy_figs;
+pub mod scenarios;
 pub mod system_tables;
 pub mod timing;

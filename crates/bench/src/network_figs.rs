@@ -1,23 +1,34 @@
 //! E7, E8, E12: network-level experiments — MAC, mobility, NLOS.
 
+use crate::scenarios::FigScenario;
 use mmtag::prelude::*;
-use mmtag::tag::TagConfig;
+use mmtag::scenario::{build_reader, build_scene, build_tag, offset_poses};
 use mmtag_mac::aloha::{inventory_until_drained, slotted_aloha_throughput, QAlgorithm};
 use mmtag_mac::{ScanSchedule, SectorScheduler};
-use mmtag_sim::experiment::Table;
 use mmtag_rf::rng::Xoshiro256pp;
+use mmtag_sim::experiment::Table;
+use mmtag_sim::scenario::{AxisKind, RunContext, ScenarioSpec};
 
-/// **E7** — multi-tag inventory: adaptive framed-Aloha slot efficiency and
-/// the SDM comparison, vs population size. Columns: `tags`,
-/// `single_domain_slots`, `single_eff`, `sdm_slots`, `sdm_eff`,
-/// `aloha_bound` (1/e).
-pub fn fig_aloha(seed: u64) -> Table {
+/// **E7** spec: the population sweep under `seed`.
+pub(crate) fn e7_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e07-aloha",
+        "E7 — inventory cost vs population: single domain vs SDM sectors",
+    )
+    .with_axis(
+        "tags",
+        AxisKind::Values(vec![4.0, 16.0, 64.0, 128.0, 256.0]),
+    )
+    .with_seed(seed)
+}
+
+pub(crate) fn e7_body(ctx: &RunContext) -> Vec<Table> {
     let scan = ScanSchedule::new(
         Angle::from_degrees(120.0),
         Angle::from_degrees(20.0),
         Duration::from_millis(1),
     );
-    let mut rng = Xoshiro256pp::seed_from(seed);
+    let mut rng = Xoshiro256pp::seed_from(ctx.spec.seed);
     let mut t = Table::new(
         "E7 — inventory cost vs population: single domain vs SDM sectors",
         &[
@@ -29,7 +40,8 @@ pub fn fig_aloha(seed: u64) -> Table {
             "aloha_bound",
         ],
     );
-    for n in [4usize, 16, 64, 128, 256] {
+    for v in ctx.spec.values("tags") {
+        let n = v as usize;
         let angles: Vec<Angle> = (0..n)
             .map(|i| Angle::from_degrees(-55.0 + 110.0 * i as f64 / (n.max(2) - 1) as f64))
             .collect();
@@ -45,43 +57,72 @@ pub fn fig_aloha(seed: u64) -> Table {
             slotted_aloha_throughput(1.0),
         ]);
     }
-    t
+    vec![t]
+}
+
+/// **E7** — multi-tag inventory: adaptive framed-Aloha slot efficiency and
+/// the SDM comparison, vs population size. Columns: `tags`,
+/// `single_domain_slots`, `single_eff`, `sdm_slots`, `sdm_eff`,
+/// `aloha_bound` (1/e).
+pub fn fig_aloha(seed: u64) -> Table {
+    FigScenario::new(e7_spec(seed), e7_body).table()
+}
+
+/// **E8** spec: the 0–60° rotation sweep at 4 ft (13 samples, 5° apart).
+pub(crate) fn e8_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e08-mobility",
+        "E8 — achievable rate vs tag rotation at 4 ft: Van Atta vs fixed beam",
+    )
+    .with_axis(
+        "rotation_deg",
+        AxisKind::Linspace {
+            start: 0.0,
+            stop: 60.0,
+            points: 13,
+        },
+    )
+}
+
+pub(crate) fn e8_body(ctx: &RunContext) -> Vec<Table> {
+    let reader = build_reader(&ctx.spec.reader);
+    let scene = build_scene(&ctx.spec.scene);
+    let va = build_tag(&ctx.spec.tag);
+    let fb = build_tag(&ctx.spec.tag.with_wiring(WiringSpec::FixedBeam));
+    let mut t = Table::new(
+        "E8 — achievable rate vs tag rotation at 4 ft: Van Atta vs fixed beam",
+        &["rotation_deg", "van_atta_mbps", "fixed_beam_mbps"],
+    );
+    for rot in ctx.spec.values("rotation_deg") {
+        let (rp, tp) = offset_poses(4.0, rot, 0.0);
+        let r_va = evaluate_link(&reader, &va, &scene, rp, tp);
+        let r_fb = evaluate_link(&reader, &fb, &scene, rp, tp);
+        t.push_row(&[rot, r_va.rate.mbps(), r_fb.rate.mbps()]);
+    }
+    vec![t]
 }
 
 /// **E8** — mobility: link uptime and mean rate over a 60° rotation sweep
 /// for the Van Atta tag vs the fixed-beam baseline, at 4 ft. Columns:
 /// `rotation_deg`, `van_atta_mbps`, `fixed_beam_mbps`.
 pub fn fig_mobility() -> Table {
-    let reader = Reader::mmtag_setup();
-    let scene = Scene::free_space();
-    let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
-    let va = MmTag::prototype();
-    let fb = MmTag::new(TagConfig {
-        wiring: ReflectorWiring::FixedBeam,
-        ..TagConfig::default()
-    });
-    let mut t = Table::new(
-        "E8 — achievable rate vs tag rotation at 4 ft: Van Atta vs fixed beam",
-        &["rotation_deg", "van_atta_mbps", "fixed_beam_mbps"],
-    );
-    for rot in (0..=60).step_by(5) {
-        let tp = Pose::new(
-            Vec2::from_feet(4.0, 0.0),
-            Angle::from_degrees(180.0 - rot as f64),
-        );
-        let r_va = evaluate_link(&reader, &va, &scene, rp, tp);
-        let r_fb = evaluate_link(&reader, &fb, &scene, rp, tp);
-        t.push_row(&[rot as f64, r_va.rate.mbps(), r_fb.rate.mbps()]);
-    }
-    t
+    FigScenario::new(e8_spec(), e8_body).table()
 }
 
-/// **E12** — NLOS operation (§4): a corridor with a blocker stepping into
-/// the LOS path. Columns: `blocker_present` (0/1), `via_los` (0/1),
-/// `power_dbm`, `rate_mbps`.
-pub fn fig_nlos() -> Table {
-    let reader = Reader::mmtag_setup();
-    let tag = MmTag::prototype();
+/// **E12** spec: the 5 × 2 m corridor with the paper's blocker, swept over
+/// blocker presence.
+pub(crate) fn e12_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e12-nlos",
+        "E12 — LOS blockage and NLOS fallback in a 5 × 2 m corridor",
+    )
+    .with_scene(SceneSpec::room(5.0, 2.0).with_blocker(1.0, 0.8, 1.0, 1.2))
+    .with_axis("blocker_present", AxisKind::Values(vec![0.0, 1.0]))
+}
+
+pub(crate) fn e12_body(ctx: &RunContext) -> Vec<Table> {
+    let reader = build_reader(&ctx.spec.reader);
+    let tag = build_tag(&ctx.spec.tag);
     let rp = Pose::new(Vec2::new(0.5, 1.0), Angle::ZERO);
     let tp = Pose::new(Vec2::new(1.5, 1.0), Angle::from_degrees(180.0));
 
@@ -89,20 +130,28 @@ pub fn fig_nlos() -> Table {
         "E12 — LOS blockage and NLOS fallback in a 5 × 2 m corridor",
         &["blocker_present", "via_los", "power_dbm", "rate_mbps"],
     );
-    for blocked in [false, true] {
-        let mut scene = Scene::room(5.0, 2.0);
-        if blocked {
-            scene.add_blocker(Segment::new(Vec2::new(1.0, 0.8), Vec2::new(1.0, 1.2)));
-        }
+    for blocked in ctx.spec.values("blocker_present") {
+        let scene = if blocked != 0.0 {
+            build_scene(&ctx.spec.scene)
+        } else {
+            build_scene(&ctx.spec.scene.without_blockers())
+        };
         let r = evaluate_link(&reader, &tag, &scene, rp, tp);
         t.push_row(&[
-            blocked as u8 as f64,
+            blocked,
             r.via_los as u8 as f64,
             r.power.map(|p| p.dbm()).unwrap_or(f64::NEG_INFINITY),
             r.rate.mbps(),
         ]);
     }
-    t
+    vec![t]
+}
+
+/// **E12** — NLOS operation (§4): a corridor with a blocker stepping into
+/// the LOS path. Columns: `blocker_present` (0/1), `via_los` (0/1),
+/// `power_dbm`, `rate_mbps`.
+pub fn fig_nlos() -> Table {
+    FigScenario::new(e12_spec(), e12_body).table()
 }
 
 #[cfg(test)]

@@ -1,24 +1,34 @@
 //! E5: BER vs SNR — validating the paper's "7 dB for BER 10⁻³" table entry.
 
+use crate::scenarios::FigScenario;
 use mmtag_phy::ber::{bpsk_ber, ook_coherent_ber, ook_noncoherent_ber, required_eb_n0_db};
 use mmtag_phy::waveform::{ber_sweep_par, OokModem};
-use mmtag_rf::rng::SeedTree;
-use mmtag_sim::experiment::{linspace, Table};
+use mmtag_sim::experiment::Table;
+use mmtag_sim::scenario::{AxisKind, RunContext, ScenarioSpec};
 
-/// **E5** — BER vs `Eb/N0`: closed-form curves for antipodal "ASK"/BPSK
-/// (the paper's 7 dB reference), coherent OOK and non-coherent OOK, plus
-/// the Monte-Carlo measurement of the actual sampled OOK modem. Columns:
-/// `eb_n0_db`, `bpsk_theory`, `ook_coh_theory`, `ook_noncoh_theory`,
-/// `ook_measured`.
-///
-/// The measured column runs over [`ber_sweep_par`]: every (SNR point,
-/// bit-chunk) pair is an independent work unit of the parallel engine, so
-/// the figure is bit-identical at any thread count.
-pub fn fig_ber(bits_per_point: usize, seed: u64) -> Table {
+/// **E5** spec: the 0–14 dB `Eb/N0` sweep, `bits_per_point` Monte-Carlo
+/// bits per SNR point under `seed`.
+pub(crate) fn e5_spec(bits_per_point: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e05-ber",
+        "E5 — BER vs Eb/N0: theory and measured waveform chain",
+    )
+    .with_axis(
+        "eb_n0_db",
+        AxisKind::Linspace {
+            start: 0.0,
+            stop: 14.0,
+            points: 15,
+        },
+    )
+    .with_trials(bits_per_point)
+    .with_seed(seed)
+}
+
+pub(crate) fn e5_body(ctx: &RunContext) -> Vec<Table> {
     let modem = OokModem::new(4);
-    let tree = SeedTree::new(seed);
-    let snrs = linspace(0.0, 14.0, 15);
-    let measured = ber_sweep_par(&modem, &snrs, bits_per_point, true, &tree);
+    let snrs = ctx.spec.values("eb_n0_db");
+    let measured = ber_sweep_par(&modem, &snrs, ctx.spec.trials, true, &ctx.tree);
     let mut t = Table::new(
         "E5 — BER vs Eb/N0: theory and measured waveform chain",
         &[
@@ -39,11 +49,25 @@ pub fn fig_ber(bits_per_point: usize, seed: u64) -> Table {
             m,
         ]);
     }
-    t
+    vec![t, table_required_snr()]
+}
+
+/// **E5** — BER vs `Eb/N0`: closed-form curves for antipodal "ASK"/BPSK
+/// (the paper's 7 dB reference), coherent OOK and non-coherent OOK, plus
+/// the Monte-Carlo measurement of the actual sampled OOK modem. Columns:
+/// `eb_n0_db`, `bpsk_theory`, `ook_coh_theory`, `ook_noncoh_theory`,
+/// `ook_measured`.
+///
+/// The measured column runs over [`ber_sweep_par`]: every (SNR point,
+/// bit-chunk) pair is an independent work unit of the parallel engine, so
+/// the figure is bit-identical at any thread count.
+pub fn fig_ber(bits_per_point: usize, seed: u64) -> Table {
+    FigScenario::new(e5_spec(bits_per_point, seed), e5_body).table()
 }
 
 /// The required `Eb/N0` for BER 10⁻³ per scheme — the "rate table" row the
-/// paper cites. Columns: `scheme` (label), `required_db`.
+/// paper cites. Columns: `scheme` (label), `required_db`. Also emitted as
+/// the second table of the `e05-ber` scenario.
 pub fn table_required_snr() -> Table {
     let mut t = Table::new(
         "E5b — Eb/N0 required for BER 10⁻³ (the paper's 7 dB reference)",

@@ -1,22 +1,28 @@
 //! E4, E9, E10, E11: system-level tables — comparison, self-interference,
 //! power and the 60 GHz retune.
 
+use crate::scenarios::FigScenario;
 use mmtag::baseline::comparison_rows;
 use mmtag::energy::{
     advantage_over_active_radio, advantage_over_phased_array, EnergyBudget, Harvester,
 };
 use mmtag::prelude::*;
-use mmtag::tag::TagConfig;
+use mmtag::scenario::{build_reader, build_scene, build_tag, face_to_face};
 use mmtag_antenna::PhasedArray;
 use mmtag_channel::atmosphere::path_absorption;
-use mmtag_sim::experiment::{linspace, Table};
+use mmtag_sim::experiment::Table;
+use mmtag_sim::scenario::{AxisKind, RunContext, ScenarioSpec};
 
-/// **E4** — the §1/§3 comparison: every published backscatter system's
-/// rate at 4 ft and 10 ft, with mmTag's numbers computed live from the
-/// link model. Columns: `rate_4ft_mbps`, `rate_10ft_mbps`, `mobility`
-/// (1 = supports arbitrary orientation).
-pub fn table_comparison() -> Table {
-    let rows = comparison_rows(&Reader::mmtag_setup(), &MmTag::prototype());
+/// **E4** spec: no axes — the comparison table is a fixed set of systems.
+pub(crate) fn e4_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e04-comparison",
+        "E4 — backscatter systems compared (paper §1/§3)",
+    )
+}
+
+pub(crate) fn e4_body(ctx: &RunContext) -> Vec<Table> {
+    let rows = comparison_rows(&build_reader(&ctx.spec.reader), &build_tag(&ctx.spec.tag));
     let mut t = Table::new(
         "E4 — backscatter systems compared (paper §1/§3)",
         &["rate_4ft_mbps", "rate_10ft_mbps", "mobility"],
@@ -31,28 +37,44 @@ pub fn table_comparison() -> Table {
             ],
         );
     }
-    t
+    vec![t]
 }
 
-/// **E9** — self-interference: the TX→RX isolation required for the tag
-/// signal to be decodable at each range (SINR ≥ 7 dB on the best rung),
-/// versus what passive isolation alone provides. Columns: `range_ft`,
-/// `tag_signal_dbm`, `isolation_for_thermal_db`, `passive_only_db`,
-/// `rate_with_passive_mbps`, `rate_with_110db_mbps`.
-pub fn fig_selfint() -> Table {
-    let tag = MmTag::prototype();
-    let scene = Scene::free_space();
-    let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+/// **E4** — the §1/§3 comparison: every published backscatter system's
+/// rate at 4 ft and 10 ft, with mmTag's numbers computed live from the
+/// link model. Columns: `rate_4ft_mbps`, `rate_10ft_mbps`, `mobility`
+/// (1 = supports arbitrary orientation).
+pub fn table_comparison() -> Table {
+    FigScenario::new(e4_spec(), e4_body).table()
+}
 
-    let passive = Reader::mmtag_setup(); // 40 dB isolation
-    // 110 dB total: enough to sit below even the 20 MHz rung's thermal
-    // floor (13 dBm TX − 108.8 dB needed).
-    let cancelled = Reader::mmtag_setup().with_self_interference(
-        mmtag::reader::SelfInterference {
-            antenna_isolation: Db::new(40.0),
-            cancellation: Db::new(70.0),
+/// **E9** spec: the 2–12 ft range sweep at 6 samples.
+pub(crate) fn e9_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e09-selfint",
+        "E9 — self-interference: required isolation and its effect on rate",
+    )
+    .with_axis(
+        "range_ft",
+        AxisKind::Linspace {
+            start: 2.0,
+            stop: 12.0,
+            points: 6,
         },
-    );
+    )
+}
+
+pub(crate) fn e9_body(ctx: &RunContext) -> Vec<Table> {
+    let tag = build_tag(&ctx.spec.tag);
+    let scene = build_scene(&ctx.spec.scene);
+
+    let passive = build_reader(&ctx.spec.reader); // 40 dB isolation
+                                                  // 110 dB total: enough to sit below even the 20 MHz rung's thermal
+                                                  // floor (13 dBm TX − 108.8 dB needed).
+    let cancelled = build_reader(&ReaderSpec {
+        cancellation_db: 70.0,
+        ..ctx.spec.reader
+    });
 
     // Rate with SI: recompute the ladder decision against the effective
     // (noise + residual SI) floor.
@@ -80,8 +102,8 @@ pub fn fig_selfint() -> Table {
             "rate_with_110db_mbps",
         ],
     );
-    for feet in linspace(2.0, 12.0, 6) {
-        let tp = Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0));
+    for feet in ctx.spec.values("range_ft") {
+        let (rp, tp) = face_to_face(feet);
         let report = evaluate_link(&passive, &tag, &scene, rp, tp);
         let p = report.power.expect("free space is never blocked");
         t.push_row(&[
@@ -93,14 +115,28 @@ pub fn fig_selfint() -> Table {
             rate_with(&cancelled, p),
         ]);
     }
-    t
+    vec![t]
 }
 
-/// **E10** — the power table behind the batteryless claim: mmTag's draw at
-/// each rate vs the active alternatives, plus harvesting feasibility.
-/// Columns: `power_uw`, `advantage_vs_active`, `solar10_duty_pct`.
-pub fn table_power() -> Table {
-    let tag = MmTag::prototype();
+/// **E9** — self-interference: the TX→RX isolation required for the tag
+/// signal to be decodable at each range (SINR ≥ 7 dB on the best rung),
+/// versus what passive isolation alone provides. Columns: `range_ft`,
+/// `tag_signal_dbm`, `isolation_for_thermal_db`, `passive_only_db`,
+/// `rate_with_passive_mbps`, `rate_with_110db_mbps`.
+pub fn fig_selfint() -> Table {
+    FigScenario::new(e9_spec(), e9_body).table()
+}
+
+/// **E10** spec: no axes — a fixed set of rates and power baselines.
+pub(crate) fn e10_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link(
+        "e10-power",
+        "E10 — power budget: mmTag vs active radios (batteryless argument)",
+    )
+}
+
+pub(crate) fn e10_body(ctx: &RunContext) -> Vec<Table> {
+    let tag = build_tag(&ctx.spec.tag);
     let mut t = Table::new(
         "E10 — power budget: mmTag vs active radios (batteryless argument)",
         &["power_uw", "advantage_vs_active", "solar10_duty_pct"],
@@ -137,16 +173,24 @@ pub fn table_power() -> Table {
         ],
     );
     let _ = advantage_over_phased_array(&b1g, 16); // exercised in tests
-    t
+    vec![t]
 }
 
-/// **E11** — retuning to 60 GHz (§7 footnote 3): tag size, atmospheric
-/// absorption over 12 ft, and achievable rate at 2/4/8 ft per band.
-/// Columns: `freq_ghz`, `tag_width_mm`, `o2_loss_12ft_db`,
-/// `rate_2ft_mbps`, `rate_4ft_mbps`, `rate_8ft_mbps`.
-pub fn fig_60ghz() -> Table {
-    let scene = Scene::free_space();
-    let rp = Pose::new(Vec2::ORIGIN, Angle::ZERO);
+/// **E10** — the power table behind the batteryless claim: mmTag's draw at
+/// each rate vs the active alternatives, plus harvesting feasibility.
+/// Columns: `power_uw`, `advantage_vs_active`, `solar10_duty_pct`.
+pub fn table_power() -> Table {
+    FigScenario::new(e10_spec(), e10_body).table()
+}
+
+/// **E11** spec: the band sweep over the three mmWave candidates.
+pub(crate) fn e11_spec() -> ScenarioSpec {
+    ScenarioSpec::paper_link("e11-60ghz", "E11 — retuning mmTag across mmWave bands")
+        .with_axis("freq_ghz", AxisKind::Values(vec![24.0, 39.0, 60.0]))
+}
+
+pub(crate) fn e11_body(ctx: &RunContext) -> Vec<Table> {
+    let scene = build_scene(&ctx.spec.scene);
     let mut t = Table::new(
         "E11 — retuning mmTag across mmWave bands",
         &[
@@ -158,18 +202,15 @@ pub fn fig_60ghz() -> Table {
             "rate_8ft_mbps",
         ],
     );
-    for ghz in [24.0, 39.0, 60.0] {
+    for ghz in ctx.spec.values("freq_ghz") {
         let freq = Frequency::from_ghz(ghz);
-        let tag = MmTag::new(TagConfig {
-            frequency: freq,
-            ..TagConfig::default()
+        let tag = build_tag(&TagSpec {
+            band_ghz: ghz,
+            ..ctx.spec.tag
         });
-        let reader = Reader::mmtag_setup().with_link(mmtag_channel::BackscatterLink {
-            frequency: freq,
-            ..mmtag_channel::BackscatterLink::mmtag_setup()
-        });
+        let reader = build_reader(&ReaderSpec::at_band(ghz));
         let rate_at = |feet: f64| {
-            let tp = Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0));
+            let (rp, tp) = face_to_face(feet);
             evaluate_link(&reader, &tag, &scene, rp, tp).rate.mbps()
         };
         let (w, _) = tag.dimensions();
@@ -182,7 +223,15 @@ pub fn fig_60ghz() -> Table {
             rate_at(8.0),
         ]);
     }
-    t
+    vec![t]
+}
+
+/// **E11** — retuning to 60 GHz (§7 footnote 3): tag size, atmospheric
+/// absorption over 12 ft, and achievable rate at 2/4/8 ft per band.
+/// Columns: `freq_ghz`, `tag_width_mm`, `o2_loss_12ft_db`,
+/// `rate_2ft_mbps`, `rate_4ft_mbps`, `rate_8ft_mbps`.
+pub fn fig_60ghz() -> Table {
+    FigScenario::new(e11_spec(), e11_body).table()
 }
 
 #[cfg(test)]

@@ -1,0 +1,97 @@
+//! Registry-level guarantees: completeness, determinism across thread
+//! counts, artifact sanity, and a smoke pass over every scenario.
+
+use mmtag_bench::scenarios::registry;
+use mmtag_sim::scenario::Runner;
+
+#[test]
+fn every_scenario_smokes_and_is_thread_count_invariant() {
+    let reg = registry();
+    assert_eq!(reg.len(), 26);
+    let serial = Runner::with_threads(1);
+    let parallel = Runner::with_threads(8);
+    for s in reg.iter() {
+        let a = serial.run_minimized(s, 3, 200);
+        let b = parallel.run_minimized(s, 3, 200);
+        assert!(!a.tables.is_empty(), "{}: no tables", s.spec().name);
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "{}: output depends on thread count",
+            s.spec().name
+        );
+        assert_eq!(a.manifest.threads, 1);
+        assert_eq!(b.manifest.threads, 8);
+        assert_eq!(a.manifest.spec_hash, b.manifest.spec_hash);
+    }
+}
+
+#[test]
+fn full_size_run_is_thread_count_invariant() {
+    // The link-budget sweep at its published size, 1 thread vs 8: the
+    // tentpole's bit-identity promise at full scale.
+    let reg = registry();
+    let s = reg.get("e02-link-budget").unwrap();
+    let a = Runner::with_threads(1).run(s);
+    let b = Runner::with_threads(8).run(s);
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn manifest_records_the_spec() {
+    let reg = registry();
+    let record = Runner::new().run(reg.get("e02-link-budget").unwrap());
+    let m = &record.manifest;
+    assert_eq!(m.scenario, "e02-link-budget");
+    assert_eq!(m.seed, reg.get("e02-link-budget").unwrap().spec().seed);
+    assert!(m.threads >= 1);
+    assert!(m.wall_ms >= 0.0);
+    // The hash pins the canonical spec: re-running yields the same value.
+    let again = Runner::new().run(reg.get("e02-link-budget").unwrap());
+    assert_eq!(m.spec_hash, again.manifest.spec_hash);
+}
+
+#[test]
+fn json_and_csv_artifacts_are_sane() {
+    let reg = registry();
+    let record = Runner::new().run(reg.get("e06-beamwidth").unwrap());
+
+    let json = record.to_json();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"manifest\""));
+    assert!(json.contains("\"e06-beamwidth\""));
+    assert!(json.contains("\"tables\""));
+    // Balanced braces/brackets — the writer is hand-rolled, so check it.
+    let balance = |open: char, close: char| {
+        json.chars().filter(|&c| c == open).count() == json.chars().filter(|&c| c == close).count()
+    };
+    assert!(balance('{', '}') && balance('[', ']'));
+
+    let csv = record.to_csv();
+    assert!(csv.starts_with("# scenario=e06-beamwidth"));
+    // Every non-comment line has the same field count as its header.
+    let mut width = None;
+    for line in csv.lines() {
+        if line.starts_with('#') {
+            width = None;
+            continue;
+        }
+        let n = line.split(',').count();
+        match width {
+            None => width = Some(n),
+            Some(w) => assert_eq!(n, w, "ragged CSV row: {line}"),
+        }
+    }
+}
+
+#[test]
+fn seed_override_changes_monte_carlo_output() {
+    let reg = registry();
+    let s = reg.get("e21-capture").unwrap();
+    let runner = Runner::new();
+    let base = runner.run_minimized(s, 3, 200);
+    let reseeded = s.with_spec(s.spec().clone().with_seed(999));
+    let other = runner.run_minimized(&*reseeded, 3, 200);
+    assert_ne!(base.render(), other.render());
+    assert_ne!(base.manifest.spec_hash, other.manifest.spec_hash);
+}

@@ -80,8 +80,7 @@ impl DelayProfile {
             return None;
         }
         let mean = self.mean_delay()?;
-        let second: f64 =
-            self.taps.iter().map(|&(t, p)| t * t * p).sum::<f64>() / total;
+        let second: f64 = self.taps.iter().map(|&(t, p)| t * t * p).sum::<f64>() / total;
         Some((second - mean * mean).max(0.0).sqrt())
     }
 
@@ -173,8 +172,7 @@ mod tests {
                 bounces: 1,
             },
         ]);
-        let eval =
-            |r: &Ray| -40.0 * r.length.meters().log10() - 2.0 * r.reflection_loss.db();
+        let eval = |r: &Ray| -40.0 * r.length.meters().log10() - 2.0 * r.reflection_loss.db();
         let p = DelayProfile::from_rays(&rays, eval);
         assert_eq!(p.len(), 2);
         let s = p.rms_delay_spread().unwrap();
@@ -205,8 +203,7 @@ mod tests {
                 bounces: 1,
             },
         ]);
-        let eval =
-            |r: &Ray| -40.0 * r.length.meters().log10() - 2.0 * r.reflection_loss.db();
+        let eval = |r: &Ray| -40.0 * r.length.meters().log10() - 2.0 * r.reflection_loss.db();
         let p = DelayProfile::from_rays(&rays, eval);
         let bc = p.coherence_bandwidth().unwrap();
         assert!(

@@ -108,17 +108,13 @@ impl RicianFading {
     ) -> f64 {
         assert!(trials > 0, "need at least one trial");
         let threshold = outage_threshold(margin);
-        let outages: u64 = par::par_chunks_with(
-            threads,
-            trials,
-            OUTAGE_CHUNK_TRIALS,
-            |ci, range| {
+        let outages: u64 =
+            par::par_chunks_with(threads, trials, OUTAGE_CHUNK_TRIALS, |ci, range| {
                 let mut rng = tree.rng_indexed("outage-chunk", ci as u64);
                 self.count_outages(threshold, range.len(), &mut rng) as u64
-            },
-        )
-        .into_iter()
-        .sum();
+            })
+            .into_iter()
+            .sum();
         outages as f64 / trials as f64
     }
 
@@ -149,8 +145,7 @@ mod tests {
             RicianFading::new(100.0),
         ] {
             let n = 200_000;
-            let mean: f64 =
-                (0..n).map(|_| fader.sample_power(&mut rng)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| fader.sample_power(&mut rng)).sum::<f64>() / n as f64;
             assert!((mean - 1.0).abs() < 0.02, "K={}: mean={mean}", fader.k());
         }
     }

@@ -172,7 +172,11 @@ mod tests {
         let d = Distance::from_feet(7.3);
         let p = link.received_power(tag_gain(), d);
         let d2 = link.max_range(tag_gain(), p);
-        assert!((d2.feet() - 7.3).abs() < 1e-6, "round trip {} ft", d2.feet());
+        assert!(
+            (d2.feet() - 7.3).abs() < 1e-6,
+            "round trip {} ft",
+            d2.feet()
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// The subcommand (first positional argument), if any.
     pub command: Option<String>,
+    /// A second positional operand (only `run <scenario>` uses one).
+    pub operand: Option<String>,
     /// Option map: `--range 4` → `("range", "4")`.
     pub options: BTreeMap<String, String>,
 }
@@ -30,6 +32,8 @@ pub enum ArgError {
     },
     /// Something that is neither the subcommand nor a flag appeared.
     UnexpectedPositional(String),
+    /// A scenario name that is not in the registry.
+    UnknownName(String),
 }
 
 impl std::fmt::Display for ArgError {
@@ -40,6 +44,9 @@ impl std::fmt::Display for ArgError {
                 write!(f, "--{flag}: cannot parse '{raw}' as a number")
             }
             ArgError::UnexpectedPositional(s) => write!(f, "unexpected argument '{s}'"),
+            ArgError::UnknownName(s) => {
+                write!(f, "unknown scenario '{s}' (see `mmtag scenarios`)")
+            }
         }
     }
 }
@@ -70,6 +77,8 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(arg);
+            } else if out.operand.is_none() {
+                out.operand = Some(arg);
             } else {
                 return Err(ArgError::UnexpectedPositional(arg));
             }
@@ -166,9 +175,12 @@ mod tests {
     }
 
     #[test]
-    fn extra_positional_is_an_error() {
+    fn second_positional_is_the_operand_and_a_third_errors() {
+        let a = Args::parse(["run", "e02-link-budget"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.operand.as_deref(), Some("e02-link-budget"));
         assert_eq!(
-            Args::parse(["link", "oops"]),
+            Args::parse(["run", "e02-link-budget", "oops"]),
             Err(ArgError::UnexpectedPositional("oops".into()))
         );
     }

@@ -9,14 +9,22 @@ use mmtag::baseline::comparison_rows;
 use mmtag::energy::{advantage_over_active_radio, EnergyBudget, Harvester};
 use mmtag::localization::{locate, position_error};
 use mmtag::prelude::*;
+use mmtag::scenario::{build_reader, build_scene, build_tag, offset_poses};
 use mmtag::storage::{steady_state_cycle, StorageCap};
-use mmtag::tag::TagConfig;
 use mmtag_antenna::sparams::{ElementPort, SwitchState};
+use mmtag_bench::scenarios::registry;
 use mmtag_rf::rng::Xoshiro256pp;
+use mmtag_sim::experiment::linspace;
+use mmtag_sim::scenario::Runner;
 use std::fmt::Write as _;
 
 /// Top-level dispatch. Unknown/missing commands return the help text.
 pub fn run(args: &Args) -> Result<String, ArgError> {
+    if args.command.as_deref() != Some("run") {
+        if let Some(op) = &args.operand {
+            return Err(ArgError::UnexpectedPositional(op.clone()));
+        }
+    }
     match args.command.as_deref() {
         Some("link") => cmd_link(args),
         Some("sweep") => cmd_sweep(args),
@@ -25,6 +33,8 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         Some("locate") => cmd_locate(args),
         Some("energy") => cmd_energy(args),
         Some("compare") => Ok(cmd_compare()),
+        Some("scenarios") => Ok(cmd_scenarios()),
+        Some("run") => cmd_run(args),
         _ => Ok(help()),
     }
 }
@@ -47,53 +57,38 @@ COMMANDS:
   energy     batteryless budget       --rate-mbps 1000 --solar-cm2 10
                                       --cap-uf 100
   compare    the §1/§3 systems comparison table
+  scenarios  list every registered experiment (E1–E26)
+  run        run a scenario by name   run e02-link-budget
+                                      --format table|csv|json
+                                      --quick 1 --seed 7
   help       this text
 "
     .to_string()
 }
 
-fn build_tag(args: &Args) -> Result<MmTag, ArgError> {
-    let elements = args.usize_or("elements", 6)?;
-    let band = args.f64_or("band-ghz", 24.0)?;
-    let wiring = match args.str_or("wiring", "vanatta").as_str() {
-        "fixed" => ReflectorWiring::FixedBeam,
-        "mirror" => ReflectorWiring::Specular,
-        _ => ReflectorWiring::VanAtta,
-    };
-    Ok(MmTag::new(TagConfig {
-        elements,
-        frequency: Frequency::from_ghz(band),
-        wiring,
-    }))
+/// The tag described by `--elements/--band-ghz/--wiring`, via the
+/// scenario spec layer.
+fn tag_spec(args: &Args) -> Result<TagSpec, ArgError> {
+    Ok(TagSpec {
+        elements: args.usize_or("elements", 6)?,
+        band_ghz: args.f64_or("band-ghz", 24.0)?,
+        wiring: WiringSpec::parse(&args.str_or("wiring", "vanatta")),
+    })
 }
 
-fn reader_for(args: &Args) -> Result<Reader, ArgError> {
-    let band = args.f64_or("band-ghz", 24.0)?;
-    let link = mmtag_channel::BackscatterLink {
-        frequency: Frequency::from_ghz(band),
-        ..mmtag_channel::BackscatterLink::mmtag_setup()
-    };
-    Ok(Reader::mmtag_setup().with_link(link))
-}
-
-fn poses(range_ft: f64, rotation_deg: f64, bearing_deg: f64) -> (Pose, Pose) {
-    let rad = bearing_deg.to_radians();
-    (
-        Pose::new(Vec2::ORIGIN, Angle::ZERO),
-        Pose::new(
-            Vec2::from_feet(range_ft * rad.cos(), range_ft * rad.sin()),
-            Angle::from_degrees(bearing_deg + 180.0 - rotation_deg),
-        ),
-    )
+/// The reader retuned to `--band-ghz`, via the scenario spec layer.
+fn reader_spec(args: &Args) -> Result<ReaderSpec, ArgError> {
+    Ok(ReaderSpec::at_band(args.f64_or("band-ghz", 24.0)?))
 }
 
 fn cmd_link(args: &Args) -> Result<String, ArgError> {
     let range = args.f64_or("range-ft", 4.0)?;
     let rotation = args.f64_or("rotation-deg", 0.0)?;
-    let tag = build_tag(args)?;
-    let reader = reader_for(args)?;
-    let (rp, tp) = poses(range, rotation, 0.0);
-    let report = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp);
+    let tag = build_tag(&tag_spec(args)?);
+    let reader = build_reader(&reader_spec(args)?);
+    let scene = build_scene(&SceneSpec::free_space());
+    let (rp, tp) = offset_poses(range, rotation, 0.0);
+    let report = evaluate_link(&reader, &tag, &scene, rp, tp);
 
     let mut out = String::new();
     let _ = writeln!(out, "link @ {range} ft, tag rotated {rotation}°:");
@@ -117,15 +112,14 @@ fn cmd_link(args: &Args) -> Result<String, ArgError> {
 fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let from = args.f64_or("from-ft", 2.0)?;
     let to = args.f64_or("to-ft", 12.0)?;
-    let points = args.usize_or("points", 11)?.max(2);
-    let tag = build_tag(args)?;
-    let reader = reader_for(args)?;
-    let scene = Scene::free_space();
+    let points = args.usize_or("points", 11)?;
+    let tag = build_tag(&tag_spec(args)?);
+    let reader = build_reader(&reader_spec(args)?);
+    let scene = build_scene(&SceneSpec::free_space());
 
     let mut out = String::from("range_ft  power_dbm  rate\n");
-    for i in 0..points {
-        let feet = from + (to - from) * i as f64 / (points - 1) as f64;
-        let (rp, tp) = poses(feet, 0.0, 0.0);
+    for feet in linspace(from, to, points) {
+        let (rp, tp) = offset_poses(feet, 0.0, 0.0);
         let r = evaluate_link(&reader, &tag, &scene, rp, tp);
         let p = r
             .power
@@ -150,11 +144,7 @@ fn cmd_s11(_args: &Args) -> Result<String, ArgError> {
         "  switch on  (absorbing) : {:>6.1} dB   (paper: ≈ −5 dB)",
         e.s11_db(f0, SwitchState::On)
     );
-    let _ = writeln!(
-        out,
-        "  −10 dB bandwidth       : {}",
-        e.matched_bandwidth()
-    );
+    let _ = writeln!(out, "  −10 dB bandwidth       : {}", e.matched_bandwidth());
     Ok(out)
 }
 
@@ -162,16 +152,16 @@ fn cmd_inventory(args: &Args) -> Result<String, ArgError> {
     let n = args.usize_or("tags", 48)?;
     let seed = args.u64_or("seed", 1)?;
     let mut net = Network::new(
-        Scene::free_space(),
-        Reader::mmtag_setup(),
+        build_scene(&SceneSpec::free_space()),
+        build_reader(&ReaderSpec::mmtag_setup()),
         Pose::new(Vec2::ORIGIN, Angle::ZERO),
     );
     for i in 0..n {
         let deg = -55.0 + 110.0 * i as f64 / (n.max(2) - 1) as f64;
-        let pos = Vec2::from_feet(6.0 * deg.to_radians().cos(), 6.0 * deg.to_radians().sin());
+        let (_, tp) = offset_poses(6.0, 0.0, deg);
         net.add_tag(
-            MmTag::prototype(),
-            mmtag_sim::mobility::Static(Pose::new(pos, Angle::from_degrees(deg + 180.0))),
+            build_tag(&TagSpec::prototype()),
+            mmtag_sim::mobility::Static(tp),
         );
     }
     let mut rng = Xoshiro256pp::seed_from(seed);
@@ -188,11 +178,12 @@ fn cmd_inventory(args: &Args) -> Result<String, ArgError> {
 fn cmd_locate(args: &Args) -> Result<String, ArgError> {
     let range = args.f64_or("range-ft", 6.0)?;
     let bearing = args.f64_or("bearing-deg", 20.0)?;
-    let reader = Reader::mmtag_setup();
-    let tag = MmTag::prototype();
-    let (rp, tp) = poses(range, 0.0, bearing);
+    let reader = build_reader(&ReaderSpec::mmtag_setup());
+    let tag = build_tag(&TagSpec::prototype());
+    let scene = build_scene(&SceneSpec::free_space());
+    let (rp, tp) = offset_poses(range, 0.0, bearing);
     let mut out = String::new();
-    match locate(&reader, &tag, &Scene::free_space(), rp, tp) {
+    match locate(&reader, &tag, &scene, rp, tp) {
         Some(est) => {
             let _ = writeln!(out, "truth    : {range:.2} ft @ {bearing:.1}°");
             let _ = writeln!(
@@ -201,11 +192,7 @@ fn cmd_locate(args: &Args) -> Result<String, ArgError> {
                 est.range.feet(),
                 est.bearing.degrees()
             );
-            let _ = writeln!(
-                out,
-                "error    : {:.2} ft",
-                position_error(&est, tp).feet()
-            );
+            let _ = writeln!(out, "error    : {:.2} ft", position_error(&est, tp).feet());
         }
         None => {
             let _ = writeln!(out, "tag inaudible in every beam (out of sector?)");
@@ -220,7 +207,7 @@ fn cmd_energy(args: &Args) -> Result<String, ArgError> {
         area_cm2: args.f64_or("solar-cm2", 10.0)?,
     };
     let cap = StorageCap::new(args.f64_or("cap-uf", 100.0)? * 1e-6, 1.8, 3.3);
-    let budget = EnergyBudget::for_tag(&MmTag::prototype(), rate);
+    let budget = EnergyBudget::for_tag(&build_tag(&TagSpec::prototype()), rate);
 
     let mut out = String::new();
     let _ = writeln!(out, "energy budget at {rate}:");
@@ -254,10 +241,11 @@ fn cmd_energy(args: &Args) -> Result<String, ArgError> {
 }
 
 fn cmd_compare() -> String {
-    let rows = comparison_rows(&Reader::mmtag_setup(), &MmTag::prototype());
-    let mut out = String::from(
-        "system                    rate@4ft      rate@10ft     mobility\n",
+    let rows = comparison_rows(
+        &build_reader(&ReaderSpec::mmtag_setup()),
+        &build_tag(&TagSpec::prototype()),
     );
+    let mut out = String::from("system                    rate@4ft      rate@10ft     mobility\n");
     for r in rows {
         let _ = writeln!(
             out,
@@ -271,12 +259,203 @@ fn cmd_compare() -> String {
     out
 }
 
+fn cmd_scenarios() -> String {
+    let mut out = String::new();
+    for s in registry().iter() {
+        let _ = writeln!(out, "{:18} {}", s.spec().name, s.spec().title);
+    }
+    out
+}
+
+fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    let Some(name) = args.operand.as_deref() else {
+        return Err(ArgError::MissingValue("<scenario name>".into()));
+    };
+    let reg = registry();
+    let Some(s) = reg.get(name) else {
+        return Err(ArgError::UnknownName(name.to_string()));
+    };
+    let reseeded = args
+        .options
+        .get("seed")
+        .map(|_| -> Result<_, ArgError> {
+            let seed = args.u64_or("seed", 0)?;
+            Ok(s.with_spec(s.spec().clone().with_seed(seed)))
+        })
+        .transpose()?;
+    let s = reseeded.as_deref().unwrap_or(s);
+    let runner = Runner::new();
+    let record = if args.usize_or("quick", 0)? != 0 {
+        runner.run_minimized(s, 3, 200)
+    } else {
+        runner.run(s)
+    };
+    match args.str_or("format", "table").as_str() {
+        "csv" => Ok(record.to_csv()),
+        "json" => Ok(record.to_json() + "\n"),
+        _ => Ok(record.render()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn run_line(line: &[&str]) -> String {
         run(&Args::parse(line.iter().copied()).unwrap()).unwrap()
+    }
+
+    fn run_err(line: &[&str]) -> ArgError {
+        match Args::parse(line.iter().copied()) {
+            Err(e) => e,
+            Ok(a) => run(&a).unwrap_err(),
+        }
+    }
+
+    // ---- seeded golden outputs: the exact bytes each command prints ----
+    // The model stack is deterministic, so these pin the full command
+    // surface; a diff here means user-visible output changed.
+
+    #[test]
+    fn golden_link() {
+        assert_eq!(
+            run_line(&["link"]),
+            "link @ 4 ft, tag rotated 0°:\n\
+             \x20 received power : -66.47 dBm\n\
+             \x20 bandwidth rung : 2.0 GHz\n\
+             \x20 SNR            : 9.34 dB\n\
+             \x20 rate           : 1.00 Gbps\n"
+        );
+    }
+
+    #[test]
+    fn golden_sweep() {
+        assert_eq!(
+            run_line(&["sweep", "--points", "5"]),
+            "range_ft  power_dbm  rate\n\
+             \x20   2.00    -54.43  1.00 Gbps\n\
+             \x20   4.50    -68.52  1.00 Gbps\n\
+             \x20   7.00    -76.20  100.00 Mbps\n\
+             \x20   9.50    -81.50  10.00 Mbps\n\
+             \x20  12.00    -85.56  10.00 Mbps\n"
+        );
+    }
+
+    #[test]
+    fn golden_s11() {
+        assert_eq!(
+            run_line(&["s11"]),
+            "element S11 at the 24 GHz carrier:\n\
+             \x20 switch off (reflective):  -15.0 dB   (paper: ≈ −15 dB)\n\
+             \x20 switch on  (absorbing) :   -5.2 dB   (paper: ≈ −5 dB)\n\
+             \x20 −10 dB bandwidth       : 540.0 MHz\n"
+        );
+    }
+
+    #[test]
+    fn golden_inventory() {
+        assert_eq!(
+            run_line(&["inventory", "--tags", "12", "--seed", "7"]),
+            "inventory of 12 tags (seed 7):\n\
+             \x20 tags read       : 12\n\
+             \x20 sectors visited : 12\n\
+             \x20 Aloha slots     : 192\n\
+             \x20 elapsed         : 697.280 µs\n"
+        );
+    }
+
+    #[test]
+    fn golden_locate() {
+        assert_eq!(
+            run_line(&["locate"]),
+            "truth    : 6.00 ft @ 20.0°\n\
+             estimate : 6.27 ft @ 19.9°\n\
+             error    : 0.27 ft\n"
+        );
+    }
+
+    // ---- error paths ----
+
+    #[test]
+    fn malformed_number_is_a_bad_value_error() {
+        assert_eq!(
+            run_err(&["link", "--range-ft", "abc"]),
+            ArgError::BadValue {
+                flag: "range-ft".into(),
+                raw: "abc".into()
+            }
+        );
+    }
+
+    #[test]
+    fn dangling_flag_is_a_missing_value_error() {
+        assert_eq!(
+            run_err(&["sweep", "--points"]),
+            ArgError::MissingValue("points".into())
+        );
+    }
+
+    #[test]
+    fn stray_operand_is_rejected_outside_run() {
+        assert_eq!(
+            run_err(&["link", "oops"]),
+            ArgError::UnexpectedPositional("oops".into())
+        );
+    }
+
+    #[test]
+    fn run_requires_a_known_scenario() {
+        assert_eq!(
+            run_err(&["run", "nope"]),
+            ArgError::UnknownName("nope".into())
+        );
+        assert!(matches!(run_err(&["run"]), ArgError::MissingValue(_)));
+    }
+
+    // ---- the scenario pipeline commands ----
+
+    #[test]
+    fn scenarios_lists_all_26() {
+        let out = run_line(&["scenarios"]);
+        assert_eq!(out.lines().count(), 26);
+        assert!(out.starts_with("e01-s11"));
+        assert!(out.contains("e26-cancellation"));
+    }
+
+    #[test]
+    fn run_matches_the_registry_record() {
+        let out = run_line(&["run", "e06-beamwidth"]);
+        let record = registry().run("e06-beamwidth", &Runner::new()).unwrap();
+        assert_eq!(out, record.render());
+    }
+
+    #[test]
+    fn run_quick_and_formats_work() {
+        let csv = run_line(&["run", "e06-beamwidth", "--format", "csv", "--quick", "1"]);
+        assert!(csv.starts_with("# scenario=e06-beamwidth"));
+        assert_eq!(csv.lines().filter(|l| !l.starts_with('#')).count(), 4); // header + 3 rows
+        let json = run_line(&["run", "e06-beamwidth", "--format", "json", "--quick", "1"]);
+        assert!(json.contains("\"manifest\"") && json.contains("\"e06-beamwidth\""));
+    }
+
+    #[test]
+    fn run_seed_override_reaches_the_spec() {
+        let a = run_line(&["run", "e21-capture", "--quick", "1"]);
+        let b = run_line(&["run", "e21-capture", "--quick", "1", "--seed", "999"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sweep_with_one_point_emits_one_row() {
+        let out = run_line(&["sweep", "--points", "1"]);
+        assert_eq!(out.lines().count(), 2, "{out}"); // header + 1 row
+        assert!(out.contains("2.00"), "{out}");
+    }
+
+    #[test]
+    fn sweep_with_zero_points_is_header_only() {
+        let out = run_line(&["sweep", "--points", "0"]);
+        assert_eq!(out, "range_ft  power_dbm  rate\n");
     }
 
     #[test]

@@ -73,9 +73,7 @@ impl RateController {
     pub fn observe(&mut self, rss: Dbm) -> DataRate {
         let rungs = self.ladder.rungs();
         // The best rung plain-supported by this RSS.
-        let supported = rungs
-            .iter()
-            .position(|r| rss >= self.ladder.sensitivity(r));
+        let supported = rungs.iter().position(|r| rss >= self.ladder.sensitivity(r));
         let next = match (self.current, supported) {
             (_, None) => None, // outage
             (None, Some(s)) => Some(s),
@@ -134,8 +132,8 @@ mod tests {
     fn steps_up_only_with_hysteresis_margin() {
         let mut c = controller();
         c.observe(Dbm::new(-75.0)); // 100 Mbps rung
-        // −68.0 dBm supports 1 Gbps plainly (−68.8 threshold) but lacks the
-        // 3 dB margin (needs ≥ −65.8): stay put.
+                                    // −68.0 dBm supports 1 Gbps plainly (−68.8 threshold) but lacks the
+                                    // 3 dB margin (needs ≥ −65.8): stay put.
         assert_eq!(c.observe(Dbm::new(-68.0)).mbps(), 100.0);
         // −65.0 clears threshold + hysteresis: step up.
         assert_eq!(c.observe(Dbm::new(-65.0)).gbps(), 1.0);
@@ -170,7 +168,11 @@ mod tests {
             let dither = if i % 2 == 0 { 0.9 } else { -0.9 };
             c.observe(Dbm::new(-68.8 + dither));
         }
-        assert!(c.switches() - start > 50, "flapped {} times", c.switches() - start);
+        assert!(
+            c.switches() - start > 50,
+            "flapped {} times",
+            c.switches() - start
+        );
     }
 
     #[test]
@@ -187,7 +189,7 @@ mod tests {
     fn steps_up_one_rung_at_a_time() {
         let mut c = controller();
         c.observe(Dbm::new(-95.0)); // 2 MHz rung (1 Mbps)
-        // A huge RSS jump: first observation climbs exactly one rung.
+                                    // A huge RSS jump: first observation climbs exactly one rung.
         let r1 = c.observe(Dbm::new(-50.0));
         let r2 = c.observe(Dbm::new(-50.0));
         let r3 = c.observe(Dbm::new(-50.0));

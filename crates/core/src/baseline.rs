@@ -212,9 +212,10 @@ mod tests {
         let rows = comparison_rows(&Reader::mmtag_setup(), &MmTag::prototype());
         let mmtag = rows.iter().find(|r| r.name == "mmTag").unwrap();
         assert!((mmtag.rate_short.gbps() - 1.0).abs() < 1e-9);
-        for row in rows.iter().filter(|r| {
-            r.name != "mmTag" && r.name != "Fixed-beam mmWave [18]"
-        }) {
+        for row in rows
+            .iter()
+            .filter(|r| r.name != "mmTag" && r.name != "Fixed-beam mmWave [18]")
+        {
             assert!(
                 mmtag.rate_short.bps() >= 100.0 * row.rate_short.bps(),
                 "mmTag vs {}: {} vs {}",

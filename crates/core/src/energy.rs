@@ -106,14 +106,12 @@ impl EnergyBudget {
 
     /// Lifetime in years on a coin cell of `capacity_mah` at `voltage_v`,
     /// at the given duty cycle (for deployments that do use a battery).
-    pub fn battery_life_years(
-        &self,
-        capacity_mah: f64,
-        voltage_v: f64,
-        duty_cycle: f64,
-    ) -> f64 {
+    pub fn battery_life_years(&self, capacity_mah: f64, voltage_v: f64, duty_cycle: f64) -> f64 {
         assert!((0.0..=1.0).contains(&duty_cycle), "duty cycle in [0, 1]");
-        assert!(capacity_mah > 0.0 && voltage_v > 0.0, "battery must be real");
+        assert!(
+            capacity_mah > 0.0 && voltage_v > 0.0,
+            "battery must be real"
+        );
         let energy_j = capacity_mah * 1e-3 * 3600.0 * voltage_v;
         let avg_power = self.logic_w + self.modulation_w * duty_cycle;
         energy_j / avg_power / (365.25 * 24.0 * 3600.0)
@@ -181,9 +179,7 @@ mod tests {
         let b = gbps_budget();
         // A rectenna harvesting less than the logic keeps nothing for
         // modulation.
-        let d = b.sustainable_duty_cycle(Harvester::RfRectenna {
-            dc_power_w: 0.1e-6,
-        });
+        let d = b.sustainable_duty_cycle(Harvester::RfRectenna { dc_power_w: 0.1e-6 });
         assert_eq!(d, 0.0);
     }
 

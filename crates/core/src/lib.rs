@@ -39,6 +39,7 @@
 //! | [`baseline`] | RFID / HitchHike / BackFi / fixed-beam-tag comparisons |
 //! | [`localization`] | tag positioning from the reader's own beam scan |
 //! | [`network`] | multi-tag scenes, mobility runs, inventory |
+//! | [`scenario`] | typed `ScenarioSpec` → live reader/tag/scene builders |
 //!
 //! The substrate crates (`mmtag-rf`, `mmtag-antenna`, `mmtag-channel`,
 //! `mmtag-phy`, `mmtag-mac`, `mmtag-sim`) are re-exported under
@@ -54,6 +55,7 @@ pub mod link;
 pub mod localization;
 pub mod network;
 pub mod reader;
+pub mod scenario;
 pub mod storage;
 pub mod tag;
 
@@ -67,16 +69,18 @@ pub mod prelude {
     pub use crate::energy::{EnergyBudget, Harvester};
     pub use crate::link::{evaluate_link, LinkReport};
     pub use crate::network::Network;
-    pub use crate::storage::{steady_state_cycle, BurstCycle, StorageCap};
     pub use crate::reader::Reader;
+    pub use crate::scenario::LinkSetup;
+    pub use crate::storage::{steady_state_cycle, BurstCycle, StorageCap};
     pub use crate::tag::MmTag;
     pub use mmtag_antenna::{ReflectorWiring, VanAttaArray};
     pub use mmtag_channel::{BackscatterLink, NoiseModel};
     pub use mmtag_phy::{Modulation, RateAdaptation};
-    pub use mmtag_rf::units::{
-        Angle, Bandwidth, DataRate, Db, Dbi, Dbm, Distance, Frequency,
-    };
+    pub use mmtag_rf::units::{Angle, Bandwidth, DataRate, Db, Dbi, Dbm, Distance, Frequency};
     pub use mmtag_sim::mobility::{Linear, Mobility, Pose, Spin, Static, Waypoints};
+    pub use mmtag_sim::scenario::{
+        ReaderSpec, Runner, ScenarioSpec, SceneSpec, TagSpec, WiringSpec,
+    };
     pub use mmtag_sim::time::{Duration, Instant};
     pub use mmtag_sim::{Scene, Segment, Vec2};
 }

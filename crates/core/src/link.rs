@@ -133,7 +133,11 @@ mod tests {
             tp,
         );
         assert!(report.via_los);
-        assert!((report.rate.gbps() - 1.0).abs() < 1e-9, "rate {}", report.rate);
+        assert!(
+            (report.rate.gbps() - 1.0).abs() < 1e-9,
+            "rate {}",
+            report.rate
+        );
     }
 
     #[test]
@@ -147,7 +151,11 @@ mod tests {
             rp,
             tp,
         );
-        assert!((report.rate.mbps() - 10.0).abs() < 1e-9, "rate {}", report.rate);
+        assert!(
+            (report.rate.mbps() - 10.0).abs() < 1e-9,
+            "rate {}",
+            report.rate
+        );
     }
 
     #[test]

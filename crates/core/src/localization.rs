@@ -202,7 +202,10 @@ mod tests {
     fn range_inversion_recovers_distance() {
         let (reader, tag, scene, rp, tp) = setup(6.0, 0.0);
         let samples = scan_rss(&reader, &tag, &scene, rp, tp);
-        let peak = samples.iter().filter_map(|s| s.rss_dbm).fold(f64::MIN, f64::max);
+        let peak = samples
+            .iter()
+            .filter_map(|s| s.rss_dbm)
+            .fold(f64::MIN, f64::max);
         let range = estimate_range(&reader, &tag, peak);
         assert!(
             (range.feet() - 6.0).abs() < 0.8,
@@ -236,7 +239,11 @@ mod tests {
             // If sidelobes still hear it, the range estimate must be far
             // off (power is sidelobe-suppressed) — flag via gross error.
             let err = position_error(&e, behind);
-            assert!(err.feet() > 2.0, "behind-reader ghost at {} ft error", err.feet());
+            assert!(
+                err.feet() > 2.0,
+                "behind-reader ghost at {} ft error",
+                err.feet()
+            );
         }
     }
 

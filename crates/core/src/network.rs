@@ -9,12 +9,12 @@ use crate::link::{evaluate_link, LinkReport};
 use crate::reader::Reader;
 use crate::tag::MmTag;
 use mmtag_mac::inventory::{run_timed_inventory, SlotTiming, TimedInventory};
+use mmtag_rf::rng::Rng;
 use mmtag_rf::units::{Angle, DataRate};
 use mmtag_sim::metrics::TimeSeries;
 use mmtag_sim::mobility::{Mobility, Pose};
 use mmtag_sim::time::{Duration, Instant};
 use mmtag_sim::Scene;
-use mmtag_rf::rng::Rng;
 
 /// A tag deployed in the network, with its trajectory.
 pub struct DeployedTag {
@@ -116,18 +116,10 @@ impl Network {
             .iter()
             .filter_map(|d| {
                 let pose = d.mobility.pose_at(t);
-                let report = evaluate_link(
-                    &self.reader,
-                    &d.tag,
-                    &self.scene,
-                    self.reader_pose,
-                    pose,
-                );
+                let report =
+                    evaluate_link(&self.reader, &d.tag, &self.scene, self.reader_pose, pose);
                 report.is_up().then(|| {
-                    (self
-                        .reader_pose
-                        .position
-                        .bearing_to(pose.position)
+                    (self.reader_pose.position.bearing_to(pose.position)
                         - self.reader_pose.orientation)
                         .normalized()
                 })
@@ -169,9 +161,9 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmtag_rf::rng::Xoshiro256pp;
     use mmtag_sim::mobility::{Linear, Spin, Static};
     use mmtag_sim::Vec2;
-    use mmtag_rf::rng::Xoshiro256pp;
 
     fn reader_pose() -> Pose {
         Pose::new(Vec2::ORIGIN, Angle::ZERO)
@@ -238,8 +230,11 @@ mod tests {
         net.add_tag(MmTag::prototype(), static_tag_at(10.0));
         let mean = net.mean_rate(Instant::ZERO);
         assert!((mean.bps() - (1e9 + 10e6) / 2.0).abs() < 1.0);
-        assert_eq!(Network::new(Scene::free_space(), Reader::mmtag_setup(), reader_pose())
-            .mean_rate(Instant::ZERO), DataRate::ZERO);
+        assert_eq!(
+            Network::new(Scene::free_space(), Reader::mmtag_setup(), reader_pose())
+                .mean_rate(Instant::ZERO),
+            DataRate::ZERO
+        );
     }
 
     #[test]
@@ -272,10 +267,7 @@ mod tests {
             let pos = Vec2::from_feet(5.0 * rad.cos(), 5.0 * rad.sin());
             net.add_tag(
                 MmTag::prototype(),
-                Static(Pose::new(
-                    pos,
-                    Angle::from_degrees(angle_deg + 180.0),
-                )),
+                Static(Pose::new(pos, Angle::from_degrees(angle_deg + 180.0))),
             );
         }
         let mut rng = Xoshiro256pp::seed_from(11);

@@ -1,0 +1,210 @@
+//! Spec interpretation: `mmtag_sim::scenario` configs → live devices.
+//!
+//! The sim crate sits below the device models, so its [`ScenarioSpec`]
+//! carries *declarative* reader/tag/scene configs. This module is the one
+//! place those configs become live [`Reader`]s, [`MmTag`]s and [`Scene`]s,
+//! plus the two standard link geometries every experiment and CLI command
+//! uses. Nothing above this layer — bench figures, CLI commands,
+//! examples — assembles the reader/tag/scene pipeline by hand anymore;
+//! they all go through these builders.
+
+use crate::link::{evaluate_link, LinkReport};
+use crate::reader::{Reader, SelfInterference};
+use crate::tag::{MmTag, TagConfig};
+use mmtag_antenna::ReflectorWiring;
+use mmtag_channel::BackscatterLink;
+use mmtag_rf::units::{Angle, Db, Frequency};
+use mmtag_sim::mobility::Pose;
+use mmtag_sim::scenario::{ReaderSpec, ScenarioSpec, SceneKind, SceneSpec, TagSpec, WiringSpec};
+use mmtag_sim::{Scene, Segment, Vec2};
+
+pub use mmtag_sim::scenario::{
+    AxisKind, Manifest, Registry, RunContext, RunRecord, Runner, Scenario, SweepAxis,
+};
+
+/// Builds a live [`Reader`] from its spec: the paper's testbed retuned to
+/// the spec's band, with the spec's active cancellation (if any) stacked
+/// on the passive isolation.
+pub fn build_reader(spec: &ReaderSpec) -> Reader {
+    let mut reader = Reader::mmtag_setup().with_link(BackscatterLink {
+        frequency: Frequency::from_ghz(spec.band_ghz),
+        ..BackscatterLink::mmtag_setup()
+    });
+    if spec.cancellation_db != 0.0 {
+        reader = reader.with_self_interference(SelfInterference {
+            antenna_isolation: Db::new(40.0),
+            cancellation: Db::new(spec.cancellation_db),
+        });
+    }
+    reader
+}
+
+/// Builds a live [`MmTag`] from its spec.
+pub fn build_tag(spec: &TagSpec) -> MmTag {
+    MmTag::new(TagConfig {
+        elements: spec.elements,
+        frequency: Frequency::from_ghz(spec.band_ghz),
+        wiring: build_wiring(spec.wiring),
+    })
+}
+
+/// Maps the declarative wiring onto the antenna-layer enum.
+pub fn build_wiring(spec: WiringSpec) -> ReflectorWiring {
+    match spec {
+        WiringSpec::VanAtta => ReflectorWiring::VanAtta,
+        WiringSpec::FixedBeam => ReflectorWiring::FixedBeam,
+        WiringSpec::Specular => ReflectorWiring::Specular,
+    }
+}
+
+/// Builds a live [`Scene`] from its spec (environment plus blockers).
+pub fn build_scene(spec: &SceneSpec) -> Scene {
+    let mut scene = match spec.kind {
+        SceneKind::FreeSpace => Scene::free_space(),
+        SceneKind::Room { width_m, height_m } => Scene::room(width_m, height_m),
+    };
+    for b in &spec.blockers {
+        scene.add_blocker(Segment::new(Vec2::new(b.x1, b.y1), Vec2::new(b.x2, b.y2)));
+    }
+    scene
+}
+
+/// The paper's face-to-face range-test geometry: reader at the origin
+/// looking down +x, tag `range_ft` out, facing back.
+pub fn face_to_face(range_ft: f64) -> (Pose, Pose) {
+    offset_poses(range_ft, 0.0, 0.0)
+}
+
+/// The general link geometry: the tag sits `range_ft` out at
+/// `bearing_deg` off the reader's boresight and is rotated
+/// `rotation_deg` away from facing the reader head-on.
+pub fn offset_poses(range_ft: f64, rotation_deg: f64, bearing_deg: f64) -> (Pose, Pose) {
+    let rad = bearing_deg.to_radians();
+    (
+        Pose::new(Vec2::ORIGIN, Angle::ZERO),
+        Pose::new(
+            Vec2::from_feet(range_ft * rad.cos(), range_ft * rad.sin()),
+            Angle::from_degrees(bearing_deg + 180.0 - rotation_deg),
+        ),
+    )
+}
+
+/// A fully built link experiment: the reader, tag and scene a
+/// [`ScenarioSpec`] describes, ready to evaluate at any geometry.
+pub struct LinkSetup {
+    /// The built reader.
+    pub reader: Reader,
+    /// The built tag.
+    pub tag: MmTag,
+    /// The built scene.
+    pub scene: Scene,
+}
+
+impl LinkSetup {
+    /// Interprets a spec's device and scene configs.
+    pub fn from_spec(spec: &ScenarioSpec) -> Self {
+        LinkSetup {
+            reader: build_reader(&spec.reader),
+            tag: build_tag(&spec.tag),
+            scene: build_scene(&spec.scene),
+        }
+    }
+
+    /// The paper's default hardware in free space (prototype tag,
+    /// testbed reader) — what most experiments start from.
+    pub fn paper_default() -> Self {
+        LinkSetup {
+            reader: build_reader(&ReaderSpec::mmtag_setup()),
+            tag: build_tag(&TagSpec::prototype()),
+            scene: build_scene(&SceneSpec::free_space()),
+        }
+    }
+
+    /// The paper's default hardware dropped into another scene.
+    pub fn paper_default_in(scene: SceneSpec) -> Self {
+        LinkSetup {
+            scene: build_scene(&scene),
+            ..LinkSetup::paper_default()
+        }
+    }
+
+    /// Evaluates the link at the given poses.
+    pub fn evaluate(&self, reader_pose: Pose, tag_pose: Pose) -> LinkReport {
+        evaluate_link(&self.reader, &self.tag, &self.scene, reader_pose, tag_pose)
+    }
+
+    /// Evaluates the face-to-face link at `range_ft`.
+    pub fn evaluate_at_feet(&self, range_ft: f64) -> LinkReport {
+        let (rp, tp) = face_to_face(range_ft);
+        self.evaluate(rp, tp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_specs_rebuild_the_paper_hardware() {
+        // The spec-built link hits the same anchors as the hand-built one.
+        let setup = LinkSetup::paper_default();
+        assert!(setup.evaluate_at_feet(4.0).rate.gbps() >= 1.0);
+        assert!(setup.evaluate_at_feet(10.0).rate.mbps() >= 10.0);
+
+        // And matches the direct constructors cell for cell.
+        let direct = evaluate_link(
+            &Reader::mmtag_setup(),
+            &MmTag::prototype(),
+            &Scene::free_space(),
+            Pose::new(Vec2::ORIGIN, Angle::ZERO),
+            Pose::new(Vec2::from_feet(4.0, 0.0), Angle::from_degrees(180.0)),
+        );
+        let built = setup.evaluate_at_feet(4.0);
+        assert_eq!(
+            direct.power.map(|p| p.dbm().to_bits()),
+            built.power.map(|p| p.dbm().to_bits()),
+            "spec-built link must be bit-identical to the hand-built one"
+        );
+        assert_eq!(direct.rate.bps().to_bits(), built.rate.bps().to_bits());
+    }
+
+    #[test]
+    fn band_retune_moves_the_link_frequency() {
+        let reader = build_reader(&ReaderSpec::at_band(60.0));
+        assert_eq!(reader.link().frequency.ghz(), 60.0);
+        let tag = build_tag(&TagSpec {
+            band_ghz: 60.0,
+            ..TagSpec::prototype()
+        });
+        assert_eq!(tag.config().frequency.ghz(), 60.0);
+    }
+
+    #[test]
+    fn cancellation_spec_reaches_the_reader() {
+        let r = build_reader(&ReaderSpec {
+            band_ghz: 24.0,
+            cancellation_db: 70.0,
+        });
+        assert_eq!(r.self_interference().total_isolation().db(), 110.0);
+    }
+
+    #[test]
+    fn scene_spec_blockers_land_in_the_scene() {
+        let spec = SceneSpec::room(5.0, 2.0).with_blocker(1.0, 0.8, 1.0, 1.2);
+        let scene = build_scene(&spec);
+        assert_eq!(scene.blockers().len(), 1);
+        assert!(build_scene(&spec.without_blockers()).blockers().is_empty());
+    }
+
+    #[test]
+    fn offset_poses_match_the_cli_geometry() {
+        let (rp, tp) = offset_poses(6.0, 10.0, 20.0);
+        assert_eq!(rp.position, Vec2::ORIGIN);
+        let rad = 20f64.to_radians();
+        assert_eq!(
+            tp.position,
+            Vec2::from_feet(6.0 * rad.cos(), 6.0 * rad.sin())
+        );
+        assert_eq!(tp.orientation.degrees(), 20.0 + 180.0 - 10.0);
+    }
+}

@@ -136,7 +136,9 @@ impl HarvestProfile {
     pub fn new(segments: Vec<(Duration, f64)>) -> Self {
         assert!(!segments.is_empty(), "profile needs at least one segment");
         assert!(
-            segments.iter().all(|&(d, p)| p >= 0.0 && d > Duration::ZERO),
+            segments
+                .iter()
+                .all(|&(d, p)| p >= 0.0 && d > Duration::ZERO),
             "segments need positive duration and non-negative power"
         );
         HarvestProfile { segments }
@@ -215,7 +217,9 @@ pub fn simulate_profile(
     let mut run = HarvestRun::default();
     for _ in 0..cycles {
         for &(seg_dur, power_w) in profile.segments() {
-            let harvester = Harvester::RfRectenna { dc_power_w: power_w };
+            let harvester = Harvester::RfRectenna {
+                dc_power_w: power_w,
+            };
             let seg_bits = match steady_state_cycle(budget, harvester, cap) {
                 None => 0.0,
                 Some(cycle) => {
@@ -258,8 +262,8 @@ mod tests {
         // Energy balance: harvested over the period = consumed over it.
         let p_h = solar.power_w();
         let harvested = p_h * cycle.period().as_secs_f64();
-        let consumed = b.active_w() * cycle.burst.as_secs_f64()
-            + b.logic_w * cycle.recharge.as_secs_f64();
+        let consumed =
+            b.active_w() * cycle.burst.as_secs_f64() + b.logic_w * cycle.recharge.as_secs_f64();
         assert!(
             (harvested - consumed).abs() / consumed < 1e-6,
             "harvest {harvested} vs consume {consumed}"
@@ -268,7 +272,11 @@ mod tests {
         // `energy::sustainable_duty_cycle` (the cap only shapes the bursts,
         // not the long-run average).
         let duty_ref = b.sustainable_duty_cycle(solar);
-        assert!((cycle.duty_cycle - duty_ref).abs() < 0.01, "{} vs {duty_ref}", cycle.duty_cycle);
+        assert!(
+            (cycle.duty_cycle - duty_ref).abs() < 0.01,
+            "{} vs {duty_ref}",
+            cycle.duty_cycle
+        );
     }
 
     #[test]
@@ -323,12 +331,8 @@ mod tests {
     #[test]
     fn average_throughput_is_rate_times_duty() {
         let b = gbps_budget();
-        let cycle = steady_state_cycle(
-            &b,
-            Harvester::Vibration,
-            &StorageCap::ceramic_100uf(),
-        )
-        .unwrap();
+        let cycle =
+            steady_state_cycle(&b, Harvester::Vibration, &StorageCap::ceramic_100uf()).unwrap();
         let avg = average_throughput_bps(&cycle, 1e9);
         assert!((avg - 1e9 * cycle.duty_cycle).abs() < 1.0);
         assert!(avg > 1e8, "vibration sustains {avg} bps on average");
@@ -348,14 +352,18 @@ mod tests {
         let profile = HarvestProfile::office_day(100e-6);
         let run = simulate_profile(&b, &profile, &StorageCap::ceramic_100uf(), 1e9, 2);
         assert_eq!(run.per_segment_bits.len(), 4); // 2 cycles × 2 segments
-        // Daylight segments (even indices) dominate: 2 µW of night light
-        // barely exceeds the logic draw.
+                                                   // Daylight segments (even indices) dominate: 2 µW of night light
+                                                   // barely exceeds the logic draw.
         let day: f64 = run.per_segment_bits.iter().step_by(2).sum();
         let night: f64 = run.per_segment_bits.iter().skip(1).step_by(2).sum();
         // Duty ratio ≈ 66× scaled by the 10 h/14 h split ⇒ ~47×.
         assert!(day > 30.0 * night.max(1.0), "day {day} vs night {night}");
         // Average throughput is meaningfully positive nonetheless.
-        assert!(run.average_throughput_bps() > 50e6, "avg {}", run.average_throughput_bps());
+        assert!(
+            run.average_throughput_bps() > 50e6,
+            "avg {}",
+            run.average_throughput_bps()
+        );
     }
 
     #[test]

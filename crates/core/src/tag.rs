@@ -128,10 +128,7 @@ impl MmTag {
         let lam = self.config.frequency.wavelength().meters();
         let width = (self.config.elements as f64 + 1.0) * lam / 2.0 + lam / 2.0;
         let height = 3.6 * lam;
-        (
-            Distance::from_meters(width),
-            Distance::from_meters(height),
-        )
+        (Distance::from_meters(width), Distance::from_meters(height))
     }
 
     /// Half-power beamwidth of the reflected beam, degrees (§7: "6 antenna

@@ -49,11 +49,7 @@ struct Probe {
 /// probed — worst case). `tag_bearing` is the tag's true direction.
 ///
 /// Returns `None` if the tag is outside the scanned sector entirely.
-pub fn acquire(
-    scan: &ScanSchedule,
-    mode: SearchMode,
-    tag_bearing: Angle,
-) -> Option<Acquisition> {
+pub fn acquire(scan: &ScanSchedule, mode: SearchMode, tag_bearing: Angle) -> Option<Acquisition> {
     let half_sector = 0.5 * scan.sector.radians();
     if tag_bearing.normalized().radians().abs() > half_sector + 0.5 * scan.beamwidth.radians() {
         return None;
@@ -72,7 +68,13 @@ pub fn acquire(
     let mut t = Instant::ZERO;
     for np in 0..node_n {
         for rp in 0..reader_n {
-            sched.schedule_at(t, Probe { reader_pos: rp, node_pos: np });
+            sched.schedule_at(
+                t,
+                Probe {
+                    reader_pos: rp,
+                    node_pos: np,
+                },
+            );
             t += scan.dwell;
         }
     }

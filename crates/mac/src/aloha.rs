@@ -115,7 +115,10 @@ pub struct QAlgorithm {
 impl QAlgorithm {
     /// Standard starting point: `Q = 4` (16 slots), step 0.2.
     pub fn new() -> Self {
-        QAlgorithm { q_fp: 4.0, step: 0.2 }
+        QAlgorithm {
+            q_fp: 4.0,
+            step: 0.2,
+        }
     }
 
     /// Starts from a specific `Q` (0–15).
@@ -208,7 +211,14 @@ pub fn inventory_ensemble_par(
     reps: usize,
     tree: &mmtag_sim::SeedTree,
 ) -> Vec<InventoryStats> {
-    inventory_ensemble_par_with(mmtag_sim::par::thread_limit(), n_tags, q, max_rounds, reps, tree)
+    inventory_ensemble_par_with(
+        mmtag_sim::par::thread_limit(),
+        n_tags,
+        q,
+        max_rounds,
+        reps,
+        tree,
+    )
 }
 
 /// [`inventory_ensemble_par`] with an explicit thread budget (what the
@@ -315,7 +325,10 @@ mod tests {
         assert!(matched > small, "matched {matched} vs small-frame {small}");
         assert!(matched > large, "matched {matched} vs large-frame {large}");
         // And the matched efficiency approaches 1/e.
-        assert!((matched - max_throughput()).abs() < 0.04, "matched = {matched}");
+        assert!(
+            (matched - max_throughput()).abs() < 0.04,
+            "matched = {matched}"
+        );
     }
 
     #[test]

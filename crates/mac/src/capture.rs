@@ -9,8 +9,8 @@
 //! capture threshold, quantifying how much the textbook analysis
 //! underestimates a real mmTag reader.
 
-use mmtag_rf::units::Db;
 use mmtag_rf::rng::Rng;
+use mmtag_rf::units::Db;
 
 /// Outcome of one framed round with capture.
 #[derive(Clone, Debug, PartialEq)]

@@ -19,8 +19,8 @@
 //! Everything is deterministic under a seeded RNG, and the per-command
 //! airtime model turns protocol chatter into wall-clock time.
 
-use mmtag_sim::time::Duration;
 use mmtag_rf::rng::Rng;
+use mmtag_sim::time::Duration;
 
 /// Reader → tag commands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -197,17 +197,14 @@ pub fn run_gen2_inventory<R: Rng + ?Sized>(
     let mut q_fp: f64 = 4.0;
     let mut cur_q: u8 = 4;
 
-    let issue = |cmd: Command,
-                     tags: &mut [Gen2Tag],
-                     stats: &mut Gen2Stats,
-                     rng: &mut R|
-     -> Vec<Reply> {
-        stats.commands += 1;
-        stats.elapsed = stats.elapsed + timing.command;
-        tags.iter_mut()
-            .filter_map(|t| t.on_command(cmd, rng))
-            .collect()
-    };
+    let issue =
+        |cmd: Command, tags: &mut [Gen2Tag], stats: &mut Gen2Stats, rng: &mut R| -> Vec<Reply> {
+            stats.commands += 1;
+            stats.elapsed = stats.elapsed + timing.command;
+            tags.iter_mut()
+                .filter_map(|t| t.on_command(cmd, rng))
+                .collect()
+        };
 
     // Initial Query.
     let mut replies = issue(Command::Query { q: cur_q }, tags, &mut stats, rng);
@@ -313,7 +310,9 @@ mod tests {
     use mmtag_rf::rng::Xoshiro256pp;
 
     fn population(n: usize) -> Vec<Gen2Tag> {
-        (0..n).map(|i| Gen2Tag::new(0xE200_0000_0000_0000 + i as u64)).collect()
+        (0..n)
+            .map(|i| Gen2Tag::new(0xE200_0000_0000_0000 + i as u64))
+            .collect()
     }
 
     #[test]
@@ -350,8 +349,7 @@ mod tests {
     fn wrong_rn16_is_rejected() {
         let mut rng = Xoshiro256pp::seed_from(2);
         let mut tag = Gen2Tag::new(7);
-        let Reply::Rn16(rn) = tag.on_command(Command::Query { q: 0 }, &mut rng).unwrap()
-        else {
+        let Reply::Rn16(rn) = tag.on_command(Command::Query { q: 0 }, &mut rng).unwrap() else {
             panic!()
         };
         let wrong = rn.wrapping_add(1);
@@ -409,8 +407,7 @@ mod tests {
         for n in [1usize, 7, 40, 150] {
             let mut rng = Xoshiro256pp::seed_from(n as u64);
             let mut tags = population(n);
-            let stats =
-                run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 200_000, &mut rng);
+            let stats = run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 200_000, &mut rng);
             assert_eq!(stats.epcs.len(), n, "population {n}");
             let mut sorted = stats.epcs.clone();
             sorted.sort_unstable();
@@ -437,8 +434,7 @@ mod tests {
         // single-RN16 slot, so EPC count equals the singles count.
         let mut rng = Xoshiro256pp::seed_from(6);
         let mut tags = population(100);
-        let stats =
-            run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 200_000, &mut rng);
+        let stats = run_gen2_inventory(&mut tags, Gen2Timing::fast_mmwave(), 200_000, &mut rng);
         assert_eq!(stats.epcs.len(), stats.singles);
         assert!(stats.collisions > 0, "100 tags must collide sometimes");
         // Time accounting: collisions cost an RN16 window, not an EPC.

@@ -9,10 +9,10 @@
 use crate::aloha::{FramedAloha, QAlgorithm};
 use crate::scan::ScanSchedule;
 use crate::sdm::SectorScheduler;
+use mmtag_rf::rng::Rng;
 use mmtag_rf::units::{Angle, DataRate};
 use mmtag_sim::des::Scheduler;
 use mmtag_sim::time::{Duration, Instant};
-use mmtag_rf::rng::Rng;
 
 /// Timing parameters of one inventory slot.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -193,7 +193,12 @@ mod tests {
             &mut Xoshiro256pp::seed_from(7),
         );
         assert_eq!(slow.tags_read, fast.tags_read);
-        assert!(fast.elapsed < slow.elapsed, "{} !< {}", fast.elapsed, slow.elapsed);
+        assert!(
+            fast.elapsed < slow.elapsed,
+            "{} !< {}",
+            fast.elapsed,
+            slow.elapsed
+        );
     }
 
     #[test]

@@ -67,9 +67,7 @@ pub fn mimo_inventory<R: Rng + ?Sized>(
     let mut tags = 0usize;
     let mut total = 0usize;
     for (slots, t) in jobs {
-        let min_beam = (0..k)
-            .min_by_key(|&b| per_beam[b])
-            .expect("k >= 1");
+        let min_beam = (0..k).min_by_key(|&b| per_beam[b]).expect("k >= 1");
         per_beam[min_beam] += slots;
         tags += t;
         total += slots;
@@ -85,9 +83,9 @@ pub fn mimo_inventory<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::scan::ScanSchedule;
+    use mmtag_rf::rng::Xoshiro256pp;
     use mmtag_rf::units::Angle;
     use mmtag_sim::time::Duration;
-    use mmtag_rf::rng::Xoshiro256pp;
 
     fn partition(n: usize) -> SectorScheduler {
         let scan = ScanSchedule::new(

@@ -91,7 +91,10 @@ impl ScanSchedule {
 /// the beamwidth each stage from `sector` down to `final_beamwidth`
 /// (two probes per stage, binary descent) — the exhaustive scan's rival.
 pub fn hierarchical_probe_count(sector: Angle, final_beamwidth: Angle) -> usize {
-    assert!(final_beamwidth.radians() > 0.0, "beamwidth must be positive");
+    assert!(
+        final_beamwidth.radians() > 0.0,
+        "beamwidth must be positive"
+    );
     let levels = (sector.radians() / final_beamwidth.radians()).log2().ceil();
     (2.0 * levels.max(1.0)) as usize
 }
@@ -163,10 +166,7 @@ mod tests {
 
     #[test]
     fn hierarchical_search_is_logarithmic() {
-        let probes = hierarchical_probe_count(
-            Angle::from_degrees(120.0),
-            Angle::from_degrees(7.5),
-        );
+        let probes = hierarchical_probe_count(Angle::from_degrees(120.0), Angle::from_degrees(7.5));
         // log2(120/7.5) = 4 levels × 2 probes = 8 ≪ 16 exhaustive positions.
         assert_eq!(probes, 8);
         let exhaustive = ScanSchedule::new(

@@ -8,8 +8,8 @@
 
 use crate::aloha::{inventory_until_drained, InventoryStats, QAlgorithm};
 use crate::scan::ScanSchedule;
-use mmtag_rf::units::Angle;
 use mmtag_rf::rng::Rng;
+use mmtag_rf::units::Angle;
 
 /// A partition of tags into beam sectors.
 #[derive(Clone, Debug)]
@@ -76,8 +76,8 @@ impl SectorScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmtag_sim::time::Duration;
     use mmtag_rf::rng::Xoshiro256pp;
+    use mmtag_sim::time::Duration;
 
     fn schedule() -> ScanSchedule {
         ScanSchedule::new(

@@ -70,7 +70,11 @@ fn inventory_drains() {
         // once the adaptive loop dominates.
         assert!(stats.efficiency() <= 1.0);
         if n >= 100 {
-            assert!(stats.efficiency() <= 0.40, "n={n} eff {}", stats.efficiency());
+            assert!(
+                stats.efficiency() <= 0.40,
+                "n={n} eff {}",
+                stats.efficiency()
+            );
         }
     }
 }

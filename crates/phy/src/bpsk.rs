@@ -12,8 +12,8 @@
 //! swap between them trivially.
 
 use crate::waveform::Awgn;
-use mmtag_rf::Complex;
 use mmtag_rf::rng::Rng;
+use mmtag_rf::Complex;
 
 /// Rectangular-pulse BPSK modulator/demodulator (±A antipodal).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -88,11 +88,7 @@ pub fn measure_bpsk_ber<R: Rng + ?Sized>(
     let mut samples = modem.modulate(&bits);
     modem.awgn_for(eb_n0_db).apply(&mut samples, rng);
     let decided = modem.demodulate(&samples);
-    bits.iter()
-        .zip(&decided)
-        .filter(|(a, b)| a != b)
-        .count() as f64
-        / n_bits as f64
+    bits.iter().zip(&decided).filter(|(a, b)| a != b).count() as f64 / n_bits as f64
 }
 
 #[cfg(test)]
@@ -100,7 +96,7 @@ mod tests {
     use super::*;
     use crate::ber::bpsk_ber;
     use crate::waveform::{measure_ber, OokModem};
-        use mmtag_rf::rng::Xoshiro256pp;
+    use mmtag_rf::rng::Xoshiro256pp;
 
     #[test]
     fn noiseless_roundtrip() {
@@ -131,7 +127,10 @@ mod tests {
             (measured - theory).abs() < 4.0 * sigma + 1e-5,
             "measured {measured} vs theory {theory}"
         );
-        assert!((5e-4..2e-3).contains(&measured), "BER at 6.8 dB = {measured}");
+        assert!(
+            (5e-4..2e-3).contains(&measured),
+            "BER at 6.8 dB = {measured}"
+        );
     }
 
     #[test]

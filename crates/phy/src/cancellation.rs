@@ -123,7 +123,7 @@ pub fn residual_ratio(samples: &[Complex], signal_power: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::waveform::{measure_ber, Awgn, OokModem};
-        use mmtag_rf::rng::{Rng, Xoshiro256pp};
+    use mmtag_rf::rng::{Rng, Xoshiro256pp};
 
     /// Leak 40 dB above the tag's mark amplitude — the budget-level
     /// situation (−27 dBm leak vs −67 dBm tag signal). Drift: thermal

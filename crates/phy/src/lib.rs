@@ -30,8 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod ber;
-pub mod cancellation;
 pub mod bpsk;
+pub mod cancellation;
 pub mod coding;
 pub mod frame;
 pub mod modulation;

@@ -123,7 +123,7 @@ impl PulseShaper {
 mod tests {
     use super::*;
     use crate::spectrum::Spectrum;
-        use mmtag_rf::rng::{Rng, Xoshiro256pp};
+    use mmtag_rf::rng::{Rng, Xoshiro256pp};
 
     #[test]
     fn impulse_response_properties() {

@@ -10,8 +10,8 @@
 
 use crate::waveform::OokModem;
 use mmtag_rf::fft::{fft_shift, welch_psd};
-use mmtag_rf::Complex;
 use mmtag_rf::rng::Rng;
+use mmtag_rf::Complex;
 
 /// A power spectral density estimate of a modulated waveform, with the
 /// frequency axis normalized to the *symbol rate* (so "1.0" means an offset
@@ -48,8 +48,7 @@ impl Spectrum {
         // Remove the DC component: OOK's carrier line would otherwise
         // dominate the occupied-bandwidth integral, and the reader's
         // carrier is accounted separately (it IS the illumination).
-        let mean: Complex =
-            samples.iter().copied().sum::<Complex>() / samples.len() as f64;
+        let mean: Complex = samples.iter().copied().sum::<Complex>() / samples.len() as f64;
         let centered: Vec<Complex> = samples.iter().map(|&s| s - mean).collect();
         let psd = fft_shift(&welch_psd(&centered, nfft));
         let fs_per_symbol = samples_per_symbol as f64; // sample rate / symbol rate
@@ -145,7 +144,10 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
-        assert!((peak as i64 - 512).unsigned_abs() < 16, "peak at bin {peak}");
+        assert!(
+            (peak as i64 - 512).unsigned_abs() < 16,
+            "peak at bin {peak}"
+        );
         // A real-valued baseband gives a symmetric PSD.
         let left = s.power_within(0.5);
         assert!(left > 0.0);

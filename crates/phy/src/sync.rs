@@ -53,10 +53,7 @@ pub fn find_frame_start(soft: &[f64], preamble_bits: &[bool], threshold: f64) ->
     );
     let pattern = to_chips(preamble_bits);
     let corr = normalized_correlation(soft, &pattern);
-    let (best_idx, best_val) = corr
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))?;
+    let (best_idx, best_val) = corr.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
     if *best_val >= threshold {
         Some(best_idx + preamble_bits.len())
     } else {
@@ -130,7 +127,12 @@ mod tests {
         let noise = |i: usize| 0.4 * ((i as f64 * 2.399).sin());
         let mut soft: Vec<f64> = (0..30).map(noise).collect();
         let frame_at = soft.len();
-        soft.extend(to_chips(&BARKER13).iter().enumerate().map(|(i, c)| c + noise(i + 100)));
+        soft.extend(
+            to_chips(&BARKER13)
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c + noise(i + 100)),
+        );
         soft.extend((0..10).map(|i| noise(i + 200)));
         let start = find_frame_start(&soft, &BARKER13, 0.7).unwrap();
         assert_eq!(start, frame_at + BARKER13.len());
@@ -138,7 +140,9 @@ mod tests {
 
     #[test]
     fn no_detection_without_preamble() {
-        let soft: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
+        let soft: Vec<f64> = (0..100)
+            .map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5)
+            .collect();
         assert!(find_frame_start(&soft, &BARKER13, 0.9).is_none());
     }
 

@@ -57,7 +57,10 @@ impl OokModem {
         let mut out = Vec::with_capacity(bits.len() * self.samples_per_symbol);
         for &b in bits {
             let a = if self.is_mark(b) { self.amplitude } else { 0.0 };
-            out.extend(std::iter::repeat_n(Complex::new(a, 0.0), self.samples_per_symbol));
+            out.extend(std::iter::repeat_n(
+                Complex::new(a, 0.0),
+                self.samples_per_symbol,
+            ));
         }
         out
     }
@@ -373,7 +376,10 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from(31);
         let b2 = measure_ber(&OokModem::new(2), 8.0, 200_000, true, &mut rng);
         let b16 = measure_ber(&OokModem::new(16), 8.0, 200_000, true, &mut rng);
-        assert!((b2 - b16).abs() < 0.3 * (b2 + b16), "sps=2 {b2} vs sps=16 {b16}");
+        assert!(
+            (b2 - b16).abs() < 0.3 * (b2 + b16),
+            "sps=2 {b2} vs sps=16 {b16}"
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ fn crc16_sensitive_to_any_byte() {
         let idx = rng.index(data.len());
         let mut other = data.clone();
         other[idx] = other[idx].wrapping_add(delta);
-        assert_ne!(crc16_ccitt(&data), crc16_ccitt(&other), "idx={idx} Δ={delta}");
+        assert_ne!(
+            crc16_ccitt(&data),
+            crc16_ccitt(&other),
+            "idx={idx} Δ={delta}"
+        );
     }
 }
 
@@ -287,6 +291,10 @@ fn parallel_ber_is_thread_invariant() {
         let snrs = [snr, snr + 2.0, snr + 4.0];
         let sweep = ber_sweep_par_with(threads, &modem, &snrs, n_bits, coherent, &tree);
         let shorter = ber_sweep_par_with(1, &modem, &snrs[..2], n_bits, coherent, &tree);
-        assert_eq!(&sweep[..2], &shorter[..], "sweep points must be independent");
+        assert_eq!(
+            &sweep[..2],
+            &shorter[..],
+            "sweep points must be independent"
+        );
     }
 }

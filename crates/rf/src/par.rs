@@ -193,7 +193,11 @@ mod tests {
         };
         let serial = par_indexed_with(1, 64, f);
         for threads in [2, 3, 8, 64] {
-            assert_eq!(serial, par_indexed_with(threads, 64, f), "threads={threads}");
+            assert_eq!(
+                serial,
+                par_indexed_with(threads, 64, f),
+                "threads={threads}"
+            );
         }
     }
 

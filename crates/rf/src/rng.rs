@@ -144,10 +144,7 @@ impl Xoshiro256pp {
 impl Rng for Xoshiro256pp {
     fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.s;
-        let out = s0
-            .wrapping_add(s3)
-            .rotate_left(23)
-            .wrapping_add(s0);
+        let out = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
         let t = s1 << 17;
         let mut s2 = s2 ^ s0;
         let mut s3 = s3 ^ s1;
@@ -308,7 +305,9 @@ mod tests {
     #[test]
     fn log_range_covers_decades() {
         let mut r = Xoshiro256pp::seed_from(43);
-        let low = (0..10_000).filter(|_| r.log_range(1e-6, 1.0) < 1e-3).count();
+        let low = (0..10_000)
+            .filter(|_| r.log_range(1e-6, 1.0) < 1e-3)
+            .count();
         // Half the decades sit below 1e-3, so about half the mass does too.
         assert!((4_500..5_500).contains(&low), "low {low}");
     }
@@ -340,7 +339,10 @@ mod tests {
         assert_ne!(t.seed_for("alpha"), t.seed_for("beta"));
         assert_ne!(t.seed_for("a"), t.seed_for("aa"));
         assert_ne!(t.seed_for(""), t.seed_for("x"));
-        assert_ne!(SeedTree::new(1).seed_for("same"), SeedTree::new(2).seed_for("same"));
+        assert_ne!(
+            SeedTree::new(1).seed_for("same"),
+            SeedTree::new(2).seed_for("same")
+        );
     }
 
     #[test]
@@ -357,8 +359,14 @@ mod tests {
     #[test]
     fn subtrees_namespace_cleanly() {
         let t = SeedTree::new(11);
-        assert_ne!(t.subtree("rep0").seed_for("tags"), t.subtree("rep1").seed_for("tags"));
-        assert_eq!(t.subtree("rep0").seed_for("tags"), t.subtree("rep0").seed_for("tags"));
+        assert_ne!(
+            t.subtree("rep0").seed_for("tags"),
+            t.subtree("rep1").seed_for("tags")
+        );
+        assert_eq!(
+            t.subtree("rep0").seed_for("tags"),
+            t.subtree("rep0").seed_for("tags")
+        );
         assert_ne!(
             t.subtree_indexed("snr", 0).seed_for("chunk"),
             t.subtree_indexed("snr", 1).seed_for("chunk")

@@ -56,6 +56,11 @@ impl Table {
         &self.title
     }
 
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -135,23 +140,39 @@ impl Table {
     }
 
     /// Renders CSV (label column included when any row is labeled).
+    ///
+    /// Titles, labels and column headers are free-form strings, so fields
+    /// containing commas, double quotes, newlines or carriage returns are
+    /// quoted and escaped per RFC 4180 (`"` doubles to `""`).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let has_labels = self.labels.iter().any(|l| !l.is_empty());
         if has_labels {
             out.push_str("system,");
         }
-        out.push_str(&self.columns.join(","));
+        let headers: Vec<String> = self.columns.iter().map(|c| csv_field(c)).collect();
+        out.push_str(&headers.join(","));
         out.push('\n');
         for (i, row) in self.rows.iter().enumerate() {
             if has_labels {
-                let _ = write!(out, "{},", self.labels[i]);
+                let _ = write!(out, "{},", csv_field(&self.labels[i]));
             }
             let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
             out.push_str(&cells.join(","));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, double
+/// quote, newline or carriage return are wrapped in double quotes with
+/// embedded quotes doubled; everything else passes through unchanged.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -173,18 +194,25 @@ fn format_cell(v: f64) -> String {
 
 /// Builds an inclusive linear sweep `[start, stop]` with `points` samples.
 ///
-/// # Panics
-/// Panics for `points < 2`.
+/// Degenerate requests degrade gracefully instead of panicking: `points`
+/// of 1 yields `[start]` and 0 yields an empty sweep. For `points >= 2`
+/// the first sample is exactly `start` and the last exactly `stop`.
 pub fn linspace(start: f64, stop: f64, points: usize) -> Vec<f64> {
-    assert!(points >= 2, "a sweep needs at least two points");
-    (0..points)
-        .map(|i| start + (stop - start) * i as f64 / (points - 1) as f64)
-        .collect()
+    match points {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => (0..points)
+            .map(|i| start + (stop - start) * i as f64 / (points - 1) as f64)
+            .collect(),
+    }
 }
 
 /// Builds a logarithmic sweep from `start` to `stop` (both positive).
 pub fn logspace(start: f64, stop: f64, points: usize) -> Vec<f64> {
-    assert!(start > 0.0 && stop > 0.0, "logspace needs positive endpoints");
+    assert!(
+        start > 0.0 && stop > 0.0,
+        "logspace needs positive endpoints"
+    );
     linspace(start.ln(), stop.ln(), points)
         .into_iter()
         .map(f64::exp)
@@ -250,6 +278,75 @@ mod tests {
     fn linspace_endpoints_and_spacing() {
         let v = linspace(2.0, 12.0, 6);
         assert_eq!(v, vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn linspace_degenerate_point_counts() {
+        assert_eq!(linspace(3.0, 9.0, 0), Vec::<f64>::new());
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+        assert_eq!(linspace(3.0, 9.0, 2), vec![3.0, 9.0]);
+    }
+
+    /// A minimal RFC 4180 parser for the round-trip test: splits one CSV
+    /// record into fields, honoring quoted fields and doubled quotes.
+    fn parse_csv_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            if quoted {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                } else {
+                    cur.push(c);
+                }
+            } else {
+                match c {
+                    '"' => quoted = true,
+                    ',' => fields.push(std::mem::take(&mut cur)),
+                    _ => cur.push(c),
+                }
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    #[test]
+    fn csv_escapes_commas_quotes_and_round_trips() {
+        let mut t = Table::new("free, form \"title\"", &["rate, mbps", "plain"]);
+        t.push_labeled_row("mmTag, 24 GHz \"proto\"", &[1000.0, 1.5]);
+        t.push_labeled_row("RFID", &[0.64, 2.0]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header: escaped free-form column name survives the trip.
+        assert_eq!(
+            parse_csv_line(lines[0]),
+            vec!["system", "rate, mbps", "plain"]
+        );
+        // Labeled row: the comma and quotes come back verbatim.
+        assert_eq!(
+            parse_csv_line(lines[1]),
+            vec!["mmTag, 24 GHz \"proto\"", "1000", "1.5"]
+        );
+        assert_eq!(parse_csv_line(lines[2]), vec!["RFID", "0.64", "2"]);
+        // A plain table stays byte-for-byte what it always was.
+        let mut plain = Table::new("demo", &["x", "y"]);
+        plain.push_row(&[1.5, 2.0]);
+        assert_eq!(plain.to_csv(), "x,y\n1.5,2\n");
+    }
+
+    #[test]
+    fn csv_field_escapes_newlines() {
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 
     #[test]

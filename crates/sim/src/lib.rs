@@ -21,7 +21,12 @@
 //!   channel layer consumes,
 //! * [`metrics`] — counters, histograms and time-series for experiments,
 //! * [`experiment`] — parameter sweeps with aligned-table output (the
-//!   format every figure/table binary in `mmtag-bench` prints).
+//!   format every figure/table binary in `mmtag-bench` prints),
+//! * [`scenario`] — the typed scenario pipeline: serializable
+//!   `ScenarioSpec`s, a `Runner` executing them through the deterministic
+//!   parallel engine, structured `RunRecord` artifacts (tables + manifest,
+//!   JSON/CSV writers) and the name → scenario `Registry` every
+//!   experiment entry point resolves through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,11 +38,12 @@ pub mod metrics;
 pub mod mobility;
 pub mod par;
 pub mod rng;
+pub mod scenario;
 pub mod scene;
 pub mod time;
 
 pub use des::Scheduler;
 pub use geom::{Segment, Vec2};
-pub use scene::Scene;
 pub use rng::SeedTree;
+pub use scene::Scene;
 pub use time::{Duration, Instant};

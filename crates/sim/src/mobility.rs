@@ -80,10 +80,8 @@ impl Mobility for Spin {
     fn pose_at(&self, t: Instant) -> Pose {
         Pose {
             position: self.position,
-            orientation: Angle::from_radians(
-                self.initial.radians() + self.rate * t.as_secs_f64(),
-            )
-            .normalized(),
+            orientation: Angle::from_radians(self.initial.radians() + self.rate * t.as_secs_f64())
+                .normalized(),
         }
     }
 }

@@ -209,10 +209,7 @@ mod tests {
     fn face_to_face(feet: f64) -> (Pose, Pose) {
         // Reader at origin looking +x; tag `feet` away looking back (−x).
         let reader = Pose::new(Vec2::ORIGIN, Angle::ZERO);
-        let tag = Pose::new(
-            Vec2::from_feet(feet, 0.0),
-            Angle::from_degrees(180.0),
-        );
+        let tag = Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0));
         (reader, tag)
     }
 
@@ -225,7 +222,10 @@ mod tests {
         let los = set.los().unwrap();
         assert!((los.length.feet() - 4.0).abs() < 1e-9);
         assert!(los.aod_reader.degrees().abs() < 1e-9);
-        assert!(los.aoa_tag.degrees().abs() < 1e-6, "tag sees reader at broadside");
+        assert!(
+            los.aoa_tag.degrees().abs() < 1e-6,
+            "tag sees reader at broadside"
+        );
     }
 
     #[test]

@@ -23,27 +23,20 @@ const AR_STREAM_MBPS: f64 = 166.0;
 
 /// The best link among four tags mounted around the headset (facings 90°
 /// apart). Returns the serving report.
-fn best_of_four(
-    reader: &Reader,
-    tag: &MmTag,
-    scene: &Scene,
-    reader_pose: Pose,
-    user: Pose,
-) -> LinkReport {
+fn best_of_four(link: &LinkSetup, reader_pose: Pose, user: Pose) -> LinkReport {
     (0..4)
         .map(|k| {
             let facing = user.orientation + Angle::from_degrees(90.0 * k as f64);
             let pose = Pose::new(user.position, facing);
-            evaluate_link(reader, tag, scene, reader_pose, pose)
+            link.evaluate(reader_pose, pose)
         })
         .max_by(|a, b| a.rate.bps().total_cmp(&b.rate.bps()))
         .expect("four candidates")
 }
 
 fn main() {
-    let tag = MmTag::prototype();
-    let reader = Reader::mmtag_setup();
-    let scene = Scene::room(6.0, 5.0); // a 6 × 5 m room
+    // The paper's hardware dropped into a 6 × 5 m room.
+    let link = LinkSetup::paper_default_in(SceneSpec::room(6.0, 5.0));
     let reader_pose = Pose::new(Vec2::new(0.3, 2.5), Angle::ZERO);
 
     // The user walks a lap: toward the reader, across the room, and back.
@@ -75,7 +68,7 @@ fn main() {
     let mut sum_bps = 0.0;
     while t <= Instant::ZERO + total {
         let user = walk.pose_at(t);
-        let report = best_of_four(&reader, &tag, &scene, reader_pose, user);
+        let report = best_of_four(&link, reader_pose, user);
         let range = reader_pose.position.distance_to(user.position);
         let ok = report.rate.mbps() >= AR_STREAM_MBPS;
         println!(
@@ -83,7 +76,11 @@ fn main() {
             t.as_secs_f64(),
             range.feet(),
             report.rate.to_string(),
-            if ok { "met" } else { "degraded (preview quality)" }
+            if ok {
+                "met"
+            } else {
+                "degraded (preview quality)"
+            }
         );
         count += 1;
         sum_bps += report.rate.bps();
@@ -96,7 +93,10 @@ fn main() {
         t += step;
     }
 
-    println!("\nlink uptime        : {:.0}%", 100.0 * up as f64 / count as f64);
+    println!(
+        "\nlink uptime        : {:.0}%",
+        100.0 * up as f64 / count as f64
+    );
     println!(
         "mean rate          : {}",
         DataRate::from_bps(sum_bps / count as f64)

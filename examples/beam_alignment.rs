@@ -9,11 +9,11 @@
 //! Run with: `cargo run --example beam_alignment`
 
 use mmtag::prelude::*;
-use mmtag::tag::TagConfig;
+use mmtag::scenario::{build_reader, build_scene, build_tag};
 
 fn main() {
-    let reader = Reader::mmtag_setup();
-    let scene = Scene::free_space();
+    let reader = build_reader(&ReaderSpec::mmtag_setup());
+    let scene = build_scene(&SceneSpec::free_space());
     let reader_pose = Pose::new(Vec2::ORIGIN, Angle::ZERO);
 
     // Both tags at 4 ft, rotating at 10°/s from face-on.
@@ -24,12 +24,9 @@ fn main() {
     };
 
     let mut net = Network::new(scene, reader, reader_pose);
-    let van_atta = net.add_tag(MmTag::prototype(), spin(180.0));
+    let van_atta = net.add_tag(build_tag(&TagSpec::prototype()), spin(180.0));
     let fixed = net.add_tag(
-        MmTag::new(TagConfig {
-            wiring: ReflectorWiring::FixedBeam,
-            ..TagConfig::default()
-        }),
+        build_tag(&TagSpec::prototype().with_wiring(WiringSpec::FixedBeam)),
         spin(180.0),
     );
 

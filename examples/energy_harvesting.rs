@@ -13,8 +13,10 @@ use mmtag::energy::{
 };
 use mmtag::prelude::*;
 
+use mmtag::scenario::build_tag;
+
 fn main() {
-    let tag = MmTag::prototype();
+    let tag = build_tag(&TagSpec::prototype());
 
     println!("mmTag power draw by data rate (6 switches, C·V² gate drive):\n");
     println!("  rate        modulation power   vs active radio   vs 16-el phased array");

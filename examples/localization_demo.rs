@@ -12,9 +12,7 @@ use mmtag::localization::{locate, position_error};
 use mmtag::prelude::*;
 
 fn main() {
-    let reader = Reader::mmtag_setup();
-    let tag = MmTag::prototype();
-    let scene = Scene::free_space();
+    let link = LinkSetup::paper_default();
     let reader_pose = Pose::new(Vec2::ORIGIN, Angle::ZERO);
 
     // The asset is carried along a diagonal through the sector.
@@ -44,7 +42,7 @@ fn main() {
         // passive patch array radiates backwards.
         let mut truth = walk.pose_at(t);
         truth.orientation = truth.position.bearing_to(reader_pose.position);
-        match locate(&reader, &tag, &scene, reader_pose, truth) {
+        match locate(&link.reader, &link.tag, &link.scene, reader_pose, truth) {
             Some(est) => {
                 let err = position_error(&est, truth).feet();
                 worst = worst.max(err);

@@ -10,9 +10,10 @@ use mmtag::prelude::*;
 
 fn main() {
     // The paper's hardware (§7): a 6-element Van Atta tag on Rogers 4835
-    // and a 20 mW reader with 20 dBi horns and an NF = 5 dB receiver.
-    let tag = MmTag::prototype();
-    let reader = Reader::mmtag_setup();
+    // and a 20 mW reader with 20 dBi horns and an NF = 5 dB receiver —
+    // one typed spec away.
+    let link = LinkSetup::paper_default();
+    let (tag, reader) = (&link.tag, &link.reader);
 
     let (w, h) = tag.dimensions();
     println!("mmTag prototype");
@@ -24,13 +25,9 @@ fn main() {
     println!();
 
     // Face-to-face geometry in free space, like the paper's range test.
-    let scene = Scene::free_space();
-    let reader_pose = Pose::new(Vec2::ORIGIN, Angle::ZERO);
-
     println!("range    power        SNR@best-BW  rate");
     for feet in [2.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
-        let tag_pose = Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0));
-        let report = evaluate_link(&reader, &tag, &scene, reader_pose, tag_pose);
+        let report = link.evaluate_at_feet(feet);
         match report.power {
             Some(p) => {
                 let rung = reader.adaptation().best_rung(p);
@@ -44,10 +41,7 @@ fn main() {
     }
 
     // The two claims the paper leads with:
-    let at = |feet: f64| {
-        let tp = Pose::new(Vec2::from_feet(feet, 0.0), Angle::from_degrees(180.0));
-        evaluate_link(&reader, &tag, &scene, reader_pose, tp).rate
-    };
+    let at = |feet: f64| link.evaluate_at_feet(feet).rate;
     assert!(at(4.0).gbps() >= 1.0, "paper anchor: 1 Gbps at 4 ft");
     assert!(at(10.0).mbps() >= 10.0, "paper anchor: 10 Mbps at 10 ft");
     println!("\n✓ paper anchors hold: 1 Gbps @ 4 ft, 10 Mbps @ 10 ft");

@@ -9,13 +9,14 @@
 //! Run with: `cargo run --example warehouse_inventory`
 
 use mmtag::prelude::*;
+use mmtag::scenario::{build_reader, build_scene, build_tag};
 use mmtag_mac::{ScanSchedule, SectorScheduler};
 use mmtag_rf::rng::Xoshiro256pp;
 
 fn main() {
-    let reader = Reader::mmtag_setup();
+    let reader = build_reader(&ReaderSpec::mmtag_setup());
     let reader_pose = Pose::new(Vec2::ORIGIN, Angle::ZERO);
-    let mut net = Network::new(Scene::free_space(), reader, reader_pose);
+    let mut net = Network::new(build_scene(&SceneSpec::free_space()), reader, reader_pose);
 
     // 48 tagged cartons on an arc of shelves, 5–8 ft out, ±55°.
     let n_tags = 48;
@@ -25,7 +26,7 @@ fn main() {
         let rad = angle_deg.to_radians();
         let pos = Vec2::from_feet(radius_ft * rad.cos(), radius_ft * rad.sin());
         net.add_tag(
-            MmTag::prototype(),
+            build_tag(&TagSpec::prototype()),
             Static(Pose::new(pos, Angle::from_degrees(angle_deg + 180.0))),
         );
     }

@@ -4,8 +4,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "check.sh: build + tests + clippy all green"
+# Registry smoke: list every registered scenario, then run each E1–E26
+# entry end to end through the Runner at reduced size.
+cargo run -q --release -p mmtag-bench --bin scenario -- list
+cargo run -q --release -p mmtag-bench --bin scenario -- smoke
+
+echo "check.sh: fmt + build + tests + clippy + scenario smoke all green"

@@ -61,9 +61,16 @@ fn mac_ensembles_are_thread_invariant() {
     let gen2_ref = gen2_ensemble_par_with(1, 48, Gen2Timing::fast_mmwave(), 500_000, 12, &tree);
     for threads in THREAD_COUNTS {
         let aloha = inventory_ensemble_par_with(threads, 48, QAlgorithm::new(), 50_000, 12, &tree);
-        assert_eq!(aloha, aloha_ref, "Aloha ensemble diverged at {threads} threads");
-        let gen2 = gen2_ensemble_par_with(threads, 48, Gen2Timing::fast_mmwave(), 500_000, 12, &tree);
-        assert_eq!(gen2, gen2_ref, "Gen2 ensemble diverged at {threads} threads");
+        assert_eq!(
+            aloha, aloha_ref,
+            "Aloha ensemble diverged at {threads} threads"
+        );
+        let gen2 =
+            gen2_ensemble_par_with(threads, 48, Gen2Timing::fast_mmwave(), 500_000, 12, &tree);
+        assert_eq!(
+            gen2, gen2_ref,
+            "Gen2 ensemble diverged at {threads} threads"
+        );
     }
 }
 
@@ -73,10 +80,12 @@ fn mac_ensembles_are_thread_invariant() {
 fn par_primitives_preserve_index_order() {
     let serial: Vec<u64> = (0..999u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
     for threads in THREAD_COUNTS {
-        let par = mmtag_rf::par::par_indexed_with(threads, 999, |i| {
-            (i as u64).wrapping_mul(0x9E37_79B9)
-        });
-        assert_eq!(par, serial, "par_indexed_with broke order at {threads} threads");
+        let par =
+            mmtag_rf::par::par_indexed_with(threads, 999, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        assert_eq!(
+            par, serial,
+            "par_indexed_with broke order at {threads} threads"
+        );
     }
     // Chunk decomposition: 10_000 items in chunks of 256 → 40 chunks, the
     // last one partial. Each chunk reports (start, len).
@@ -87,7 +96,10 @@ fn par_primitives_preserve_index_order() {
         let chunks = mmtag_rf::par::par_chunks_with(threads, 10_000, 256, |_, range| {
             (range.start, range.len())
         });
-        assert_eq!(chunks, expect, "par_chunks_with mis-split at {threads} threads");
+        assert_eq!(
+            chunks, expect,
+            "par_chunks_with mis-split at {threads} threads"
+        );
     }
 }
 
@@ -108,8 +120,14 @@ fn seed_tree_streams_are_position_independent() {
         assert_eq!(a.next_u64(), b.next_u64());
     }
     // Different index or label → different seed.
-    assert_ne!(tree.seed_for_indexed("rep", 7), tree.seed_for_indexed("rep", 8));
-    assert_ne!(tree.seed_for_indexed("rep", 7), tree.seed_for_indexed("per", 7));
+    assert_ne!(
+        tree.seed_for_indexed("rep", 7),
+        tree.seed_for_indexed("rep", 8)
+    );
+    assert_ne!(
+        tree.seed_for_indexed("rep", 7),
+        tree.seed_for_indexed("per", 7)
+    );
     // Subtrees are stable the same way.
     assert_eq!(
         tree.subtree_indexed("snr", 3).seed_for("chunk"),
@@ -117,7 +135,10 @@ fn seed_tree_streams_are_position_independent() {
     );
     // And a fresh tree from the same root reproduces everything.
     let again = SeedTree::new(0xFEED);
-    assert_eq!(tree.seed_for_indexed("rep", 7), again.seed_for_indexed("rep", 7));
+    assert_eq!(
+        tree.seed_for_indexed("rep", 7),
+        again.seed_for_indexed("rep", 7)
+    );
 }
 
 /// Golden values: pin the concrete seed derivation so an accidental change

@@ -21,12 +21,8 @@ fn paper_headline_rates() {
     let scene = Scene::free_space();
     let (rp, tp4) = face_to_face(4.0);
     let (_, tp10) = face_to_face(10.0);
-    assert!(
-        evaluate_link(&reader, &tag, &scene, rp, tp4).rate.gbps() >= 1.0
-    );
-    assert!(
-        evaluate_link(&reader, &tag, &scene, rp, tp10).rate.mbps() >= 10.0
-    );
+    assert!(evaluate_link(&reader, &tag, &scene, rp, tp4).rate.gbps() >= 1.0);
+    assert!(evaluate_link(&reader, &tag, &scene, rp, tp10).rate.mbps() >= 10.0);
 }
 
 /// Fig. 6's two anchor values through the tag's public API.
@@ -53,17 +49,10 @@ fn retrodirectivity_across_angles() {
         ..TagConfig::default()
     });
     for rot in [0.0, 10.0, 20.0, 30.0, 40.0] {
-        let tp = Pose::new(
-            Vec2::from_feet(4.0, 0.0),
-            Angle::from_degrees(180.0 - rot),
-        );
+        let tp = Pose::new(Vec2::from_feet(4.0, 0.0), Angle::from_degrees(180.0 - rot));
         let r_va = evaluate_link(&reader, &va, &scene, rp, tp);
         let r_fb = evaluate_link(&reader, &fb, &scene, rp, tp);
-        assert!(
-            r_va.rate.mbps() >= 100.0,
-            "mmTag at {rot}°: {}",
-            r_va.rate
-        );
+        assert!(r_va.rate.mbps() >= 100.0, "mmTag at {rot}°: {}", r_va.rate);
         if rot >= 20.0 {
             assert!(
                 r_va.rate.bps() > 10.0 * r_fb.rate.bps().max(1.0),
@@ -135,10 +124,7 @@ fn network_end_to_end_deterministic() {
         );
         for i in 0..10 {
             let deg = -45.0_f64 + i as f64 * 10.0;
-            let pos = Vec2::from_feet(
-                6.0 * deg.to_radians().cos(),
-                6.0 * deg.to_radians().sin(),
-            );
+            let pos = Vec2::from_feet(6.0 * deg.to_radians().cos(), 6.0 * deg.to_radians().sin());
             net.add_tag(
                 MmTag::prototype(),
                 Static(Pose::new(pos, Angle::from_degrees(deg + 180.0))),
@@ -162,10 +148,7 @@ fn batteryless_throughput_beats_legacy_systems() {
     let (rp, tp) = face_to_face(4.0);
     let rate = evaluate_link(&reader, &tag, &Scene::free_space(), rp, tp).rate;
     let budget = EnergyBudget::for_tag(&tag, rate);
-    let sustained = budget.sustained_throughput(
-        Harvester::IndoorSolar { area_cm2: 10.0 },
-        rate,
-    );
+    let sustained = budget.sustained_throughput(Harvester::IndoorSolar { area_cm2: 10.0 }, rate);
     // Even duty-cycled by harvesting, mmTag outruns BackFi's 5 Mbps peak
     // by orders of magnitude.
     assert!(

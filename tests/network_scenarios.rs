@@ -26,8 +26,7 @@ fn receding_tag_steps_down_the_ladder() {
     let rates: Vec<f64> = trace.points().iter().map(|(_, r)| *r).collect();
     assert!(rates.windows(2).all(|w| w[1] <= w[0]), "rate must not rise");
     assert_eq!(rates[0], 1e9, "starts at 1 Gbps at 3 ft");
-    let distinct: std::collections::BTreeSet<u64> =
-        rates.iter().map(|r| *r as u64).collect();
+    let distinct: std::collections::BTreeSet<u64> = rates.iter().map(|r| *r as u64).collect();
     assert!(
         distinct.len() >= 3,
         "must visit ≥ 3 rungs of the ladder, saw {distinct:?}"
@@ -70,10 +69,7 @@ fn inventory_time_scales_with_population() {
         let mut net = Network::new(Scene::free_space(), Reader::mmtag_setup(), reader_pose());
         for i in 0..n {
             let deg = -55.0 + 110.0 * i as f64 / (n.max(2) - 1) as f64;
-            let pos = Vec2::from_feet(
-                6.0 * deg.to_radians().cos(),
-                6.0 * deg.to_radians().sin(),
-            );
+            let pos = Vec2::from_feet(6.0 * deg.to_radians().cos(), 6.0 * deg.to_radians().sin());
             net.add_tag(
                 MmTag::prototype(),
                 Static(Pose::new(pos, Angle::from_degrees(deg + 180.0))),
@@ -126,11 +122,11 @@ fn oblique_fixed_beam_tags_are_invisible() {
 #[test]
 fn mobility_traces_are_reproducible() {
     let run = || {
-        let mut net =
-            Network::new(Scene::room(8.0, 6.0), Reader::mmtag_setup(), Pose::new(
-                Vec2::new(0.5, 3.0),
-                Angle::ZERO,
-            ));
+        let mut net = Network::new(
+            Scene::room(8.0, 6.0),
+            Reader::mmtag_setup(),
+            Pose::new(Vec2::new(0.5, 3.0), Angle::ZERO),
+        );
         let idx = net.add_tag(
             MmTag::prototype(),
             Waypoints::new(

@@ -50,7 +50,10 @@ fn power_monotone_in_range() {
                 .expect("free space, front hemisphere")
                 .dbm()
         };
-        assert!(p_at(feet) > p_at(feet + 1.0), "n={elements} rot={rot} d={feet}");
+        assert!(
+            p_at(feet) > p_at(feet + 1.0),
+            "n={elements} rot={rot} d={feet}"
+        );
     }
 }
 

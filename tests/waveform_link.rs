@@ -5,9 +5,9 @@
 
 use mmtag::link::{evaluate_link, expected_eb_n0};
 use mmtag::prelude::*;
+use mmtag_phy::ber::ook_coherent_ber;
 use mmtag_phy::frame::Frame;
 use mmtag_phy::sync::{find_frame_start, BARKER13};
-use mmtag_phy::ber::ook_coherent_ber;
 use mmtag_phy::waveform::{measure_ber, measure_ber_par, Awgn, OokModem};
 use mmtag_rf::rng::{SeedTree, Xoshiro256pp};
 
