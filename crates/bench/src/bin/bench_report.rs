@@ -1,25 +1,79 @@
-//! Serial-vs-parallel speedup report for the Monte-Carlo engine.
+//! The perf-trajectory report for the Monte-Carlo engine.
 //!
-//! Runs the engine's hot paths — single-point BER, an 8-point BER sweep,
-//! and an Aloha inventory ensemble — once pinned to one thread and once at
-//! the machine's thread limit (`MMTAG_THREADS` or `available_parallelism`),
-//! asserts the outputs are bit-identical, and writes `BENCH_report.json`
-//! (name → ns/iter plus named speedup ratios) to the current directory.
+//! Two kinds of rows, all asserted bit-identical where the determinism
+//! contract applies, written to `BENCH_report.json`:
 //!
-//! On a single-core box the speedups hover near 1×; on a 4+-core machine
-//! the BER rows should clear 3×.
+//! * **serial → parallel** speedups of the engine hot paths (single-point
+//!   BER, an 8-point BER sweep, an Aloha inventory ensemble) — PR 1's
+//!   headline numbers, kept so the trajectory stays comparable;
+//! * **old-kernel → batch-kernel** speedups at one thread — this PR's
+//!   headline: the pre-batch allocating sampler-v1 chains
+//!   ([`count_bit_errors_reference`], the scalar
+//!   [`RicianFading::outage_probability`], the allocating
+//!   [`inventory_until_drained`]) against the zero-allocation scratch
+//!   kernels that replaced them in the hot loops.
+//!
+//! Modes: no args = full-fidelity run; `--quick` = small timing rounds so
+//! `scripts/check.sh` can regenerate and validate the report on every
+//! check in seconds; `--verify` = don't benchmark at all, just require
+//! that `BENCH_report.json` exists and parses as JSON (exit 1 otherwise).
 
-use mmtag_bench::timing::{bench, format_result, report_json, BenchResult};
-use mmtag_mac::aloha::{inventory_ensemble_par_with, QAlgorithm};
-use mmtag_phy::waveform::{ber_sweep_par_with, measure_ber_par_with, OokModem};
+use mmtag_bench::timing::{bench_with, format_result, report_json, validate_json, BenchResult};
+use mmtag_channel::fading::{FadeScratch, RicianFading};
+use mmtag_mac::aloha::{
+    inventory_ensemble_par_with, inventory_until_drained, inventory_until_drained_scratch,
+    AlohaScratch, QAlgorithm,
+};
+use mmtag_phy::waveform::{
+    ber_sweep_par_with, count_bit_errors_reference, count_bit_errors_scratch, measure_ber_par_with,
+    Awgn, OokModem, TrialScratch, MC_CHUNK_BITS,
+};
 use mmtag_rf::rng::SeedTree;
+use mmtag_rf::units::Db;
 
 const BER_BITS: usize = 100_000;
 const BER_SNRS: [f64; 8] = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
 const TAGS: usize = 128;
 const REPS: usize = 16;
+const OUTAGE_TRIALS: usize = 100_000;
+
+const REPORT: &str = "BENCH_report.json";
+
+fn verify() -> ! {
+    match std::fs::read_to_string(REPORT) {
+        Err(e) => {
+            eprintln!("bench_report --verify: cannot read {REPORT}: {e}");
+            std::process::exit(1);
+        }
+        Ok(text) => match validate_json(&text) {
+            Err(e) => {
+                eprintln!("bench_report --verify: {REPORT} is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+            Ok(()) => {
+                println!("{REPORT}: valid JSON ({} bytes)", text.len());
+                std::process::exit(0);
+            }
+        },
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--verify") {
+        verify();
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    // Quick mode: ~6 ms rounds, 2 rounds — noisy numbers, same pipeline.
+    let (target, rounds) = if quick {
+        (6_000_000, 2)
+    } else {
+        (80_000_000, 5)
+    };
+    let bench = |name: &str, f: &mut dyn FnMut() -> f64| -> BenchResult {
+        bench_with(name, target, rounds, f)
+    };
+
     let threads = mmtag_rf::par::thread_limit();
     let tree = SeedTree::new(0xBE9C);
     let modem = OokModem::new(4);
@@ -29,18 +83,113 @@ fn main() {
     let pair = |name: &str,
                 results: &mut Vec<BenchResult>,
                 speedups: &mut Vec<(String, f64)>,
-                serial: BenchResult,
-                par: BenchResult| {
-        speedups.push((name.to_string(), par.speedup_over(&serial)));
-        results.push(serial);
-        results.push(par);
+                baseline: BenchResult,
+                improved: BenchResult| {
+        speedups.push((name.to_string(), improved.speedup_over(&baseline)));
+        results.push(baseline);
+        results.push(improved);
     };
 
+    // ---- old kernel vs batch kernel, both serial (this PR's headline) ----
+
+    // Waveform BER: the pre-batch chain (per-chunk Vec allocs, sampler-v1
+    // AWGN, materialized decisions) vs the TrialScratch kernel, over the
+    // same chunk decomposition.
+    let chunk_errors_old = || {
+        let mut total = 0u64;
+        let chunks = BER_BITS.div_ceil(MC_CHUNK_BITS);
+        for ci in 0..chunks {
+            let n = MC_CHUNK_BITS.min(BER_BITS - ci * MC_CHUNK_BITS);
+            let mut rng = tree.rng_indexed("ber-chunk", ci as u64);
+            total += count_bit_errors_reference(&modem, 7.0, n, true, &mut rng) as u64;
+        }
+        total as f64 / BER_BITS as f64
+    };
+    let chunk_errors_new = || {
+        let awgn = Awgn::for_eb_n0(&modem, 7.0);
+        let mut scratch = TrialScratch::new();
+        let mut total = 0u64;
+        let chunks = BER_BITS.div_ceil(MC_CHUNK_BITS);
+        for ci in 0..chunks {
+            let n = MC_CHUNK_BITS.min(BER_BITS - ci * MC_CHUNK_BITS);
+            let mut rng = tree.rng_indexed("ber-chunk", ci as u64);
+            total +=
+                count_bit_errors_scratch(&modem, &awgn, n, true, &mut rng, &mut scratch) as u64;
+        }
+        total as f64 / BER_BITS as f64
+    };
+    let s = bench("ber_kernel_scalar_100kbit", &mut { chunk_errors_old });
+    let p = bench("ber_kernel_batch_100kbit", &mut { chunk_errors_new });
+    pair(
+        "ber_kernel_batch_vs_scalar",
+        &mut results,
+        &mut speedups,
+        s,
+        p,
+    );
+
+    // Rician outage: scalar two-normal sampler vs the FadeScratch
+    // bulk-fill kernel.
+    let fader = RicianFading::mmwave_los();
+    let s = bench("outage_kernel_scalar_100k", &mut || {
+        let mut rng = tree.rng_indexed("outage-chunk", 0);
+        fader.outage_probability(Db::new(7.0), OUTAGE_TRIALS, &mut rng)
+    });
+    let p = bench("outage_kernel_batch_100k", &mut || {
+        let mut rng = tree.rng_indexed("outage-chunk", 0);
+        let mut scratch = FadeScratch::new();
+        fader.count_outages_scratch(Db::new(7.0), OUTAGE_TRIALS, &mut rng, &mut scratch) as f64
+            / OUTAGE_TRIALS as f64
+    });
+    pair(
+        "outage_kernel_batch_vs_scalar",
+        &mut results,
+        &mut speedups,
+        s,
+        p,
+    );
+
+    // Aloha drain loop: allocating RoundOutcome path vs the slot-count
+    // scratch kernel (bit-identical streams, so assert equality too).
+    {
+        let mut rng = tree.rng_indexed("aloha-rep", 0);
+        let a = inventory_until_drained(TAGS, QAlgorithm::new(), 100_000, &mut rng);
+        let mut rng = tree.rng_indexed("aloha-rep", 0);
+        let mut scratch = AlohaScratch::new();
+        let b = inventory_until_drained_scratch(
+            TAGS,
+            QAlgorithm::new(),
+            100_000,
+            &mut rng,
+            &mut scratch,
+        );
+        assert_eq!(a, b, "scratch drain loop must be bit-identical");
+    }
+    let s = bench("aloha_drain_alloc_128tags", &mut || {
+        let mut rng = tree.rng_indexed("aloha-rep", 0);
+        inventory_until_drained(TAGS, QAlgorithm::new(), 100_000, &mut rng).total_slots as f64
+    });
+    let p = bench("aloha_drain_scratch_128tags", &mut || {
+        let mut rng = tree.rng_indexed("aloha-rep", 0);
+        let mut scratch = AlohaScratch::new();
+        inventory_until_drained_scratch(TAGS, QAlgorithm::new(), 100_000, &mut rng, &mut scratch)
+            .total_slots as f64
+    });
+    pair(
+        "aloha_drain_scratch_vs_alloc",
+        &mut results,
+        &mut speedups,
+        s,
+        p,
+    );
+
+    // ---- serial vs parallel (PR 1's rows, now on the batch kernels) ----
+
     // Single-point BER, chunk-parallel.
-    let s = bench("ber_point_100kbit_serial", || {
+    let s = bench("ber_point_100kbit_serial", &mut || {
         measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree)
     });
-    let p = bench("ber_point_100kbit_par", || {
+    let p = bench("ber_point_100kbit_par", &mut || {
         measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree)
     });
     let a = measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree);
@@ -53,11 +202,11 @@ fn main() {
     pair("ber_point_100kbit", &mut results, &mut speedups, s, p);
 
     // Full sweep, parallel over (SNR × chunk).
-    let s = bench("ber_sweep_8x100kbit_serial", || {
-        ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree)
+    let s = bench("ber_sweep_8x100kbit_serial", &mut || {
+        ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree)[0]
     });
-    let p = bench("ber_sweep_8x100kbit_par", || {
-        ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree)
+    let p = bench("ber_sweep_8x100kbit_par", &mut || {
+        ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree)[0]
     });
     let a = ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree);
     let b = ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree);
@@ -67,12 +216,14 @@ fn main() {
     );
     pair("ber_sweep_8x100kbit", &mut results, &mut speedups, s, p);
 
-    // Inventory ensemble, one repetition per work unit.
-    let s = bench("aloha_ensemble_128tags_x16_serial", || {
-        inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)
+    // Inventory ensemble, one repetition per work unit, scratch per worker.
+    let s = bench("aloha_ensemble_128tags_x16_serial", &mut || {
+        inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)[0].total_slots
+            as f64
     });
-    let p = bench("aloha_ensemble_128tags_x16_par", || {
-        inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)
+    let p = bench("aloha_ensemble_128tags_x16_par", &mut || {
+        inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)[0]
+            .total_slots as f64
     });
     let a = inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
     let b = inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
@@ -88,12 +239,16 @@ fn main() {
     for r in &results {
         println!("{}", format_result(r));
     }
-    println!("\n== serial → parallel speedups ({threads} threads) ==");
+    println!("\n== speedups ({threads} threads) ==");
     for (name, ratio) in &speedups {
         println!("{name:<40} {ratio:>6.2}×");
     }
 
     let json = report_json(&results, &speedups, threads);
-    std::fs::write("BENCH_report.json", &json).expect("write BENCH_report.json");
-    println!("\nwrote BENCH_report.json");
+    validate_json(&json).expect("bench_report produced invalid JSON");
+    std::fs::write(REPORT, &json).expect("write BENCH_report.json");
+    println!(
+        "\nwrote {REPORT}{}",
+        if quick { " (quick mode)" } else { "" }
+    );
 }

@@ -397,12 +397,15 @@ pub(crate) fn e20_body(ctx: &RunContext) -> Vec<Table> {
         "E20 — raised-cosine shaped OOK: confinement and admissible rate",
         &["beta", "power_in_channel", "rate_in_2ghz_gbps"],
     );
+    // One Welch plan for the whole sweep: every row shares the same FFT
+    // size, so the twiddle/bit-reversal tables are built exactly once.
+    let plan = mmtag_rf::fft::WelchPlan::new(1024);
     // Hard switching row (β = "rect"): channel ±1 symbol rate (B/2 rule).
-    let rect = Spectrum::of_samples(&modem.modulate(&bits), sps, 1024);
+    let rect = Spectrum::of_samples_with_plan(&plan, &modem.modulate(&bits), sps);
     t.push_labeled_row("rect", &[f64::NAN, rect.power_within(1.0), 1.0]);
     for beta in ctx.spec.values("beta") {
         let shaped = PulseShaper::new(beta, 8, sps).shape_ook(&modem, &bits);
-        let spec = Spectrum::of_samples(&shaped, sps, 1024);
+        let spec = Spectrum::of_samples_with_plan(&plan, &shaped, sps);
         // Shaped signal occupies ±(1+β)/2 symbol rates ⇒ in a fixed 2 GHz
         // channel the symbol rate is 2 GHz/(1+β).
         let half_channel = (1.0 + beta) / 2.0;

@@ -43,7 +43,21 @@ const MAX_ITERS: u64 = 1 << 24;
 /// count toward [`TARGET_ROUND_NANOS`], then [`ROUNDS`] timed rounds run
 /// and the fastest is reported. The closure's result is passed through
 /// [`std::hint::black_box`] so the optimizer cannot delete the work.
-pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> BenchResult {
+pub fn bench<R, F: FnMut() -> R>(name: &str, f: F) -> BenchResult {
+    bench_with(name, TARGET_ROUND_NANOS, ROUNDS, f)
+}
+
+/// [`bench`] with explicit round budget and round count. The CI quick mode
+/// (`bench_report --quick`, run by `scripts/check.sh`) uses a small target
+/// so the full report finishes in a couple of seconds — the resulting
+/// numbers are noisier but the pipeline (and the JSON artifact) is
+/// exercised end to end on every check.
+pub fn bench_with<R, F: FnMut() -> R>(
+    name: &str,
+    target_round_nanos: u128,
+    rounds: usize,
+    mut f: F,
+) -> BenchResult {
     // Calibration: double iterations until a round is long enough.
     let mut iters: u64 = 1;
     loop {
@@ -52,12 +66,12 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> BenchResult {
             std::hint::black_box(f());
         }
         let elapsed = t.elapsed().as_nanos();
-        if elapsed >= TARGET_ROUND_NANOS / 2 || iters >= MAX_ITERS {
+        if elapsed >= target_round_nanos / 2 || iters >= MAX_ITERS {
             break;
         }
         // Aim straight for the target when we have signal; else double.
         iters = if elapsed > 0 {
-            (iters.saturating_mul(TARGET_ROUND_NANOS.div_ceil(elapsed) as u64))
+            (iters.saturating_mul(target_round_nanos.div_ceil(elapsed) as u64))
                 .clamp(iters + 1, iters.saturating_mul(16).min(MAX_ITERS))
         } else {
             (iters * 16).min(MAX_ITERS)
@@ -65,7 +79,7 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> BenchResult {
     }
 
     let mut best = f64::INFINITY;
-    for _ in 0..ROUNDS {
+    for _ in 0..rounds {
         let t = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());
@@ -122,6 +136,176 @@ pub fn report_json(results: &[BenchResult], speedups: &[(String, f64)], threads:
     out
 }
 
+/// Validates that `s` is one well-formed JSON value (the whole string,
+/// modulo surrounding whitespace). A minimal recursive-descent checker —
+/// no DOM, no serde — used by `bench_report --verify` and `scripts/check.sh`
+/// to guarantee the committed `BENCH_report.json` never goes stale or
+/// corrupt without CI noticing.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn err(&self, what: &str) -> String {
+            format!("{what} at byte {}", self.i)
+        }
+        fn ws(&mut self) {
+            while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+        fn value(&mut self) -> Result<(), String> {
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(b't') => self.literal(b"true"),
+                Some(b'f') => self.literal(b"false"),
+                Some(b'n') => self.literal(b"null"),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+        fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+            if self.b[self.i..].starts_with(lit) {
+                self.i += lit.len();
+                Ok(())
+            } else {
+                Err(self.err("bad literal"))
+            }
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            if self.b.get(self.i) == Some(&b'-') {
+                self.i += 1;
+            }
+            let digits = |p: &mut Self| {
+                let s = p.i;
+                while matches!(p.b.get(p.i), Some(b'0'..=b'9')) {
+                    p.i += 1;
+                }
+                p.i > s
+            };
+            if !digits(self) {
+                return Err(self.err("expected digits"));
+            }
+            if self.b.get(self.i) == Some(&b'.') {
+                self.i += 1;
+                if !digits(self) {
+                    return Err(self.err("expected fraction digits"));
+                }
+            }
+            if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+                self.i += 1;
+                if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                    self.i += 1;
+                }
+                if !digits(self) {
+                    return Err(self.err("expected exponent digits"));
+                }
+            }
+            debug_assert!(self.i > start);
+            Ok(())
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.i += 1; // opening quote
+            loop {
+                match self.b.get(self.i) {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.b.get(self.i) {
+                            Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                                self.i += 1
+                            }
+                            Some(b'u') => {
+                                self.i += 1;
+                                for _ in 0..4 {
+                                    if !matches!(
+                                        self.b.get(self.i),
+                                        Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                    ) {
+                                        return Err(self.err("bad \\u escape"));
+                                    }
+                                    self.i += 1;
+                                }
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                    }
+                    Some(_) => self.i += 1,
+                }
+            }
+        }
+        fn object(&mut self) -> Result<(), String> {
+            self.i += 1; // '{'
+            self.ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.ws();
+                if self.b.get(self.i) != Some(&b'"') {
+                    return Err(self.err("expected object key"));
+                }
+                self.string()?;
+                self.ws();
+                if self.b.get(self.i) != Some(&b':') {
+                    return Err(self.err("expected ':'"));
+                }
+                self.i += 1;
+                self.value()?;
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<(), String> {
+            self.i += 1; // '['
+            self.ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value()?;
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or ']'")),
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.value()?;
+    p.ws();
+    if p.i != s.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +342,53 @@ mod tests {
         assert!(json.contains("\\\"q\\\""));
         assert!(json.contains("\"a_vs_b\": 2.500"));
         assert!(json.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn validate_json_accepts_the_report_shape_and_valid_documents() {
+        let json = report_json(
+            &[BenchResult {
+                name: "k".into(),
+                iters: 3,
+                ns_per_iter: 1.5,
+            }],
+            &[("k_speedup".into(), 2.0)],
+            8,
+        );
+        validate_json(&json).unwrap();
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#""a \"quoted\" é string""#,
+            r#"{"a": [1, {"b": null}, true], "c": "d"}"#,
+            "  {\n}\t",
+        ] {
+            assert!(validate_json(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validate_json_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1, 2",
+            "\"unterminated",
+            "01x",
+            "1.",
+            "1e",
+            "{\"a\" 1}",
+            "{} trailing",
+            "nul",
+            r#""bad \q escape""#,
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! also one of the stack's parallel hot paths: [`RicianFading::outage_probability_par`]
 //! runs the trial loop chunked over the [`mmtag_rf::par`] engine with one
 //! [`SeedTree`] stream per chunk, bit-identical at any thread count.
+//!
+//! The chunk kernel is the batch [`RicianFading::count_outages_scratch`]:
+//! it bulk-fills a caller-owned [`FadeScratch`] with complex normals via
+//! [`Rng::fill_complex_normal`] (**sampler v2** — one Box–Muller pair per
+//! fade, half the transcendental calls of the scalar
+//! [`RicianFading::sample`], which burns two cosine-branch draws), then
+//! counts threshold crossings in a second, autovectorizable pass. The
+//! scalar path stays as the sampler-v1 reference for the differential
+//! tests and the old-vs-new rows in `bench_report`.
 
 use mmtag_rf::par;
 use mmtag_rf::rng::{Rng, SeedTree};
@@ -20,6 +29,24 @@ use mmtag_rf::Complex;
 /// from the thread count) so the chunk decomposition — and therefore the
 /// sampled randomness — is identical no matter how many workers run it.
 pub const OUTAGE_CHUNK_TRIALS: usize = 16_384;
+
+/// Caller-owned workspace for the batch outage kernel: the buffer of raw
+/// complex-normal draws one chunk consumes. Same ownership rules as every
+/// scratch in this stack (DESIGN.md §8): write-before-read, owned by one
+/// worker at a time, grown once and reused across all the chunks that
+/// worker claims.
+#[derive(Clone, Debug, Default)]
+pub struct FadeScratch {
+    /// Unit-variance-per-component complex normals, one per trial.
+    draws: Vec<Complex>,
+}
+
+impl FadeScratch {
+    /// An empty workspace; sized lazily by the first chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A Rician fading channel with linear K-factor `k` (dominant/scattered
 /// power ratio). The mean power gain is normalized to 1 (0 dB).
@@ -75,7 +102,9 @@ impl RicianFading {
 
     /// Monte-Carlo outage probability: fraction of fades deeper than
     /// `margin` dB below the mean, over `trials` samples drawn serially
-    /// from `rng`.
+    /// from `rng` through the scalar sampler-v1 path. Kept as the
+    /// reference implementation; the parallel path runs the batch
+    /// [`RicianFading::count_outages_scratch`] kernel instead.
     pub fn outage_probability<R: Rng + ?Sized>(
         &self,
         margin: Db,
@@ -86,6 +115,35 @@ impl RicianFading {
         let threshold = outage_threshold(margin);
         let outages = self.count_outages(threshold, trials, rng);
         outages as f64 / trials as f64
+    }
+
+    /// The batch outage kernel (**sampler v2**): bulk-fills `scratch` with
+    /// one complex normal per trial via [`Rng::fill_complex_normal`], then
+    /// counts fades whose power `|los + σ·z|²` falls below the `margin`
+    /// threshold. Zero heap allocation once the scratch has grown to the
+    /// chunk size; the count/scale pass is branch-free over a plain slice
+    /// so it autovectorizes.
+    pub fn count_outages_scratch<R: Rng + ?Sized>(
+        &self,
+        margin: Db,
+        trials: usize,
+        rng: &mut R,
+        scratch: &mut FadeScratch,
+    ) -> usize {
+        let threshold = outage_threshold(margin);
+        let los = (self.k / (self.k + 1.0)).sqrt();
+        let sigma = (0.5 / (self.k + 1.0)).sqrt();
+        scratch.draws.resize(trials, Complex::ZERO);
+        rng.fill_complex_normal(&mut scratch.draws);
+        scratch
+            .draws
+            .iter()
+            .filter(|z| {
+                let re = los + sigma * z.re;
+                let im = sigma * z.im;
+                re * re + im * im < threshold
+            })
+            .count()
     }
 
     /// Parallel Monte-Carlo outage probability, chunked over the
@@ -107,14 +165,18 @@ impl RicianFading {
         tree: &SeedTree,
     ) -> f64 {
         assert!(trials > 0, "need at least one trial");
-        let threshold = outage_threshold(margin);
-        let outages: u64 =
-            par::par_chunks_with(threads, trials, OUTAGE_CHUNK_TRIALS, |ci, range| {
+        let outages: u64 = par::par_chunks_scratch_with(
+            threads,
+            trials,
+            OUTAGE_CHUNK_TRIALS,
+            FadeScratch::new,
+            |scratch, ci, range| {
                 let mut rng = tree.rng_indexed("outage-chunk", ci as u64);
-                self.count_outages(threshold, range.len(), &mut rng) as u64
-            })
-            .into_iter()
-            .sum();
+                self.count_outages_scratch(margin, range.len(), &mut rng, scratch) as u64
+            },
+        )
+        .into_iter()
+        .sum();
         outages as f64 / trials as f64
     }
 
@@ -216,5 +278,70 @@ mod tests {
     #[should_panic(expected = "K-factor")]
     fn negative_k_is_a_bug() {
         let _ = RicianFading::new(-1.0);
+    }
+
+    // ---- differential tests: batch kernel vs pair-draw reference ----
+
+    #[test]
+    fn batch_outage_kernel_is_bit_identical_to_pair_draws() {
+        // The kernel's contract: trial i consumes exactly the i-th
+        // normal_pair of the stream and compares |los + σ·z|² to the
+        // threshold. Replay that by hand across odd / zero / chunk-uneven
+        // trial counts.
+        let fader = RicianFading::mmwave_los();
+        let margin = Db::new(6.0);
+        for trials in [0usize, 1, 7, 256, 1001] {
+            let mut scratch = FadeScratch::new();
+            let mut a = Xoshiro256pp::seed_from(42 + trials as u64);
+            let got = fader.count_outages_scratch(margin, trials, &mut a, &mut scratch);
+            let mut b = Xoshiro256pp::seed_from(42 + trials as u64);
+            let threshold = outage_threshold(margin);
+            let los = (fader.k() / (fader.k() + 1.0)).sqrt();
+            let sigma = (0.5 / (fader.k() + 1.0)).sqrt();
+            let want = (0..trials)
+                .filter(|_| {
+                    let (z0, z1) = b.normal_pair();
+                    let re = los + sigma * z0;
+                    let im = sigma * z1;
+                    re * re + im * im < threshold
+                })
+                .count();
+            assert_eq!(got, want, "trials={trials}");
+            // Both sides consumed the same amount of stream.
+            assert_eq!(a.next_u64(), b.next_u64(), "trials={trials}");
+        }
+    }
+
+    #[test]
+    fn batch_and_scalar_outage_agree_statistically() {
+        // Sampler v2 draws a different stream than the scalar reference,
+        // but both must estimate the same outage within Monte-Carlo error.
+        let fader = RicianFading::rayleigh();
+        let n = 200_000;
+        let mut rng = Xoshiro256pp::seed_from(8);
+        let scalar = fader.outage_probability(Db::new(10.0), n, &mut rng);
+        let mut rng = Xoshiro256pp::seed_from(8);
+        let mut scratch = FadeScratch::new();
+        let batch =
+            fader.count_outages_scratch(Db::new(10.0), n, &mut rng, &mut scratch) as f64 / n as f64;
+        let sigma = (scalar * (1.0 - scalar) / n as f64).sqrt();
+        assert!(
+            (batch - scalar).abs() < 5.0 * sigma,
+            "batch {batch} vs scalar {scalar}"
+        );
+    }
+
+    #[test]
+    fn fade_scratch_reuse_across_sizes_matches_fresh() {
+        let fader = RicianFading::mmwave_los();
+        let mut reused = FadeScratch::new();
+        let mut a = Xoshiro256pp::seed_from(5);
+        let mut b = Xoshiro256pp::seed_from(5);
+        for trials in [2000usize, 3, 16_384, 100] {
+            let x = fader.count_outages_scratch(Db::new(3.0), trials, &mut a, &mut reused);
+            let mut fresh = FadeScratch::new();
+            let y = fader.count_outages_scratch(Db::new(3.0), trials, &mut b, &mut fresh);
+            assert_eq!(x, y, "trials={trials}");
+        }
     }
 }

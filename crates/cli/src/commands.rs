@@ -315,6 +315,14 @@ mod tests {
     // ---- seeded golden outputs: the exact bytes each command prints ----
     // The model stack is deterministic, so these pin the full command
     // surface; a diff here means user-visible output changed.
+    //
+    // Sampler note: checked against Gaussian sampler v2 (batch Box–Muller,
+    // both branches — see `golden_noise_stream_sampler_v2` in mmtag_rf).
+    // These commands survive v1→v2 unchanged because none consume the
+    // Gaussian stream: link/sweep/s11/locate are closed-form, and
+    // inventory draws only slot indices (`Rng::index`), whose stream the
+    // batch kernels replay bit-identically. A future sampler bump that
+    // touches uniform or index draws must re-record these bytes.
 
     #[test]
     fn golden_link() {

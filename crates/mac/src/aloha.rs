@@ -99,6 +99,80 @@ impl FramedAloha {
         }
         (1.0 - 1.0 / frame_size as f64).powi(n_tags as i32 - 1)
     }
+
+    /// The batch round kernel: same slot draws as
+    /// [`FramedAloha::run_round`] (one [`Rng::index`] per tag, identical
+    /// stream), but only the slot *counts* are produced — no per-tag
+    /// `Vec<Option<usize>>`, no materialized read list — into a
+    /// caller-owned [`AlohaScratch`]. Drain loops that only need the
+    /// aggregate statistics (every inventory ensemble) run on this and
+    /// allocate nothing in steady state.
+    ///
+    /// # Panics
+    /// Panics on a zero frame size.
+    pub fn run_round_counts<R: Rng + ?Sized>(
+        &self,
+        n_tags: usize,
+        frame_size: usize,
+        rng: &mut R,
+        scratch: &mut AlohaScratch,
+    ) -> RoundCounts {
+        assert!(frame_size > 0, "frame must have at least one slot");
+        // clear + resize = one memset over retained capacity: the
+        // write-before-read rule with no realloc once the scratch has seen
+        // the largest frame.
+        scratch.slot_count.clear();
+        scratch.slot_count.resize(frame_size, 0);
+        for _ in 0..n_tags {
+            scratch.slot_count[rng.index(frame_size)] += 1;
+        }
+        let mut counts = RoundCounts {
+            successes: 0,
+            empty_slots: 0,
+            collision_slots: 0,
+            frame_size,
+        };
+        for &c in &scratch.slot_count {
+            match c {
+                0 => counts.empty_slots += 1,
+                1 => counts.successes += 1,
+                _ => counts.collision_slots += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Caller-owned workspace for the batch Aloha round kernel: the per-slot
+/// occupancy histogram. Standard scratch ownership rules (DESIGN.md §8):
+/// one worker at a time, fully overwritten before it is read, grown to the
+/// largest frame ever seen and then reused allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct AlohaScratch {
+    /// Tags-per-slot histogram for the current frame.
+    slot_count: Vec<u32>,
+}
+
+impl AlohaScratch {
+    /// An empty workspace; sized lazily by the first round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Aggregate outcome of one framed-Aloha round — what
+/// [`FramedAloha::run_round_counts`] produces instead of a full
+/// [`RoundOutcome`]: the same slot statistics without the read list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundCounts {
+    /// Slots chosen by exactly one tag (tags read this round).
+    pub successes: usize,
+    /// Number of empty slots.
+    pub empty_slots: usize,
+    /// Number of collision slots.
+    pub collision_slots: usize,
+    /// Frame size used.
+    pub frame_size: usize,
 }
 
 /// The EPC-Gen2-style adaptive frame-size controller.
@@ -139,13 +213,31 @@ impl QAlgorithm {
 
     /// Feeds back one round's observations.
     pub fn update(&mut self, outcome: &RoundOutcome) {
-        // Net pressure: collisions raise Q, empties lower it. Using the
-        // totals (rather than per-slot stepping) keeps the update
-        // order-independent within a round.
-        let up = outcome.collision_slots as f64;
-        let down = outcome.empty_slots as f64;
-        self.q_fp = (self.q_fp + self.step * (up - down) / outcome.frame_size as f64 * 16.0)
-            .clamp(0.0, 15.0);
+        self.adjust(
+            outcome.collision_slots,
+            outcome.empty_slots,
+            outcome.frame_size,
+        );
+    }
+
+    /// [`QAlgorithm::update`] for the batch kernel's [`RoundCounts`] —
+    /// the identical adjustment from the identical observations.
+    pub fn update_counts(&mut self, counts: &RoundCounts) {
+        self.adjust(
+            counts.collision_slots,
+            counts.empty_slots,
+            counts.frame_size,
+        );
+    }
+
+    /// Net pressure: collisions raise Q, empties lower it. Using the
+    /// totals (rather than per-slot stepping) keeps the update
+    /// order-independent within a round.
+    fn adjust(&mut self, collisions: usize, empties: usize, frame_size: usize) {
+        let up = collisions as f64;
+        let down = empties as f64;
+        self.q_fp =
+            (self.q_fp + self.step * (up - down) / frame_size as f64 * 16.0).clamp(0.0, 15.0);
     }
 }
 
@@ -179,6 +271,11 @@ impl InventoryStats {
 
 /// Runs framed-Aloha inventory with the Q algorithm until every tag is read
 /// (or `max_rounds` is hit, which the caller should treat as pathology).
+///
+/// This is the allocating reference path — one [`RoundOutcome`] (with its
+/// read list and per-slot vectors) per round. The ensemble hot loop runs
+/// [`inventory_until_drained_scratch`] instead, which draws the identical
+/// slot stream and therefore returns bit-identical statistics.
 pub fn inventory_until_drained<R: Rng + ?Sized>(
     n_tags: usize,
     mut q: QAlgorithm,
@@ -195,6 +292,32 @@ pub fn inventory_until_drained<R: Rng + ?Sized>(
         stats.total_slots += outcome.frame_size;
         stats.tags_read += outcome.read.len();
         q.update(&outcome);
+    }
+    stats
+}
+
+/// The zero-allocation drain loop: [`inventory_until_drained`] on the
+/// batch [`FramedAloha::run_round_counts`] kernel over a caller-owned
+/// [`AlohaScratch`]. Consumes the same RNG stream as the reference (one
+/// slot draw per unread tag per round), so the returned statistics are
+/// bit-identical — the differential test pins this.
+pub fn inventory_until_drained_scratch<R: Rng + ?Sized>(
+    n_tags: usize,
+    mut q: QAlgorithm,
+    max_rounds: usize,
+    rng: &mut R,
+    scratch: &mut AlohaScratch,
+) -> InventoryStats {
+    let mut unread = n_tags;
+    let mut stats = InventoryStats::default();
+    let mac = FramedAloha;
+    while unread > 0 && stats.rounds < max_rounds {
+        let counts = mac.run_round_counts(unread, q.frame_size(), rng, scratch);
+        unread -= counts.successes;
+        stats.rounds += 1;
+        stats.total_slots += counts.frame_size;
+        stats.tags_read += counts.successes;
+        q.update_counts(&counts);
     }
     stats
 }
@@ -231,9 +354,9 @@ pub fn inventory_ensemble_par_with(
     reps: usize,
     tree: &mmtag_sim::SeedTree,
 ) -> Vec<InventoryStats> {
-    mmtag_sim::par::par_indexed_with(threads, reps, |i| {
+    mmtag_sim::par::par_indexed_scratch_with(threads, reps, AlohaScratch::new, |scratch, i| {
         let mut rng = tree.rng_indexed("aloha-rep", i as u64);
-        inventory_until_drained(n_tags, q, max_rounds, &mut rng)
+        inventory_until_drained_scratch(n_tags, q, max_rounds, &mut rng, scratch)
     })
 }
 
@@ -412,5 +535,59 @@ mod tests {
     fn zero_frame_is_a_bug() {
         let mut rng = Xoshiro256pp::seed_from(0);
         let _ = FramedAloha.run_round(5, 0, &mut rng);
+    }
+
+    // ---- differential tests: batch kernel vs allocating reference ----
+
+    #[test]
+    fn round_counts_kernel_is_bit_identical_to_run_round() {
+        let mut scratch = AlohaScratch::new();
+        for (n_tags, frame) in [(0usize, 16usize), (1, 1), (7, 8), (40, 64), (200, 13)] {
+            let mut a = Xoshiro256pp::seed_from(1000 + n_tags as u64);
+            let mut b = Xoshiro256pp::seed_from(1000 + n_tags as u64);
+            let full = FramedAloha.run_round(n_tags, frame, &mut a);
+            let counts = FramedAloha.run_round_counts(n_tags, frame, &mut b, &mut scratch);
+            assert_eq!(counts.successes, full.success_slots());
+            assert_eq!(counts.empty_slots, full.empty_slots);
+            assert_eq!(counts.collision_slots, full.collision_slots);
+            assert_eq!(counts.frame_size, full.frame_size);
+            // Identical stream consumption: the kernels stay interchangeable
+            // mid-simulation.
+            assert_eq!(a.next_u64(), b.next_u64(), "n={n_tags} L={frame}");
+        }
+    }
+
+    #[test]
+    fn update_counts_matches_update() {
+        let outcome = RoundOutcome {
+            read: vec![0, 1, 2],
+            empty_slots: 5,
+            collision_slots: 8,
+            frame_size: 16,
+        };
+        let counts = RoundCounts {
+            successes: 3,
+            empty_slots: 5,
+            collision_slots: 8,
+            frame_size: 16,
+        };
+        let mut qa = QAlgorithm::new();
+        let mut qb = QAlgorithm::new();
+        qa.update(&outcome);
+        qb.update_counts(&counts);
+        assert_eq!(qa.q().to_bits(), qb.q().to_bits());
+    }
+
+    #[test]
+    fn scratch_drain_loop_is_bit_identical_to_reference() {
+        let mut scratch = AlohaScratch::new();
+        for n in [0usize, 1, 10, 100, 500] {
+            let mut a = Xoshiro256pp::seed_from(7 + n as u64);
+            let mut b = Xoshiro256pp::seed_from(7 + n as u64);
+            let want = inventory_until_drained(n, QAlgorithm::new(), 10_000, &mut a);
+            let got =
+                inventory_until_drained_scratch(n, QAlgorithm::new(), 10_000, &mut b, &mut scratch);
+            assert_eq!(want, got, "population {n}");
+        }
     }
 }

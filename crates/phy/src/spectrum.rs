@@ -9,7 +9,7 @@
 //! main lobe *and* the first sidelobes inside the channel.
 
 use crate::waveform::OokModem;
-use mmtag_rf::fft::{fft_shift, welch_psd};
+use mmtag_rf::fft::{fft_shift, WelchPlan};
 use mmtag_rf::rng::Rng;
 use mmtag_rf::Complex;
 
@@ -37,20 +37,37 @@ impl Spectrum {
         nfft: usize,
         rng: &mut R,
     ) -> Self {
-        let bits: Vec<bool> = (0..n_bits).map(|_| rng.bit()).collect();
+        let mut bits = vec![false; n_bits];
+        rng.fill_bits(&mut bits);
         let samples = modem.modulate(&bits);
         Self::of_samples(&samples, modem.samples_per_symbol, nfft)
     }
 
     /// Estimates the spectrum of arbitrary samples, given the oversampling
-    /// factor that defines the symbol-rate axis.
+    /// factor that defines the symbol-rate axis. Builds a one-shot
+    /// [`WelchPlan`]; sweeps estimating many spectra at one FFT size
+    /// should build the plan once and call
+    /// [`Spectrum::of_samples_with_plan`].
     pub fn of_samples(samples: &[Complex], samples_per_symbol: usize, nfft: usize) -> Self {
+        Self::of_samples_with_plan(&WelchPlan::new(nfft), samples, samples_per_symbol)
+    }
+
+    /// [`Spectrum::of_samples`] through a caller-owned [`WelchPlan`], so
+    /// repeated estimates at the same FFT size pay for the twiddle and
+    /// bit-reversal tables exactly once. Bit-identical to the plan-free
+    /// path (the plan replays the same rounding).
+    pub fn of_samples_with_plan(
+        plan: &WelchPlan,
+        samples: &[Complex],
+        samples_per_symbol: usize,
+    ) -> Self {
+        let nfft = plan.nfft();
         // Remove the DC component: OOK's carrier line would otherwise
         // dominate the occupied-bandwidth integral, and the reader's
         // carrier is accounted separately (it IS the illumination).
         let mean: Complex = samples.iter().copied().sum::<Complex>() / samples.len() as f64;
         let centered: Vec<Complex> = samples.iter().map(|&s| s - mean).collect();
-        let psd = fft_shift(&welch_psd(&centered, nfft));
+        let psd = fft_shift(&plan.psd(&centered));
         let fs_per_symbol = samples_per_symbol as f64; // sample rate / symbol rate
         let freqs: Vec<f64> = (0..nfft)
             .map(|i| {
@@ -207,5 +224,25 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn silly_fraction_is_a_bug() {
         ook_spectrum().occupied_bandwidth(1.5);
+    }
+
+    #[test]
+    fn shared_plan_is_bit_identical_to_plan_free() {
+        let modem = OokModem::new(8);
+        let mut rng = Xoshiro256pp::seed_from(13);
+        let mut bits = vec![false; 4096];
+        rng.fill_bits(&mut bits);
+        let samples = modem.modulate(&bits);
+        let free = Spectrum::of_samples(&samples, 8, 512);
+        let plan = WelchPlan::new(512);
+        let planned = Spectrum::of_samples_with_plan(&plan, &samples, 8);
+        for (a, b) in free.psd().iter().zip(planned.psd()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the plan survives reuse across different signals.
+        let again = Spectrum::of_samples_with_plan(&plan, &samples, 8);
+        for (a, b) in free.psd().iter().zip(again.psd()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -18,6 +18,27 @@
 //! state ("the switches are off and the amplitude of the reflected power is
 //! high") and bit **1** to absorption. [`OokModem`] uses `mark_bit` to hold
 //! that mapping so the same modem expresses either convention.
+//!
+//! ## Batch kernels and [`TrialScratch`]
+//!
+//! The Monte-Carlo trial loop is the stack's hottest path, so every stage
+//! has a slice-in/slice-out batch form — [`OokModem::modulate_into`],
+//! [`Awgn::add_awgn_into`], [`OokModem::matched_filter_into`], and the
+//! fused [`OokModem::count_bit_errors`] that folds matched filtering,
+//! thresholding and comparison into one error count with no intermediate
+//! `Vec<bool>`. [`count_bit_errors_scratch`] chains them over a
+//! caller-owned [`TrialScratch`], so the steady state of a trial loop
+//! performs **zero heap allocations** (verified by the repo's
+//! allocation-guard integration test). The original allocating APIs
+//! remain — as the scalar references the differential property tests
+//! compare against, and for one-shot callers that don't care.
+//!
+//! Noise streams are **sampler v2**: AWGN consumes both Box–Muller
+//! branches through [`Rng::normal_pair`] (one uniform pair per complex
+//! sample), halving transcendental calls relative to the scalar
+//! [`Rng::normal`] path. Seeded noise sequences therefore differ from the
+//! pre-batch implementation; determinism across thread counts is
+//! unaffected.
 
 use mmtag_rf::par;
 use mmtag_rf::rng::{Rng, SeedTree};
@@ -65,6 +86,24 @@ impl OokModem {
         out
     }
 
+    /// Batch [`OokModem::modulate`]: writes the waveform into a
+    /// caller-owned slice instead of allocating. Values are identical to
+    /// the allocating path bit for bit.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == bits.len() * samples_per_symbol`.
+    pub fn modulate_into(&self, bits: &[bool], out: &mut [Complex]) {
+        assert_eq!(
+            out.len(),
+            bits.len() * self.samples_per_symbol,
+            "output slice must hold samples_per_symbol samples per bit"
+        );
+        for (chunk, &b) in out.chunks_exact_mut(self.samples_per_symbol).zip(bits) {
+            let a = if self.is_mark(b) { self.amplitude } else { 0.0 };
+            chunk.fill(Complex::new(a, 0.0));
+        }
+    }
+
     /// Average energy per bit of this modem's waveform (half the bits are
     /// marks for random data): `A²·sps / 2`.
     pub fn average_bit_energy(&self) -> f64 {
@@ -78,6 +117,47 @@ impl OokModem {
             .chunks_exact(self.samples_per_symbol)
             .map(|chunk| chunk.iter().copied().sum())
             .collect()
+    }
+
+    /// Batch [`OokModem::matched_filter`]: one statistic per symbol into a
+    /// caller-owned slice. A trailing partial symbol is ignored, matching
+    /// the allocating path.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == samples.len() / samples_per_symbol`.
+    pub fn matched_filter_into(&self, samples: &[Complex], out: &mut [Complex]) {
+        assert_eq!(
+            out.len(),
+            samples.len() / self.samples_per_symbol,
+            "output slice must hold one statistic per whole symbol"
+        );
+        for (chunk, o) in samples.chunks_exact(self.samples_per_symbol).zip(out) {
+            *o = chunk.iter().copied().sum();
+        }
+    }
+
+    /// The decision threshold shared by both demodulators: half the
+    /// integrated mark level.
+    fn decision_threshold(&self) -> f64 {
+        0.5 * self.amplitude * self.samples_per_symbol as f64
+    }
+
+    /// Fused demodulate-and-count: matched filter, threshold, and compare
+    /// against the transmitted `bits` in one pass, returning the error
+    /// count without materializing a `Vec<bool>` of decisions. Decisions
+    /// are identical to [`OokModem::demodulate_coherent`] /
+    /// [`OokModem::demodulate_noncoherent`]; any bits beyond the last
+    /// whole symbol are ignored (as the matched filter drops them).
+    pub fn count_bit_errors(&self, bits: &[bool], samples: &[Complex], coherent: bool) -> usize {
+        let threshold = self.decision_threshold();
+        let mut errors = 0usize;
+        for (chunk, &bit) in samples.chunks_exact(self.samples_per_symbol).zip(bits) {
+            let s: Complex = chunk.iter().copied().sum();
+            let stat = if coherent { s.re } else { s.abs() };
+            let decided = (stat > threshold) == self.mark_bit;
+            errors += usize::from(decided != bit);
+        }
+        errors
     }
 
     /// Coherent demodulation: real-part threshold at half the mark level.
@@ -148,12 +228,77 @@ impl Awgn {
         }
     }
 
-    /// Adds noise to samples in place.
+    /// Adds noise to samples in place, one scalar [`Rng::normal`] per
+    /// component (cosine branch only — **sampler v1**). Kept as the
+    /// legacy/reference path; the hot loops use the pair-consuming
+    /// [`Awgn::add_awgn_into`], which draws a *different* (equally valid)
+    /// noise stream from the same seed.
     pub fn apply<R: Rng + ?Sized>(&self, samples: &mut [Complex], rng: &mut R) {
         for s in samples {
             *s += Complex::new(self.sigma * rng.normal(), self.sigma * rng.normal());
         }
     }
+
+    /// Batch AWGN (**sampler v2**): one [`Rng::normal_pair`] per complex
+    /// sample — the cosine branch lands on I, the sine branch on Q — so
+    /// nothing is discarded and the transcendental cost per sample is
+    /// half that of [`Awgn::apply`]. Allocation-free.
+    pub fn add_awgn_into<R: Rng + ?Sized>(&self, samples: &mut [Complex], rng: &mut R) {
+        for s in samples {
+            let (ni, nq) = rng.normal_pair();
+            *s += Complex::new(self.sigma * ni, self.sigma * nq);
+        }
+    }
+}
+
+/// Caller-owned workspace for the zero-allocation trial kernels.
+///
+/// Ownership rules (DESIGN.md §8): the scratch belongs to exactly one
+/// worker at a time; kernels **write every buffer before reading it**, so
+/// a scratch carries no information between trials and reusing one across
+/// work units cannot perturb results. Buffers grow to the largest chunk
+/// ever processed and are never shrunk, so the steady state of a trial
+/// loop performs zero heap allocations.
+#[derive(Clone, Debug, Default)]
+pub struct TrialScratch {
+    /// The chunk's random data bits.
+    bits: Vec<bool>,
+    /// The modulated (then noise-corrupted) IQ waveform.
+    samples: Vec<Complex>,
+}
+
+impl TrialScratch {
+    /// An empty workspace; buffers are sized lazily by the first trial.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The zero-allocation trial kernel: draws `n_bits` random bits and the
+/// AWGN from `rng`, runs modulate → noise → fused demodulate-and-count
+/// entirely inside `scratch`, and returns the bit-error count.
+///
+/// [`count_bit_errors`] is a thin wrapper over this with a one-shot
+/// workspace; the chunked Monte-Carlo loops instead thread one
+/// [`TrialScratch`] per worker through the scratch-carrying parallel
+/// engine, so buffer allocation amortizes across every chunk a worker
+/// claims.
+pub fn count_bit_errors_scratch<R: Rng + ?Sized>(
+    modem: &OokModem,
+    awgn: &Awgn,
+    n_bits: usize,
+    coherent: bool,
+    rng: &mut R,
+    scratch: &mut TrialScratch,
+) -> usize {
+    scratch.bits.resize(n_bits, false);
+    rng.fill_bits(&mut scratch.bits);
+    scratch
+        .samples
+        .resize(n_bits * modem.samples_per_symbol, Complex::ZERO);
+    modem.modulate_into(&scratch.bits, &mut scratch.samples);
+    awgn.add_awgn_into(&mut scratch.samples, rng);
+    modem.count_bit_errors(&scratch.bits, &scratch.samples, coherent)
 }
 
 /// Bits per work unit for the parallel BER harness. Fixed (never derived
@@ -161,10 +306,13 @@ impl Awgn {
 /// randomness each chunk consumes — is identical at any worker budget.
 pub const MC_CHUNK_BITS: usize = 8_192;
 
-/// Bit errors of the full modulate → AWGN → demodulate chain over `n_bits`
-/// random bits drawn from `rng`. The core both the serial and the parallel
-/// BER estimators share.
-pub fn count_bit_errors<R: Rng + ?Sized>(
+/// The pre-batch trial chain, kept verbatim: per-bit `Vec` draws,
+/// allocating modulate, scalar sampler-v1 AWGN ([`Awgn::apply`]), and a
+/// materialized decision vector. This is (a) the *old* side of the
+/// old-vs-new kernel pairs in `bench_report` and (b) the scalar reference
+/// the differential tests hold the batch kernel against (same decisions,
+/// different — equally valid — noise stream).
+pub fn count_bit_errors_reference<R: Rng + ?Sized>(
     modem: &OokModem,
     eb_n0_db: f64,
     n_bits: usize,
@@ -183,6 +331,23 @@ pub fn count_bit_errors<R: Rng + ?Sized>(
         .zip(decided.iter())
         .filter(|(a, b)| a != b)
         .count()
+}
+
+/// Bit errors of the full modulate → AWGN → demodulate chain over `n_bits`
+/// random bits drawn from `rng`. The core both the serial and the parallel
+/// BER estimators share — a thin wrapper over
+/// [`count_bit_errors_scratch`] with a one-shot workspace (**sampler v2**
+/// noise; see [`Awgn::add_awgn_into`]).
+pub fn count_bit_errors<R: Rng + ?Sized>(
+    modem: &OokModem,
+    eb_n0_db: f64,
+    n_bits: usize,
+    coherent: bool,
+    rng: &mut R,
+) -> usize {
+    let awgn = Awgn::for_eb_n0(modem, eb_n0_db);
+    let mut scratch = TrialScratch::new();
+    count_bit_errors_scratch(modem, &awgn, n_bits, coherent, rng, &mut scratch)
 }
 
 /// Monte-Carlo BER of the full modulate → AWGN → demodulate chain at a mean
@@ -223,10 +388,17 @@ pub fn measure_ber_par_with(
     tree: &SeedTree,
 ) -> f64 {
     assert!(n_bits > 0, "need at least one bit");
-    let errors: u64 = par::par_chunks_with(threads, n_bits, MC_CHUNK_BITS, |ci, range| {
-        let mut rng = tree.rng_indexed("ber-chunk", ci as u64);
-        count_bit_errors(modem, eb_n0_db, range.len(), coherent, &mut rng) as u64
-    })
+    let awgn = Awgn::for_eb_n0(modem, eb_n0_db);
+    let errors: u64 = par::par_chunks_scratch_with(
+        threads,
+        n_bits,
+        MC_CHUNK_BITS,
+        TrialScratch::new,
+        |scratch, ci, range| {
+            let mut rng = tree.rng_indexed("ber-chunk", ci as u64);
+            count_bit_errors_scratch(modem, &awgn, range.len(), coherent, &mut rng, scratch) as u64
+        },
+    )
     .into_iter()
     .sum();
     errors as f64 / n_bits as f64
@@ -267,14 +439,18 @@ pub fn ber_sweep_par_with(
     assert!(bits_per_point > 0, "need at least one bit per point");
     let chunks_per_point = bits_per_point.div_ceil(MC_CHUNK_BITS);
     let units = snrs_db.len() * chunks_per_point;
-    let errors = par::par_indexed_with(threads, units, |u| {
+    let awgns: Vec<Awgn> = snrs_db
+        .iter()
+        .map(|&snr| Awgn::for_eb_n0(modem, snr))
+        .collect();
+    let errors = par::par_indexed_scratch_with(threads, units, TrialScratch::new, |scratch, u| {
         let (si, ci) = (u / chunks_per_point, u % chunks_per_point);
         let lo = ci * MC_CHUNK_BITS;
         let n = MC_CHUNK_BITS.min(bits_per_point - lo);
         let mut rng = tree
             .subtree_indexed("snr", si as u64)
             .rng_indexed("ber-chunk", ci as u64);
-        count_bit_errors(modem, snrs_db[si], n, coherent, &mut rng) as u64
+        count_bit_errors_scratch(modem, &awgns[si], n, coherent, &mut rng, scratch) as u64
     });
     errors
         .chunks(chunks_per_point)
@@ -405,5 +581,114 @@ mod tests {
         let mut samples = modem.modulate(&[false, false]);
         samples.truncate(7); // cut mid-symbol
         assert_eq!(modem.matched_filter(&samples).len(), 1);
+    }
+
+    // ---- differential tests: batch kernels vs the allocating references ----
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        (0..n).map(|_| rng.bit()).collect()
+    }
+
+    #[test]
+    fn modulate_into_is_bit_identical_to_modulate() {
+        // Odd lengths, zero length, and sizes that don't divide any chunk.
+        for n in [0usize, 1, 3, 17, 64, 1001] {
+            for sps in [1usize, 4, 5] {
+                let modem = OokModem::new(sps);
+                let bits = random_bits(n, 7 + n as u64);
+                let want = modem.modulate(&bits);
+                // Pre-poison the slice: the kernel must overwrite everything.
+                let mut got = vec![Complex::new(f64::NAN, f64::NAN); n * sps];
+                modem.modulate_into(&bits, &mut got);
+                assert_eq!(want.len(), got.len());
+                for (a, b) in want.iter().zip(&got) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n} sps={sps}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n} sps={sps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matched_filter_into_is_bit_identical_including_partial_symbols() {
+        let modem = OokModem::new(4);
+        let mut rng = Xoshiro256pp::seed_from(3);
+        for len in [0usize, 3, 4, 7, 8, 41, 400] {
+            let samples: Vec<Complex> = (0..len)
+                .map(|_| Complex::new(rng.normal(), rng.normal()))
+                .collect();
+            let want = modem.matched_filter(&samples);
+            let mut got = vec![Complex::new(f64::NAN, f64::NAN); len / 4];
+            modem.matched_filter_into(&samples, &mut got);
+            assert_eq!(want.len(), got.len(), "len={len}");
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_error_count_matches_both_demodulators() {
+        // Noisy enough that some decisions flip; the fused kernel's count
+        // must equal demodulate-then-compare, coherent and non-coherent,
+        // for both mark conventions.
+        for mark_bit in [false, true] {
+            let modem = OokModem {
+                mark_bit,
+                ..OokModem::new(4)
+            };
+            let bits = random_bits(513, 11);
+            let mut samples = modem.modulate(&bits);
+            let mut rng = Xoshiro256pp::seed_from(21);
+            Awgn::for_eb_n0(&modem, 4.0).apply(&mut samples, &mut rng);
+            for coherent in [true, false] {
+                let decided = if coherent {
+                    modem.demodulate_coherent(&samples)
+                } else {
+                    modem.demodulate_noncoherent(&samples)
+                };
+                let want = bits.iter().zip(&decided).filter(|(a, b)| a != b).count();
+                let got = modem.count_bit_errors(&bits, &samples, coherent);
+                assert_eq!(want, got, "mark_bit={mark_bit} coherent={coherent}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_uneven_sizes_is_bit_identical_to_fresh() {
+        // One scratch reused across shrinking/growing chunk sizes must give
+        // the same counts as a fresh scratch per call — the write-before-
+        // read ownership rule in action.
+        let modem = OokModem::new(4);
+        let awgn = Awgn::for_eb_n0(&modem, 6.0);
+        let sizes = [100usize, 8192, 3, 1, 500];
+        let mut reused = TrialScratch::new();
+        let mut rng_a = Xoshiro256pp::seed_from(99);
+        let mut rng_b = Xoshiro256pp::seed_from(99);
+        for (i, &n) in sizes.iter().enumerate() {
+            let a = count_bit_errors_scratch(&modem, &awgn, n, true, &mut rng_a, &mut reused);
+            let mut fresh = TrialScratch::new();
+            let b = count_bit_errors_scratch(&modem, &awgn, n, true, &mut rng_b, &mut fresh);
+            assert_eq!(a, b, "call {i} (n={n})");
+        }
+    }
+
+    #[test]
+    fn batch_and_reference_chains_agree_on_ber() {
+        // Different noise streams (sampler v2 vs v1), same physics: the two
+        // kernels must estimate the same BER within Monte-Carlo error.
+        let modem = OokModem::new(4);
+        let n = 400_000;
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let new = count_bit_errors(&modem, 7.0, n, true, &mut rng) as f64 / n as f64;
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let old = count_bit_errors_reference(&modem, 7.0, n, true, &mut rng) as f64 / n as f64;
+        let sigma = (old * (1.0 - old) / n as f64).sqrt();
+        assert!(
+            (new - old).abs() < 5.0 * sigma + 1e-5,
+            "batch {new} vs reference {old}"
+        );
     }
 }

@@ -26,6 +26,7 @@ pub mod complex;
 pub mod constants;
 pub mod db;
 pub mod fft;
+pub mod math;
 pub mod par;
 pub mod rng;
 pub mod special;

@@ -30,13 +30,43 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 
 /// The worker-thread budget: `MMTAG_THREADS` if set and ≥ 1, otherwise
 /// the machine's available parallelism (1 if unknown).
+///
+/// An *unusable* `MMTAG_THREADS` value (`0`, `abc`, …) falls back to
+/// auto-detection and emits a one-time warning on stderr — silently
+/// ignoring an explicit override would leave the user running at a thread
+/// count they never asked for with no signal at all.
 pub fn thread_limit() -> usize {
-    match std::env::var("MMTAG_THREADS") {
-        Ok(v) => parse_thread_override(&v).unwrap_or_else(available_threads),
-        Err(_) => available_threads(),
+    let raw = std::env::var("MMTAG_THREADS").ok();
+    let (n, warning) = resolve_thread_limit(raw.as_deref());
+    if let Some(msg) = warning {
+        static WARN_ONCE: Once = Once::new();
+        WARN_ONCE.call_once(|| eprintln!("{msg}"));
+    }
+    n
+}
+
+/// The pure core of [`thread_limit`]: maps the raw `MMTAG_THREADS` value
+/// (or `None` when unset) to the worker budget, plus the warning message
+/// to emit when the value was present but unusable. Split out so the
+/// warning path is unit-testable without touching process environment or
+/// capturing stderr.
+pub fn resolve_thread_limit(raw: Option<&str>) -> (usize, Option<String>) {
+    match raw {
+        None => (available_threads(), None),
+        Some(v) => match parse_thread_override(v) {
+            Some(n) => (n, None),
+            None => (
+                available_threads(),
+                Some(format!(
+                    "mmtag: ignoring unusable MMTAG_THREADS={v:?} \
+                     (need an integer ≥ 1); auto-detecting parallelism"
+                )),
+            ),
+        },
     }
 }
 
@@ -63,49 +93,9 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let workers = threads.min(n);
-    let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
-        let f = &f;
-        let next = &next;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(part) => part,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    // Deterministic merge: place every unit at its index.
-    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    for part in parts {
-        for (i, u) in part {
-            debug_assert!(slots[i].is_none(), "unit {i} computed twice");
-            slots[i] = Some(u);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every unit claimed exactly once"))
-        .collect()
+    // The scratch-free primitive is the unit-scratch special case of the
+    // scratch-carrying one — one work loop to maintain and test.
+    par_indexed_scratch_with(threads, n, || (), |(), i| f(i))
 }
 
 /// [`par_indexed_with`] at the default [`thread_limit`].
@@ -137,6 +127,125 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     par_indexed_with(threads, items.len(), |i| f(i, &items[i]))
+}
+
+/// [`par_indexed_with`] with a **lazily-initialized per-worker scratch**:
+/// each worker calls `init()` at most once — on the first unit it claims —
+/// and reuses that workspace for every further unit it processes, so a
+/// trial loop's buffers are allocated `O(workers)` times per call instead
+/// of `O(units)`.
+///
+/// The determinism contract is unchanged *provided the closure treats the
+/// scratch as write-before-read storage*: unit `i`'s result must depend
+/// only on `i` (and data reachable from `f` itself), never on scratch
+/// contents left behind by whichever units the same worker ran earlier.
+/// Every kernel in this workspace satisfies that by fully overwriting the
+/// buffers it reads (see DESIGN.md §8 for the ownership rules).
+pub fn par_indexed_scratch_with<S, U, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        // Serial path: one scratch for the whole loop, created lazily so
+        // `n == 0` performs no setup work at all.
+        let mut scratch: Option<S> = None;
+        return (0..n)
+            .map(|i| f(scratch.get_or_insert_with(&init), i))
+            .collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let f = &f;
+        let init = &init;
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut scratch: Option<S> = None;
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(scratch.get_or_insert_with(init), i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, u) in part {
+            debug_assert!(slots[i].is_none(), "unit {i} computed twice");
+            slots[i] = Some(u);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every unit claimed exactly once"))
+        .collect()
+}
+
+/// [`par_indexed_scratch_with`] at the default [`thread_limit`].
+pub fn par_indexed_scratch<S, U, I, F>(n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    par_indexed_scratch_with(thread_limit(), n, init, f)
+}
+
+/// The scratch-carrying variant of [`par_chunks_with`] (*map chunks with
+/// scratch*): fixed-size chunk decomposition, with each worker reusing one
+/// lazily-initialized workspace across all the chunks it claims. This is
+/// the shape of every zero-allocation Monte-Carlo hot path: chunk `i`
+/// seeds its own RNG stream from `i`, borrows the worker's scratch, and
+/// fully overwrites whatever it reads.
+///
+/// # Panics
+/// Panics when `chunk_size == 0`.
+pub fn par_chunks_scratch_with<S, U, I, F>(
+    threads: usize,
+    total: usize,
+    chunk_size: usize,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Range<usize>) -> U + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be ≥ 1");
+    let n_chunks = total.div_ceil(chunk_size);
+    par_indexed_scratch_with(threads, n_chunks, init, |scratch, i| {
+        let start = i * chunk_size;
+        let end = (start + chunk_size).min(total);
+        f(scratch, i, start..end)
+    })
+}
+
+/// [`par_chunks_scratch_with`] at the default [`thread_limit`].
+pub fn par_chunks_scratch<S, U, I, F>(total: usize, chunk_size: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Range<usize>) -> U + Sync,
+{
+    par_chunks_scratch_with(thread_limit(), total, chunk_size, init, f)
 }
 
 /// Splits `0..total` into fixed-size chunks (the last may be short) and
@@ -226,6 +335,105 @@ mod tests {
         assert_eq!(parse_thread_override("-3"), None);
         assert_eq!(parse_thread_override("auto"), None);
         assert!(thread_limit() >= 1);
+    }
+
+    #[test]
+    fn unusable_thread_override_warns_and_falls_back() {
+        // The warning path: a present-but-unusable value must (a) fall
+        // back to auto-detection and (b) say so — never silently.
+        for bad in ["0", "abc", "-3", "", " 1.5 "] {
+            let (n, warning) = resolve_thread_limit(Some(bad));
+            assert!(n >= 1, "{bad:?} must still yield a usable budget");
+            let msg = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(msg.contains("MMTAG_THREADS"), "{msg}");
+            assert!(msg.contains(bad), "warning must quote the value: {msg}");
+        }
+        // Usable values and the unset case stay silent.
+        assert_eq!(resolve_thread_limit(Some("8")), (8, None));
+        assert_eq!(resolve_thread_limit(Some(" 2 ")), (2, None));
+        let (auto, silent) = resolve_thread_limit(None);
+        assert!(auto >= 1 && silent.is_none());
+    }
+
+    #[test]
+    fn scratch_variant_matches_scratch_free_at_any_thread_count() {
+        let f = |i: usize| {
+            let mut rng = SeedTree::new(7).rng_indexed("unit", i as u64);
+            (0..100).map(|_| rng.f64()).sum::<f64>()
+        };
+        let reference = par_indexed_with(1, 64, f);
+        for threads in [1, 2, 3, 8, 64] {
+            let scratched = par_indexed_scratch_with(
+                threads,
+                64,
+                || vec![0.0f64; 100],
+                |buf, i| {
+                    // Write-before-read: fill the scratch from unit i's
+                    // stream, then reduce it.
+                    let mut rng = SeedTree::new(7).rng_indexed("unit", i as u64);
+                    for slot in buf.iter_mut() {
+                        *slot = rng.f64();
+                    }
+                    buf.iter().sum::<f64>()
+                },
+            );
+            assert_eq!(reference, scratched, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_initialized_lazily_and_at_most_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        // Zero units → init never runs (serial and parallel paths).
+        for threads in [1, 4] {
+            let inits = AtomicUsize::new(0);
+            let out = par_indexed_scratch_with(
+                threads,
+                0,
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_, i| i,
+            );
+            assert!(out.is_empty());
+            assert_eq!(inits.load(Ordering::Relaxed), 0, "threads={threads}");
+        }
+        // Many units, few workers → at most `workers` inits, at least one.
+        let inits = AtomicUsize::new(0);
+        let _ = par_indexed_scratch_with(
+            4,
+            1000,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i| i,
+        );
+        let count = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&count), "inits={count}");
+    }
+
+    #[test]
+    fn chunk_scratch_decomposition_matches_plain_chunks() {
+        let plain = par_chunks_with(4, 10, 3, |i, r| (i, r));
+        let scratched = par_chunks_scratch_with(4, 10, 3, || (), |(), i, r| (i, r));
+        assert_eq!(plain, scratched);
+        assert!(par_chunks_scratch_with(2, 0, 3, || (), |(), _, _| 0).is_empty());
+    }
+
+    #[test]
+    fn scratch_worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            par_indexed_scratch_with(
+                4,
+                16,
+                || (),
+                |(), i| {
+                    if i == 7 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                },
+            )
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!   streams: the shape of BER, outage and inventory-ensemble loops.
 
 pub use mmtag_rf::par::{
-    par_chunks, par_chunks_with, par_indexed, par_indexed_with, par_map, par_map_with,
-    parse_thread_override, thread_limit,
+    par_chunks, par_chunks_scratch, par_chunks_scratch_with, par_chunks_with, par_indexed,
+    par_indexed_scratch, par_indexed_scratch_with, par_indexed_with, par_map, par_map_with,
+    parse_thread_override, resolve_thread_limit, thread_limit,
 };
 
 use crate::rng::{SeedTree, Xoshiro256pp};

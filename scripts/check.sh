@@ -14,4 +14,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run -q --release -p mmtag-bench --bin scenario -- list
 cargo run -q --release -p mmtag-bench --bin scenario -- smoke
 
-echo "check.sh: fmt + build + tests + clippy + scenario smoke all green"
+# Perf-trajectory gate: regenerate BENCH_report.json with cheap timing
+# rounds (exercises the full kernel/report pipeline and its bit-identity
+# asserts), then fail if the report is missing or unparsable.
+cargo run -q --release -p mmtag-bench --bin bench_report -- --quick
+cargo run -q --release -p mmtag-bench --bin bench_report -- --verify
+
+echo "check.sh: fmt + build + tests + clippy + scenario smoke + bench report all green"

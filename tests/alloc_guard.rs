@@ -1,0 +1,173 @@
+//! Debug-mode allocation guard for the Monte-Carlo hot loops.
+//!
+//! The batch kernels' contract (DESIGN.md §8) is that once a scratch
+//! struct has grown to the largest chunk it will see, steady-state trial
+//! loops perform **zero** heap allocation. This test enforces that with a
+//! counting [`GlobalAlloc`]: warm the scratch once, snapshot the
+//! *thread-local* allocation counter, run many more full trial chunks,
+//! and require the counter not to move.
+//!
+//! The counter is thread-local so the libtest harness (which prints and
+//! spawns from other threads) cannot pollute a measurement, and so the
+//! guard tests can still run concurrently with each other.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers all memory management to `System`; the bookkeeping is a
+// const-initialized thread-local `Cell`, which never allocates itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is an allocation for the purpose of the guard.
+        let _ = ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many times this thread hit the allocator.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOC_CALLS.with(|c| c.get());
+    let out = f();
+    let after = ALLOC_CALLS.with(|c| c.get());
+    (after - before, out)
+}
+
+#[test]
+fn ber_trial_loop_is_allocation_free_in_steady_state() {
+    use mmtag_phy::waveform::{
+        count_bit_errors_scratch, Awgn, OokModem, TrialScratch, MC_CHUNK_BITS,
+    };
+    use mmtag_rf::rng::SeedTree;
+
+    let tree = SeedTree::new(0xA110C);
+    let modem = OokModem::new(4);
+    let awgn = Awgn::for_eb_n0(&modem, 7.0);
+    let mut scratch = TrialScratch::new();
+
+    // Warm-up: first chunk grows the scratch buffers to full chunk size.
+    let warm = count_bit_errors_scratch(
+        &modem,
+        &awgn,
+        MC_CHUNK_BITS,
+        true,
+        &mut tree.rng_indexed("alloc-ber", 0),
+        &mut scratch,
+    );
+
+    let (allocs, errors) = allocations_during(|| {
+        let mut total = 0usize;
+        for ci in 0..16u64 {
+            let mut rng = tree.rng_indexed("alloc-ber", ci);
+            total += count_bit_errors_scratch(
+                &modem,
+                &awgn,
+                MC_CHUNK_BITS,
+                true,
+                &mut rng,
+                &mut scratch,
+            );
+        }
+        total
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm BER trial loop allocated {allocs} times over 16 chunks"
+    );
+    // The loop really ran: chunk 0 repeats the warm-up count, noise adds more.
+    assert!(errors >= warm, "steady-state loop did no work");
+}
+
+#[test]
+fn outage_trial_loop_is_allocation_free_in_steady_state() {
+    use mmtag_channel::fading::{FadeScratch, RicianFading};
+    use mmtag_rf::rng::SeedTree;
+    use mmtag_rf::units::Db;
+
+    const TRIALS: usize = 10_000;
+    let tree = SeedTree::new(0xFADE);
+    let fader = RicianFading::mmwave_los();
+    let mut scratch = FadeScratch::new();
+
+    // Warm-up grows the draw buffer to TRIALS.
+    fader.count_outages_scratch(
+        Db::new(3.0),
+        TRIALS,
+        &mut tree.rng_indexed("alloc-outage", 0),
+        &mut scratch,
+    );
+
+    let (allocs, outages) = allocations_during(|| {
+        let mut total = 0usize;
+        for ci in 0..16u64 {
+            let mut rng = tree.rng_indexed("alloc-outage", ci);
+            total += fader.count_outages_scratch(Db::new(3.0), TRIALS, &mut rng, &mut scratch);
+        }
+        total
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm outage trial loop allocated {allocs} times over 16 chunks"
+    );
+    assert!(
+        outages > 0,
+        "a 3 dB margin in mmwave LOS fading must outage"
+    );
+}
+
+#[test]
+fn aloha_drain_loop_is_allocation_free_in_steady_state() {
+    use mmtag_mac::aloha::{inventory_until_drained_scratch, AlohaScratch, QAlgorithm};
+    use mmtag_rf::rng::SeedTree;
+
+    let tree = SeedTree::new(0xA10A);
+    let mut scratch = AlohaScratch::new();
+
+    // Warm-up with the same seed the measured loop replays, so the frame
+    // sizes (and thus the largest slot-count buffer) match exactly.
+    let warm = inventory_until_drained_scratch(
+        128,
+        QAlgorithm::new(),
+        100_000,
+        &mut tree.rng_indexed("alloc-aloha", 0),
+        &mut scratch,
+    );
+
+    let (allocs, slots) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..8 {
+            let mut rng = tree.rng_indexed("alloc-aloha", 0);
+            let out = inventory_until_drained_scratch(
+                128,
+                QAlgorithm::new(),
+                100_000,
+                &mut rng,
+                &mut scratch,
+            );
+            total += out.total_slots;
+        }
+        total
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm inventory drain loop allocated {allocs} times over 8 inventories"
+    );
+    assert_eq!(slots, warm.total_slots * 8, "replayed drains must agree");
+}
