@@ -8,6 +8,7 @@
 //! ```
 
 use mmtag_bench::scenarios::registry;
+use mmtag_rf::obs;
 use mmtag_sim::scenario::Runner;
 use std::process::ExitCode;
 
@@ -19,6 +20,8 @@ const USAGE: &str = "usage: scenario <command>
       --quick               clamp axes to 3 points and trials to 200
       --seed <n>            override the spec's root seed
       --threads <n>         pin the runner's thread budget
+      --trace <file>        record spans, write Chrome tracing JSON
+                            (results are bit-identical with or without)
   smoke                     run every scenario at smoke size (CI gate)";
 
 fn main() -> ExitCode {
@@ -47,6 +50,7 @@ fn run(args: &[String]) -> ExitCode {
     };
     let (mut json, mut csv, mut quick) = (false, false, false);
     let (mut seed, mut threads) = (None, None);
+    let mut trace: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -63,6 +67,13 @@ fn run(args: &[String]) -> ExitCode {
                 } else {
                     threads = Some(v as usize);
                 }
+            }
+            "--trace" => {
+                let Some(v) = it.next() else {
+                    eprintln!("scenario run: --trace needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                trace = Some(v.clone());
             }
             other => {
                 eprintln!("scenario run: unknown option '{other}'\n{USAGE}");
@@ -82,11 +93,21 @@ fn run(args: &[String]) -> ExitCode {
     };
     let scenario = seed.map(|seed| s.with_spec(s.spec().clone().with_seed(seed)));
     let s = scenario.as_deref().unwrap_or(s);
+    if trace.is_some() {
+        obs::set_level(obs::Level::Trace);
+    }
     let record = if quick {
         runner.run_minimized(s, 3, 200)
     } else {
         runner.run(s)
     };
+    if let Some(path) = trace {
+        obs::set_level(obs::Level::Off);
+        if let Err(e) = std::fs::write(&path, obs::drain().to_chrome_json()) {
+            eprintln!("scenario run: cannot write trace file '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if json {
         println!("{}", record.to_json());
     } else if csv {

@@ -40,14 +40,14 @@ const ROUNDS: usize = 5;
 const MAX_ITERS: u64 = 1 << 24;
 
 /// Runs `f` under the harness: one calibration pass sizes the iteration
-/// count toward [`TARGET_ROUND_NANOS`], then [`ROUNDS`] timed rounds run
+/// count toward `TARGET_ROUND_NANOS`, then `ROUNDS` timed rounds run
 /// and the fastest is reported. The closure's result is passed through
 /// [`std::hint::black_box`] so the optimizer cannot delete the work.
 pub fn bench<R, F: FnMut() -> R>(name: &str, f: F) -> BenchResult {
     bench_with(name, TARGET_ROUND_NANOS, ROUNDS, f)
 }
 
-/// [`bench`] with explicit round budget and round count. The CI quick mode
+/// [`bench()`] with explicit round budget and round count. The CI quick mode
 /// (`bench_report --quick`, run by `scripts/check.sh`) uses a small target
 /// so the full report finishes in a couple of seconds — the resulting
 /// numbers are noisier but the pipeline (and the JSON artifact) is
@@ -106,8 +106,19 @@ pub fn format_result(r: &BenchResult) -> String {
 
 /// Serializes results plus named speedup ratios into a JSON object string
 /// (hand-rolled — no serde): `{"benches": {name: ns_per_iter, ...},
-/// "speedups": {name: ratio, ...}, "threads": N}`.
-pub fn report_json(results: &[BenchResult], speedups: &[(String, f64)], threads: usize) -> String {
+/// "speedups": {name: ratio, ...}, "spans": {name: {...}, ...},
+/// "threads": N}`.
+///
+/// `spans` carries the observability span breakdown recorded while the
+/// kernels ran under [`mmtag_rf::obs::Level::Trace`] (empty when nothing
+/// was traced) — `bench_report` uses it to annotate the report with
+/// per-stage timings alongside the end-to-end numbers.
+pub fn report_json(
+    results: &[BenchResult],
+    speedups: &[(String, f64)],
+    threads: usize,
+    spans: &[mmtag_rf::obs::SpanStat],
+) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
@@ -130,6 +141,17 @@ pub fn report_json(results: &[BenchResult], speedups: &[(String, f64)], threads:
             esc(name),
             ratio,
             if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"spans\": {\n");
+    for (i, s) in spans.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"total_us\": {:.3}, \"max_us\": {:.3}}}{}\n",
+            esc(&s.name),
+            s.count,
+            s.total_us,
+            s.max_us,
+            if i + 1 < spans.len() { "," } else { "" }
         ));
     }
     out.push_str("  }\n}\n");
@@ -337,11 +359,19 @@ mod tests {
                 ns_per_iter: 5.0,
             },
         ];
-        let json = report_json(&results, &[("a_vs_b".into(), 2.5)], 4);
+        let spans = vec![mmtag_rf::obs::SpanStat {
+            name: "phy.ber.chunk".into(),
+            count: 12,
+            total_us: 340.5,
+            max_us: 99.25,
+        }];
+        let json = report_json(&results, &[("a_vs_b".into(), 2.5)], 4, &spans);
         assert!(json.contains("\"a\": {\"ns_per_iter\": 123.4"));
         assert!(json.contains("\\\"q\\\""));
         assert!(json.contains("\"a_vs_b\": 2.500"));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"phy.ber.chunk\": {\"count\": 12"));
+        validate_json(&json).unwrap();
     }
 
     #[test]
@@ -354,6 +384,7 @@ mod tests {
             }],
             &[("k_speedup".into(), 2.0)],
             8,
+            &[],
         );
         validate_json(&json).unwrap();
         for ok in [

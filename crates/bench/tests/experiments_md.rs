@@ -1,0 +1,50 @@
+//! EXPERIMENTS.md ↔ registry consistency: the "Registry table" section of
+//! the experiment index must list exactly the scenarios the registry
+//! exposes, in registry order. Adding an experiment without documenting
+//! it (or documenting one that does not exist) fails here.
+
+use mmtag_bench::scenarios::registry;
+
+const EXPERIMENTS_MD: &str = include_str!("../../../EXPERIMENTS.md");
+
+/// Scenario IDs out of the registry-table rows, in file order. Rows look
+/// like ``| `e05-ber` | §8 — … | `mmtag-phy` |``; only the canonical
+/// table's rows start with a backticked `e`-ID in the first column.
+fn documented_ids() -> Vec<String> {
+    EXPERIMENTS_MD
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("| `e")?;
+            let id = rest.split('`').next()?;
+            Some(format!("e{id}"))
+        })
+        .collect()
+}
+
+#[test]
+fn registry_table_matches_the_registry_exactly() {
+    let documented = documented_ids();
+    let reg = registry();
+    let registered: Vec<String> = reg.names().iter().map(|n| n.to_string()).collect();
+    assert!(
+        !documented.is_empty(),
+        "EXPERIMENTS.md has no registry-table rows (expected lines starting \"| `e\")"
+    );
+    assert_eq!(
+        documented, registered,
+        "EXPERIMENTS.md registry table and registry().names() disagree \
+         (order matters; fix whichever side is stale)"
+    );
+}
+
+#[test]
+fn registry_table_rows_carry_a_crate_column() {
+    for line in EXPERIMENTS_MD.lines().filter(|l| l.starts_with("| `e")) {
+        let cols: Vec<&str> = line.trim_matches('|').split('|').collect();
+        assert_eq!(cols.len(), 3, "registry-table row is not 3 columns: {line}");
+        assert!(
+            cols[2].contains("`mmtag"),
+            "row missing an owning-crate name: {line}"
+        );
+    }
+}

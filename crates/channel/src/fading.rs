@@ -20,6 +20,7 @@
 //! scalar path stays as the sampler-v1 reference for the differential
 //! tests and the old-vs-new rows in `bench_report`.
 
+use mmtag_rf::obs;
 use mmtag_rf::par;
 use mmtag_rf::rng::{Rng, SeedTree};
 use mmtag_rf::units::Db;
@@ -130,12 +131,13 @@ impl RicianFading {
         rng: &mut R,
         scratch: &mut FadeScratch,
     ) -> usize {
+        let _span = obs::span("channel.outage.chunk");
         let threshold = outage_threshold(margin);
         let los = (self.k / (self.k + 1.0)).sqrt();
         let sigma = (0.5 / (self.k + 1.0)).sqrt();
         scratch.draws.resize(trials, Complex::ZERO);
         rng.fill_complex_normal(&mut scratch.draws);
-        scratch
+        let outages = scratch
             .draws
             .iter()
             .filter(|z| {
@@ -143,7 +145,10 @@ impl RicianFading {
                 let im = sigma * z.im;
                 re * re + im * im < threshold
             })
-            .count()
+            .count();
+        obs::counter_add("channel.outage.trials", trials as u64);
+        obs::observe("channel.outage.chunk_outages", outages as u64);
+        outages
     }
 
     /// Parallel Monte-Carlo outage probability, chunked over the
@@ -165,6 +170,7 @@ impl RicianFading {
         tree: &SeedTree,
     ) -> f64 {
         assert!(trials > 0, "need at least one trial");
+        let _span = obs::span("channel.outage.point");
         let outages: u64 = par::par_chunks_scratch_with(
             threads,
             trials,

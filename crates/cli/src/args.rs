@@ -34,6 +34,13 @@ pub enum ArgError {
     UnexpectedPositional(String),
     /// A scenario name that is not in the registry.
     UnknownName(String),
+    /// The `--trace` output file could not be written.
+    TraceWrite {
+        /// The path given to `--trace`.
+        path: String,
+        /// The I/O error text.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -46,6 +53,9 @@ impl std::fmt::Display for ArgError {
             ArgError::UnexpectedPositional(s) => write!(f, "unexpected argument '{s}'"),
             ArgError::UnknownName(s) => {
                 write!(f, "unknown scenario '{s}' (see `mmtag scenarios`)")
+            }
+            ArgError::TraceWrite { path, message } => {
+                write!(f, "cannot write trace file '{path}': {message}")
             }
         }
     }

@@ -13,13 +13,37 @@ use mmtag::scenario::{build_reader, build_scene, build_tag, offset_poses};
 use mmtag::storage::{steady_state_cycle, StorageCap};
 use mmtag_antenna::sparams::{ElementPort, SwitchState};
 use mmtag_bench::scenarios::registry;
+use mmtag_rf::obs;
 use mmtag_rf::rng::Xoshiro256pp;
 use mmtag_sim::experiment::linspace;
 use mmtag_sim::scenario::Runner;
 use std::fmt::Write as _;
 
 /// Top-level dispatch. Unknown/missing commands return the help text.
+///
+/// `--trace <file>` (valid on every command) turns the observability layer
+/// up to [`obs::Level::Trace`] for the duration of the command and writes
+/// the recorded spans as Chrome tracing JSON (load the file at
+/// `chrome://tracing` or in Perfetto). Tracing never changes command
+/// output — the engine merges observability events in deterministic unit
+/// order, so traced and untraced runs print identical bytes.
 pub fn run(args: &Args) -> Result<String, ArgError> {
+    let Some(trace_path) = args.options.get("trace") else {
+        return dispatch(args);
+    };
+    obs::set_level(obs::Level::Trace);
+    let result = dispatch(args);
+    obs::set_level(obs::Level::Off);
+    let report = obs::drain();
+    std::fs::write(trace_path, report.to_chrome_json()).map_err(|e| ArgError::TraceWrite {
+        path: trace_path.clone(),
+        message: e.to_string(),
+    })?;
+    result
+}
+
+/// Routes a parsed command line to its command function.
+fn dispatch(args: &Args) -> Result<String, ArgError> {
     if args.command.as_deref() != Some("run") {
         if let Some(op) = &args.operand {
             return Err(ArgError::UnexpectedPositional(op.clone()));
@@ -62,6 +86,10 @@ COMMANDS:
                                       --format table|csv|json
                                       --quick 1 --seed 7
   help       this text
+
+GLOBAL FLAGS:
+  --trace <file>   record span timings and write Chrome tracing JSON
+                   (open at chrome://tracing); output bytes are unchanged
 "
     .to_string()
 }
@@ -451,6 +479,32 @@ mod tests {
         let a = run_line(&["run", "e21-capture", "--quick", "1"]);
         let b = run_line(&["run", "e21-capture", "--quick", "1", "--seed", "999"]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_json_without_changing_output() {
+        let path = std::env::temp_dir()
+            .join("mmtag-cli-trace-test.json")
+            .to_string_lossy()
+            .to_string();
+        let untraced = run_line(&["run", "e05-ber", "--quick", "1"]);
+        let traced = run_line(&["run", "e05-ber", "--quick", "1", "--trace", &path]);
+        // Tracing must never change command output.
+        assert_eq!(untraced, traced);
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("runner.trials"), "{trace}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_trace_path_is_a_trace_write_error() {
+        let err = run_err(&[
+            "s11",
+            "--trace",
+            "/nonexistent-dir-for-mmtag-test/trace.json",
+        ]);
+        assert!(matches!(err, ArgError::TraceWrite { .. }), "{err:?}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! EPC Gen2 style — adapts the next frame size via the Q algorithm so that
 //! `L` tracks the unread population.
 
+use mmtag_rf::obs;
 use mmtag_rf::rng::Rng;
 
 /// Closed-form slotted-Aloha throughput `S(G) = G·e^{−G}` (successes/slot)
@@ -308,6 +309,7 @@ pub fn inventory_until_drained_scratch<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut AlohaScratch,
 ) -> InventoryStats {
+    let _span = obs::span("mac.aloha.drain");
     let mut unread = n_tags;
     let mut stats = InventoryStats::default();
     let mac = FramedAloha;
@@ -319,6 +321,9 @@ pub fn inventory_until_drained_scratch<R: Rng + ?Sized>(
         stats.tags_read += counts.successes;
         q.update_counts(&counts);
     }
+    obs::counter_add("mac.aloha.rounds", stats.rounds as u64);
+    obs::counter_add("mac.aloha.slots", stats.total_slots as u64);
+    obs::observe("mac.aloha.drain_rounds", stats.rounds as u64);
     stats
 }
 
@@ -354,6 +359,7 @@ pub fn inventory_ensemble_par_with(
     reps: usize,
     tree: &mmtag_sim::SeedTree,
 ) -> Vec<InventoryStats> {
+    let _span = obs::span("mac.aloha.ensemble");
     mmtag_sim::par::par_indexed_scratch_with(threads, reps, AlohaScratch::new, |scratch, i| {
         let mut rng = tree.rng_indexed("aloha-rep", i as u64);
         inventory_until_drained_scratch(n_tags, q, max_rounds, &mut rng, scratch)

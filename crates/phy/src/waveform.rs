@@ -40,6 +40,7 @@
 //! pre-batch implementation; determinism across thread counts is
 //! unaffected.
 
+use mmtag_rf::obs;
 use mmtag_rf::par;
 use mmtag_rf::rng::{Rng, SeedTree};
 use mmtag_rf::Complex;
@@ -283,6 +284,27 @@ impl TrialScratch {
 /// [`TrialScratch`] per worker through the scratch-carrying parallel
 /// engine, so buffer allocation amortizes across every chunk a worker
 /// claims.
+///
+/// # Examples
+///
+/// One scratch serves any number of chunks; only the first sizes buffers:
+///
+/// ```
+/// use mmtag_phy::waveform::{count_bit_errors_scratch, Awgn, OokModem, TrialScratch};
+/// use mmtag_rf::rng::SeedTree;
+///
+/// let modem = OokModem::default();
+/// let awgn = Awgn::for_eb_n0(&modem, 12.0);
+/// let mut rng = SeedTree::new(7).rng("doctest");
+/// let mut scratch = TrialScratch::new();
+///
+/// let errors: usize = (0..4)
+///     .map(|_| count_bit_errors_scratch(&modem, &awgn, 1_000, true, &mut rng, &mut scratch))
+///     .sum();
+/// // At 12 dB Eb/N0, coherent OOK errors are rare but the count is exact
+/// // and reproducible for this seed.
+/// assert!(errors < 100);
+/// ```
 pub fn count_bit_errors_scratch<R: Rng + ?Sized>(
     modem: &OokModem,
     awgn: &Awgn,
@@ -291,6 +313,7 @@ pub fn count_bit_errors_scratch<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut TrialScratch,
 ) -> usize {
+    let _span = obs::span("phy.ber.chunk");
     scratch.bits.resize(n_bits, false);
     rng.fill_bits(&mut scratch.bits);
     scratch
@@ -298,7 +321,10 @@ pub fn count_bit_errors_scratch<R: Rng + ?Sized>(
         .resize(n_bits * modem.samples_per_symbol, Complex::ZERO);
     modem.modulate_into(&scratch.bits, &mut scratch.samples);
     awgn.add_awgn_into(&mut scratch.samples, rng);
-    modem.count_bit_errors(&scratch.bits, &scratch.samples, coherent)
+    let errors = modem.count_bit_errors(&scratch.bits, &scratch.samples, coherent);
+    obs::counter_add("phy.ber.bits", n_bits as u64);
+    obs::observe("phy.ber.chunk_errors", errors as u64);
+    errors
 }
 
 /// Bits per work unit for the parallel BER harness. Fixed (never derived
@@ -388,6 +414,7 @@ pub fn measure_ber_par_with(
     tree: &SeedTree,
 ) -> f64 {
     assert!(n_bits > 0, "need at least one bit");
+    let _span = obs::span("phy.ber.point");
     let awgn = Awgn::for_eb_n0(modem, eb_n0_db);
     let errors: u64 = par::par_chunks_scratch_with(
         threads,
@@ -437,6 +464,7 @@ pub fn ber_sweep_par_with(
     tree: &SeedTree,
 ) -> Vec<f64> {
     assert!(bits_per_point > 0, "need at least one bit per point");
+    let _span = obs::span("phy.ber.sweep");
     let chunks_per_point = bits_per_point.div_ceil(MC_CHUNK_BITS);
     let units = snrs_db.len() * chunks_per_point;
     let awgns: Vec<Awgn> = snrs_db

@@ -13,7 +13,10 @@
 //! * [`rng`] — the in-house xoshiro256++ generator, sampler trait and
 //!   [`rng::SeedTree`] stream derivation (zero external dependencies),
 //! * [`par`] — the deterministic `std::thread::scope` parallel engine
-//!   every Monte-Carlo hot path runs on (`MMTAG_THREADS` to override).
+//!   every Monte-Carlo hot path runs on (`MMTAG_THREADS` to override),
+//! * [`obs`] — the zero-dependency observability layer (span timers,
+//!   counters, histograms, Chrome-trace export) whose recording is sharded
+//!   per worker and merged in unit order so it never perturbs results.
 //!
 //! The numerics are `no_std`-shaped in spirit (no allocation, no I/O); they
 //! are the part of the stack you would keep if you ported the models to
@@ -27,6 +30,7 @@ pub mod constants;
 pub mod db;
 pub mod fft;
 pub mod math;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod special;

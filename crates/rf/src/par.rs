@@ -44,7 +44,7 @@ pub fn thread_limit() -> usize {
     let (n, warning) = resolve_thread_limit(raw.as_deref());
     if let Some(msg) = warning {
         static WARN_ONCE: Once = Once::new();
-        WARN_ONCE.call_once(|| eprintln!("{msg}"));
+        WARN_ONCE.call_once(|| crate::obs::warn(&msg));
     }
     n
 }
@@ -62,8 +62,9 @@ pub fn resolve_thread_limit(raw: Option<&str>) -> (usize, Option<String>) {
             None => (
                 available_threads(),
                 Some(format!(
-                    "mmtag: ignoring unusable MMTAG_THREADS={v:?} \
-                     (need an integer ≥ 1); auto-detecting parallelism"
+                    "mmtag: ignoring unusable MMTAG_THREADS={v:?}; accepted \
+                     values are integers ≥ 1 (1 = fully serial, larger = \
+                     worker-thread budget); auto-detecting parallelism"
                 )),
             ),
         },
@@ -157,7 +158,7 @@ where
     }
     let workers = threads.min(n);
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+    let parts: Vec<Vec<(usize, U, Vec<crate::obs::Event>)>> = std::thread::scope(|scope| {
         let f = &f;
         let init = &init;
         let next = &next;
@@ -171,7 +172,14 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(scratch.get_or_insert_with(init), i)));
+                        // Capture the unit's observability event delta so
+                        // the merge below can replay deltas in unit order —
+                        // the event log then matches a serial run exactly
+                        // (see `crate::obs`). Both hooks are no-ops when
+                        // recording is off.
+                        let mark = crate::obs::capture_mark();
+                        let u = f(scratch.get_or_insert_with(init), i);
+                        local.push((i, u, crate::obs::capture_since(mark)));
                     }
                     local
                 })
@@ -185,16 +193,20 @@ where
             })
             .collect()
     });
-    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<(U, Vec<crate::obs::Event>)>> = (0..n).map(|_| None).collect();
     for part in parts {
-        for (i, u) in part {
+        for (i, u, events) in part {
             debug_assert!(slots[i].is_none(), "unit {i} computed twice");
-            slots[i] = Some(u);
+            slots[i] = Some((u, events));
         }
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every unit claimed exactly once"))
+        .map(|s| {
+            let (u, events) = s.expect("every unit claimed exactly once");
+            crate::obs::append_events(events);
+            u
+        })
         .collect()
 }
 

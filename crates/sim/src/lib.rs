@@ -17,6 +17,10 @@
 //! * [`par`] — deterministic parallel Monte-Carlo on `std::thread::scope`:
 //!   chunked work, per-chunk RNG streams, bit-identical at any thread
 //!   count (`MMTAG_THREADS` overrides the worker budget),
+//! * [`obs`] — the observability layer (re-exported from `mmtag_rf::obs`):
+//!   span timers, counters and histograms whose recording never perturbs
+//!   simulated results; the [`scenario`] `Runner` attaches its aggregate
+//!   report to every run manifest,
 //! * [`scene`] — a room: one reader, tags, walls; produces the ray sets the
 //!   channel layer consumes,
 //! * [`metrics`] — counters, histograms and time-series for experiments,
@@ -30,6 +34,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use mmtag_rf::obs;
 
 pub mod des;
 pub mod experiment;

@@ -23,6 +23,7 @@
 //! Everything here is `std`-only, including the JSON writer.
 
 use crate::experiment::{linspace, logspace, Table};
+use crate::obs;
 use crate::rng::SeedTree;
 use std::fmt::Write as _;
 
@@ -285,6 +286,27 @@ impl SweepAxis {
 /// seed. Two runs with equal specs (at any thread count) produce
 /// bit-identical tables — that is the contract the deterministic parallel
 /// engine provides and the [`Manifest::spec_hash`] records.
+///
+/// # Examples
+///
+/// Specs are assembled builder-style from the paper's defaults:
+///
+/// ```
+/// use mmtag_sim::scenario::{AxisKind, ScenarioSpec};
+///
+/// let spec = ScenarioSpec::paper_link("e99-demo", "builder demo")
+///     .with_axis(
+///         "range_m",
+///         AxisKind::Linspace { start: 1.0, stop: 8.0, points: 8 },
+///     )
+///     .with_trials(1_000)
+///     .with_seed(42);
+///
+/// assert_eq!(spec.values("range_m").len(), 8);
+/// assert_eq!(spec.seed, 42);
+/// // Smoke runs shrink the same spec instead of forking a second config.
+/// assert_eq!(spec.minimized(3, 200).trials, 200);
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     /// Registry name, kebab-case (e.g. `e02-link-budget`).
@@ -505,6 +527,12 @@ pub struct Manifest {
     pub wall_ms: f64,
     /// Hex [`ScenarioSpec::hash`] of the executed spec.
     pub spec_hash: String,
+    /// Observability aggregates recorded during the run (empty when the
+    /// global [`obs::Level`] is `Off`). Counters and histograms are
+    /// bit-identical at any thread count; span wall times — like
+    /// [`Manifest::wall_ms`] — are machine-dependent and excluded from the
+    /// determinism contract.
+    pub metrics: obs::ObsReport,
 }
 
 /// The structured result of one scenario run: tables plus manifest,
@@ -566,6 +594,8 @@ impl RunRecord {
             m.wall_ms,
             json_string(&m.spec_hash),
         );
+        out.push_str(", \"metrics\": ");
+        out.push_str(&m.metrics.metrics_json());
         out.push_str("},\n  \"tables\": [");
         for (ti, t) in self.tables.iter().enumerate() {
             if ti > 0 {
@@ -683,17 +713,84 @@ impl Runner {
         self.threads
     }
 
-    /// Runs a scenario, timing it and recording the manifest.
+    /// Runs a scenario, timing it and recording the manifest (including
+    /// the observability aggregates recorded over the run — see
+    /// [`Manifest::metrics`]). The metrics window is carved out with
+    /// [`obs::mark`]/[`obs::report_since`], so an enclosing trace capture
+    /// (e.g. the CLI `--trace` flag) still sees everything.
+    ///
+    /// If the obs level is `Off`, the runner raises it to `Counters` for
+    /// the duration of the run (and restores it afterwards) so the
+    /// manifest's metrics block is populated by default. Counter and
+    /// histogram recording is deterministic — integer aggregates of
+    /// per-unit contributions — so this changes no output bytes except
+    /// the metrics block itself, which is thread-count invariant.
+    ///
+    /// # Examples
+    ///
+    /// Any [`Scenario`] implementation runs the same way; the record
+    /// carries the tables plus a manifest identifying the run:
+    ///
+    /// ```
+    /// use mmtag_sim::experiment::Table;
+    /// use mmtag_sim::scenario::{AxisKind, RunContext, Runner, Scenario, ScenarioSpec};
+    ///
+    /// struct Doubler(ScenarioSpec);
+    ///
+    /// impl Scenario for Doubler {
+    ///     fn spec(&self) -> &ScenarioSpec {
+    ///         &self.0
+    ///     }
+    ///     fn run(&self, ctx: &RunContext) -> Vec<Table> {
+    ///         let mut t = Table::new("doubled", &["x", "y"]);
+    ///         for x in ctx.spec.values("x") {
+    ///             t.push_row(&[x, 2.0 * x]);
+    ///         }
+    ///         vec![t]
+    ///     }
+    ///     fn with_spec(&self, spec: ScenarioSpec) -> Box<dyn Scenario> {
+    ///         Box::new(Doubler(spec))
+    ///     }
+    /// }
+    ///
+    /// let spec = ScenarioSpec::paper_link("e99-doubler", "doctest scenario")
+    ///     .with_axis("x", AxisKind::Values(vec![1.0, 2.0]));
+    /// let record = Runner::with_threads(2).run(&Doubler(spec));
+    ///
+    /// assert_eq!(record.manifest.scenario, "e99-doubler");
+    /// assert_eq!(record.tables[0].len(), 2);
+    /// ```
     pub fn run(&self, scenario: &dyn Scenario) -> RunRecord {
+        let raise_to_counters = obs::level() == obs::Level::Off;
+        if raise_to_counters {
+            obs::set_level(obs::Level::Counters);
+        }
+        let obs_mark = obs::mark();
         let spec = scenario.spec();
+        let spec_hash = {
+            let _span = obs::span("runner.canonicalize");
+            format!("{:016x}", spec.hash())
+        };
         let ctx = RunContext {
             spec,
             tree: SeedTree::new(spec.seed),
             threads: self.threads,
         };
         let start = std::time::Instant::now();
-        let tables = scenario.run(&ctx);
+        let tables = {
+            let _span = obs::span("runner.trials");
+            scenario.run(&ctx)
+        };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        {
+            let _span = obs::span("runner.tables");
+            let rows: usize = tables.iter().map(Table::len).sum();
+            obs::counter_add("runner.table_rows", rows as u64);
+        }
+        let metrics = obs::report_since(obs_mark);
+        if raise_to_counters {
+            obs::set_level(obs::Level::Off);
+        }
         RunRecord {
             manifest: Manifest {
                 scenario: spec.name.clone(),
@@ -701,8 +798,9 @@ impl Runner {
                 seed: spec.seed,
                 trials: spec.trials,
                 threads: self.threads,
+                spec_hash,
                 wall_ms,
-                spec_hash: format!("{:016x}", spec.hash()),
+                metrics,
             },
             tables,
         }
@@ -897,6 +995,7 @@ mod tests {
                 threads: 1,
                 wall_ms: 0.5,
                 spec_hash: "00".into(),
+                metrics: obs::ObsReport::default(),
             },
             tables: vec![t],
         };

@@ -9,6 +9,11 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc gate: every public item documented (the crates' warn(missing_docs)
+# becomes deny here), intra-doc links resolve, and `cargo test` above has
+# already run the doctested examples.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 # Registry smoke: list every registered scenario, then run each E1–E26
 # entry end to end through the Runner at reduced size.
 cargo run -q --release -p mmtag-bench --bin scenario -- list
