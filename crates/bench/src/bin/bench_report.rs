@@ -5,7 +5,11 @@
 //!
 //! * **serial → parallel** speedups of the engine hot paths (single-point
 //!   BER, an 8-point BER sweep, an Aloha inventory ensemble) — PR 1's
-//!   headline numbers, kept so the trajectory stays comparable;
+//!   headline numbers, kept so the trajectory stays comparable. Since the
+//!   persistent pool made thread count a pure scheduling knob, these run
+//!   at *pinned* counts (1 and 4 threads), one speedup row per count
+//!   (`ber_sweep_8x100kbit_par4_vs_serial`, …), instead of inheriting
+//!   whatever the host machine advertises;
 //! * **old-kernel → batch-kernel** speedups at one thread — this PR's
 //!   headline: the pre-batch allocating sampler-v1 chains
 //!   ([`count_bit_errors_reference`], the scalar
@@ -33,6 +37,9 @@ use mmtag_rf::rng::SeedTree;
 use mmtag_rf::units::Db;
 
 const BER_BITS: usize = 100_000;
+/// Pinned thread counts for the serial-vs-parallel rows: 1 (pool
+/// bypassed, measures dispatch overhead) and 4 (the speedup headline).
+const PAR_THREADS: [usize; 2] = [1, 4];
 const BER_SNRS: [f64; 8] = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
 const TAGS: usize = 128;
 const REPS: usize = 16;
@@ -185,58 +192,82 @@ fn main() {
         p,
     );
 
-    // ---- serial vs parallel (PR 1's rows, now on the batch kernels) ----
+    // ---- serial vs parallel at pinned thread counts (pool rows) ----
+    //
+    // `par1` runs the same serial code path through the parallel entry
+    // point (threads ≤ 1 bypasses the pool), so its ratio near 1.0 is the
+    // dispatch-overhead sanity row; `par4` is the speedup headline. Every
+    // parallel result is asserted bit-identical to the serial one first —
+    // the determinism contract the pool rewrite must preserve.
 
     // Single-point BER, chunk-parallel.
     let s = bench("ber_point_100kbit_serial", &mut || {
         measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree)
     });
-    let p = bench("ber_point_100kbit_par", &mut || {
-        measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree)
-    });
     let a = measure_ber_par_with(1, &modem, 7.0, BER_BITS, true, &tree);
-    let b = measure_ber_par_with(threads, &modem, 7.0, BER_BITS, true, &tree);
-    assert_eq!(
-        a.to_bits(),
-        b.to_bits(),
-        "parallel BER must be bit-identical"
-    );
-    pair("ber_point_100kbit", &mut results, &mut speedups, s, p);
+    results.push(s.clone());
+    for t in PAR_THREADS {
+        let b = measure_ber_par_with(t, &modem, 7.0, BER_BITS, true, &tree);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "parallel BER must be bit-identical at {t} threads"
+        );
+        let p = bench(&format!("ber_point_100kbit_par{t}"), &mut || {
+            measure_ber_par_with(t, &modem, 7.0, BER_BITS, true, &tree)
+        });
+        speedups.push((
+            format!("ber_point_100kbit_par{t}_vs_serial"),
+            p.speedup_over(&s),
+        ));
+        results.push(p);
+    }
 
-    // Full sweep, parallel over (SNR × chunk).
+    // Full sweep, parallel over the flattened (SNR × chunk) grid.
     let s = bench("ber_sweep_8x100kbit_serial", &mut || {
         ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree)[0]
     });
-    let p = bench("ber_sweep_8x100kbit_par", &mut || {
-        ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree)[0]
-    });
     let a = ber_sweep_par_with(1, &modem, &BER_SNRS, BER_BITS, true, &tree);
-    let b = ber_sweep_par_with(threads, &modem, &BER_SNRS, BER_BITS, true, &tree);
-    assert!(
-        a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
-        "parallel BER sweep must be bit-identical"
-    );
-    pair("ber_sweep_8x100kbit", &mut results, &mut speedups, s, p);
+    results.push(s.clone());
+    for t in PAR_THREADS {
+        let b = ber_sweep_par_with(t, &modem, &BER_SNRS, BER_BITS, true, &tree);
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "parallel BER sweep must be bit-identical at {t} threads"
+        );
+        let p = bench(&format!("ber_sweep_8x100kbit_par{t}"), &mut || {
+            ber_sweep_par_with(t, &modem, &BER_SNRS, BER_BITS, true, &tree)[0]
+        });
+        speedups.push((
+            format!("ber_sweep_8x100kbit_par{t}_vs_serial"),
+            p.speedup_over(&s),
+        ));
+        results.push(p);
+    }
 
     // Inventory ensemble, one repetition per work unit, scratch per worker.
     let s = bench("aloha_ensemble_128tags_x16_serial", &mut || {
         inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)[0].total_slots
             as f64
     });
-    let p = bench("aloha_ensemble_128tags_x16_par", &mut || {
-        inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)[0]
-            .total_slots as f64
-    });
     let a = inventory_ensemble_par_with(1, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
-    let b = inventory_ensemble_par_with(threads, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
-    assert_eq!(a, b, "parallel ensemble must be bit-identical");
-    pair(
-        "aloha_ensemble_128tags_x16",
-        &mut results,
-        &mut speedups,
-        s,
-        p,
-    );
+    results.push(s.clone());
+    for t in PAR_THREADS {
+        let b = inventory_ensemble_par_with(t, TAGS, QAlgorithm::new(), 100_000, REPS, &tree);
+        assert_eq!(
+            a, b,
+            "parallel ensemble must be bit-identical at {t} threads"
+        );
+        let p = bench(&format!("aloha_ensemble_128tags_x16_par{t}"), &mut || {
+            inventory_ensemble_par_with(t, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)[0]
+                .total_slots as f64
+        });
+        speedups.push((
+            format!("aloha_ensemble_128tags_x16_par{t}_vs_serial"),
+            p.speedup_over(&s),
+        ));
+        results.push(p);
+    }
 
     // ---- observability overhead: the BER batch kernel with tracing on ----
     //

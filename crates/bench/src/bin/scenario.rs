@@ -9,6 +9,7 @@
 
 use mmtag_bench::scenarios::registry;
 use mmtag_rf::obs;
+use mmtag_sim::cache::RunCache;
 use mmtag_sim::scenario::Runner;
 use std::process::ExitCode;
 
@@ -20,8 +21,12 @@ const USAGE: &str = "usage: scenario <command>
       --quick               clamp axes to 3 points and trials to 200
       --seed <n>            override the spec's root seed
       --threads <n>         pin the runner's thread budget
+      --no-cache            skip the run cache (MMTAG_CACHE_DIR, default
+                            target/mmtag-run-cache); tables are identical
+                            either way, this only forces recomputation
       --trace <file>        record spans, write Chrome tracing JSON
-                            (results are bit-identical with or without)
+                            (results are bit-identical with or without;
+                            implies --no-cache so there is work to trace)
   smoke                     run every scenario at smoke size (CI gate)";
 
 fn main() -> ExitCode {
@@ -48,7 +53,7 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("scenario run: missing <name>\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    let (mut json, mut csv, mut quick) = (false, false, false);
+    let (mut json, mut csv, mut quick, mut no_cache) = (false, false, false, false);
     let (mut seed, mut threads) = (None, None);
     let mut trace: Option<String> = None;
     let mut it = args[1..].iter();
@@ -57,6 +62,7 @@ fn run(args: &[String]) -> ExitCode {
             "--json" => json = true,
             "--csv" => csv = true,
             "--quick" => quick = true,
+            "--no-cache" => no_cache = true,
             "--seed" | "--threads" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("scenario run: {a} needs an integer value");
@@ -87,10 +93,15 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("scenario run: '{name}' is not registered; try 'scenario list'");
         return ExitCode::FAILURE;
     };
-    let runner = match threads {
+    let mut runner = match threads {
         Some(n) => Runner::with_threads(n),
         None => Runner::new(),
     };
+    // A traced run must actually execute — a cache hit has nothing to
+    // trace — so --trace implies --no-cache.
+    if !no_cache && trace.is_none() {
+        runner = runner.with_cache(RunCache::at_default_dir());
+    }
     let scenario = seed.map(|seed| s.with_spec(s.spec().clone().with_seed(seed)));
     let s = scenario.as_deref().unwrap_or(s);
     if trace.is_some() {

@@ -9,7 +9,7 @@ use mmtag::storage::{average_throughput_bps, bits_per_burst, steady_state_cycle,
 use mmtag_antenna::element::Isotropic;
 use mmtag_antenna::planar::{Direction, PlanarVanAtta};
 use mmtag_antenna::{LinearArray, PatchElement};
-use mmtag_channel::fading::RicianFading;
+use mmtag_channel::fading::{outage_grid_par, OutageCell, RicianFading};
 use mmtag_mac::acquisition::{worst_case_latency, SearchMode};
 use mmtag_mac::capture::capture_gain;
 use mmtag_mac::mimo::mimo_inventory;
@@ -151,28 +151,32 @@ pub(crate) fn e15_spec(trials: usize, seed: u64) -> ScenarioSpec {
 }
 
 pub(crate) fn e15_body(ctx: &RunContext) -> Vec<Table> {
-    // Each (K, margin) cell runs its trials chunked over the parallel
-    // engine under its own SeedTree subtree — bit-identical at any thread
-    // count, and each cell independent of the others.
+    // All (K, margin) cells go into ONE flattened (cell × chunk) work
+    // grid, so the whole sweep saturates the worker budget instead of
+    // parallelizing one cell at a time. Each cell keeps its own SeedTree
+    // subtree — the exact streams the per-cell loop used — so the table
+    // is bit-identical at any thread count and to the pre-grid code.
+    let cells: Vec<OutageCell> = ctx
+        .spec
+        .values("k_db")
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, k_db)| {
+            let fader = RicianFading::from_k_db(Db::new(k_db));
+            [("outage-3db", 3.0), ("outage-7db", 7.0)].map(|(label, margin)| OutageCell {
+                fader,
+                margin: Db::new(margin),
+                tree: ctx.tree.subtree_indexed(label, i as u64),
+            })
+        })
+        .collect();
+    let outage = outage_grid_par(&cells, ctx.spec.trials);
     let mut t = Table::new(
         "E15 — Rician fading: outage probability vs K-factor and margin",
         &["k_db", "outage_3db_margin", "outage_7db_margin"],
     );
     for (i, k_db) in ctx.spec.values("k_db").into_iter().enumerate() {
-        let fader = RicianFading::from_k_db(Db::new(k_db));
-        t.push_row(&[
-            k_db,
-            fader.outage_probability_par(
-                Db::new(3.0),
-                ctx.spec.trials,
-                &ctx.tree.subtree_indexed("outage-3db", i as u64),
-            ),
-            fader.outage_probability_par(
-                Db::new(7.0),
-                ctx.spec.trials,
-                &ctx.tree.subtree_indexed("outage-7db", i as u64),
-            ),
-        ]);
+        t.push_row(&[k_db, outage[2 * i], outage[2 * i + 1]]);
     }
     vec![t]
 }

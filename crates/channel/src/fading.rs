@@ -161,7 +161,7 @@ impl RicianFading {
 
     /// [`RicianFading::outage_probability_par`] with an explicit thread
     /// budget (what the determinism tests and serial-vs-parallel benches
-    /// call).
+    /// call). The single-cell special case of [`outage_grid_par_with`].
     pub fn outage_probability_par_with(
         &self,
         threads: usize,
@@ -169,21 +169,13 @@ impl RicianFading {
         trials: usize,
         tree: &SeedTree,
     ) -> f64 {
-        assert!(trials > 0, "need at least one trial");
         let _span = obs::span("channel.outage.point");
-        let outages: u64 = par::par_chunks_scratch_with(
-            threads,
-            trials,
-            OUTAGE_CHUNK_TRIALS,
-            FadeScratch::new,
-            |scratch, ci, range| {
-                let mut rng = tree.rng_indexed("outage-chunk", ci as u64);
-                self.count_outages_scratch(margin, range.len(), &mut rng, scratch) as u64
-            },
-        )
-        .into_iter()
-        .sum();
-        outages as f64 / trials as f64
+        let cell = OutageCell {
+            fader: *self,
+            margin,
+            tree: *tree,
+        };
+        outage_grid_par_with(threads, std::slice::from_ref(&cell), trials)[0]
     }
 
     /// Counts fades below `threshold` over `trials` draws from `rng`.
@@ -197,6 +189,62 @@ impl RicianFading {
 /// Linear power threshold for a fade `margin` dB below the (unit) mean.
 fn outage_threshold(margin: Db) -> f64 {
     10f64.powf(-margin.db() / 10.0)
+}
+
+/// One cell of an outage sweep grid: a fader, a fade margin, and the
+/// [`SeedTree`] that owns the cell's random streams.
+#[derive(Clone, Copy, Debug)]
+pub struct OutageCell {
+    /// The fading channel for this cell.
+    pub fader: RicianFading,
+    /// Fade margin below the unit mean.
+    pub margin: Db,
+    /// Stream root: chunk `i` of this cell draws from
+    /// `tree.rng_indexed("outage-chunk", i)`.
+    pub tree: SeedTree,
+}
+
+/// Estimates every cell of an outage sweep over **one global work grid**:
+/// each (cell × trial chunk) pair is a single work unit, so the whole
+/// sweep saturates the worker budget instead of parallelizing one cell
+/// at a time (which strands workers whenever `trials` is small relative
+/// to `OUTAGE_CHUNK_TRIALS × threads`).
+///
+/// Per-cell results are **bit-identical** to calling
+/// [`RicianFading::outage_probability_par`] cell by cell at any thread
+/// count: unit `(c, i)` draws from `cells[c].tree.rng_indexed
+/// ("outage-chunk", i)` — exactly the stream the per-cell path uses —
+/// and chunk counts are folded in chunk order per cell.
+///
+/// # Panics
+/// Panics when `trials == 0`.
+pub fn outage_grid_par_with(threads: usize, cells: &[OutageCell], trials: usize) -> Vec<f64> {
+    assert!(trials > 0, "need at least one trial");
+    let _span = obs::span("channel.outage.grid");
+    let chunks_per_cell = trials.div_ceil(OUTAGE_CHUNK_TRIALS);
+    let counts: Vec<u64> = par::par_indexed_scratch_with(
+        threads,
+        cells.len() * chunks_per_cell,
+        FadeScratch::new,
+        |scratch, u| {
+            let cell = &cells[u / chunks_per_cell];
+            let ci = u % chunks_per_cell;
+            let start = ci * OUTAGE_CHUNK_TRIALS;
+            let len = (start + OUTAGE_CHUNK_TRIALS).min(trials) - start;
+            let mut rng = cell.tree.rng_indexed("outage-chunk", ci as u64);
+            cell.fader
+                .count_outages_scratch(cell.margin, len, &mut rng, scratch) as u64
+        },
+    );
+    counts
+        .chunks(chunks_per_cell)
+        .map(|per_cell| per_cell.iter().sum::<u64>() as f64 / trials as f64)
+        .collect()
+}
+
+/// [`outage_grid_par_with`] at the default [`par::thread_limit`].
+pub fn outage_grid_par(cells: &[OutageCell], trials: usize) -> Vec<f64> {
+    outage_grid_par_with(par::thread_limit(), cells, trials)
 }
 
 #[cfg(test)]
@@ -335,6 +383,42 @@ mod tests {
             (batch - scalar).abs() < 5.0 * sigma,
             "batch {batch} vs scalar {scalar}"
         );
+    }
+
+    #[test]
+    fn outage_grid_is_bit_identical_to_per_cell_calls() {
+        // The flattened (cell × chunk) grid must reproduce the per-cell
+        // parallel path exactly — same streams, same fold order — at any
+        // thread count, including chunk-uneven trial totals.
+        let root = SeedTree::new(77);
+        let cells: Vec<OutageCell> = [0.0, 5.0, 10.0]
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &k_db)| {
+                [Db::new(3.0), Db::new(7.0)].map(|margin| OutageCell {
+                    fader: RicianFading::from_k_db(Db::new(k_db)),
+                    margin,
+                    tree: root.subtree_indexed("cell", i as u64 * 2 + margin.db() as u64),
+                })
+            })
+            .collect();
+        for trials in [1000usize, OUTAGE_CHUNK_TRIALS + 1, 40_000] {
+            let per_cell: Vec<f64> = cells
+                .iter()
+                .map(|c| {
+                    c.fader
+                        .outage_probability_par_with(1, c.margin, trials, &c.tree)
+                })
+                .collect();
+            for threads in [1usize, 2, 4, 8] {
+                let grid = outage_grid_par_with(threads, &cells, trials);
+                assert_eq!(
+                    per_cell.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    grid.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    "threads={threads} trials={trials}"
+                );
+            }
+        }
     }
 
     #[test]

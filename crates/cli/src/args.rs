@@ -1,11 +1,17 @@
 //! Tiny dependency-free argument parser for the `mmtag` CLI.
 //!
 //! Supports `--flag value` and `--flag=value` options plus one positional
-//! subcommand. Deliberately minimal (the allowed dependency set has no
-//! `clap`); the parser is a plain data structure so every command's
+//! subcommand, and a small fixed set of valueless boolean flags
+//! ([`BOOL_FLAGS`]). Deliberately minimal (the allowed dependency set has
+//! no `clap`); the parser is a plain data structure so every command's
 //! argument handling is unit-testable without process spawning.
 
 use std::collections::BTreeMap;
+
+/// Flags that take no value: presence stores `"1"` in the option map.
+/// Kept as an explicit list so `--flag` with a forgotten value keeps
+/// erroring for every value-carrying flag.
+pub const BOOL_FLAGS: &[&str] = &["no-cache"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -76,6 +82,8 @@ impl Args {
             if let Some(flag) = arg.strip_prefix("--") {
                 if let Some((k, v)) = flag.split_once('=') {
                     out.options.insert(k.to_string(), v.to_string());
+                } else if BOOL_FLAGS.contains(&flag) {
+                    out.options.insert(flag.to_string(), "1".to_string());
                 } else {
                     let value = iter
                         .next()
@@ -193,6 +201,18 @@ mod tests {
             Args::parse(["run", "e02-link-budget", "oops"]),
             Err(ArgError::UnexpectedPositional("oops".into()))
         );
+    }
+
+    #[test]
+    fn boolean_flags_need_no_value() {
+        // `--no-cache` consumes nothing: a following flag or positional
+        // is parsed on its own.
+        let a = Args::parse(["run", "e05-ber", "--no-cache", "--quick", "1"]).unwrap();
+        assert_eq!(a.operand.as_deref(), Some("e05-ber"));
+        assert_eq!(a.options.get("no-cache").map(String::as_str), Some("1"));
+        assert_eq!(a.usize_or("quick", 0).unwrap(), 1);
+        let b = Args::parse(["run", "e05-ber", "--no-cache"]).unwrap();
+        assert!(b.options.contains_key("no-cache"));
     }
 
     #[test]

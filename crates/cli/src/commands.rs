@@ -85,11 +85,16 @@ COMMANDS:
   run        run a scenario by name   run e02-link-budget
                                       --format table|csv|json
                                       --quick 1 --seed 7
+                                      --no-cache  recompute even when the
+                                      run cache (MMTAG_CACHE_DIR, default
+                                      target/mmtag-run-cache) has the spec
   help       this text
 
 GLOBAL FLAGS:
   --trace <file>   record span timings and write Chrome tracing JSON
                    (open at chrome://tracing); output bytes are unchanged
+                   (on `run`, implies --no-cache so the execution spans
+                   actually happen)
 "
     .to_string()
 }
@@ -312,7 +317,15 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
         })
         .transpose()?;
     let s = reseeded.as_deref().unwrap_or(s);
-    let runner = Runner::new();
+    // Identical specs replay from the content-addressed run cache unless
+    // the user opts out; --trace implies --no-cache because a cache hit
+    // skips the execution spans the trace exists to record.
+    let cached = !args.options.contains_key("no-cache") && !args.options.contains_key("trace");
+    let runner = if cached {
+        Runner::new().with_cache(mmtag_sim::cache::RunCache::at_default_dir())
+    } else {
+        Runner::new()
+    };
     let record = if args.usize_or("quick", 0)? != 0 {
         runner.run_minimized(s, 3, 200)
     } else {
@@ -329,11 +342,26 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
 mod tests {
     use super::*;
 
+    /// Points the run cache at a fresh per-process temp directory so the
+    /// `run` goldens can never be satisfied by stale entries a previous
+    /// build left in `target/mmtag-run-cache` — each test process proves
+    /// the current code (first run) and the replay path (second run).
+    fn isolate_cache_dir() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let dir =
+                std::env::temp_dir().join(format!("mmtag-cli-test-cache-{}", std::process::id()));
+            std::env::set_var("MMTAG_CACHE_DIR", dir);
+        });
+    }
+
     fn run_line(line: &[&str]) -> String {
+        isolate_cache_dir();
         run(&Args::parse(line.iter().copied()).unwrap()).unwrap()
     }
 
     fn run_err(line: &[&str]) -> ArgError {
+        isolate_cache_dir();
         match Args::parse(line.iter().copied()) {
             Err(e) => e,
             Ok(a) => run(&a).unwrap_err(),
@@ -472,6 +500,31 @@ mod tests {
         assert_eq!(csv.lines().filter(|l| !l.starts_with('#')).count(), 4); // header + 3 rows
         let json = run_line(&["run", "e06-beamwidth", "--format", "json", "--quick", "1"]);
         assert!(json.contains("\"manifest\"") && json.contains("\"e06-beamwidth\""));
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_print_identical_bytes() {
+        // First call populates the cache, second replays from it, and
+        // --no-cache recomputes — all three must print the same bytes
+        // (wall_ms lives in the manifest, which `render` omits).
+        let first = run_line(&["run", "e06-beamwidth", "--quick", "1"]);
+        let replayed = run_line(&["run", "e06-beamwidth", "--quick", "1"]);
+        let recomputed = run_line(&["run", "e06-beamwidth", "--quick", "1", "--no-cache"]);
+        assert_eq!(first, replayed);
+        assert_eq!(first, recomputed);
+        // The JSON metrics block reports which path served the run.
+        let json = run_line(&["run", "e06-beamwidth", "--format", "json", "--quick", "1"]);
+        assert!(json.contains("\"runner.cache.hit\": 1"), "{json}");
+        let bypassed = run_line(&[
+            "run",
+            "e06-beamwidth",
+            "--format",
+            "json",
+            "--quick",
+            "1",
+            "--no-cache",
+        ]);
+        assert!(!bypassed.contains("runner.cache."), "{bypassed}");
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! * [`special`] — `erf`/`erfc`/Q-function needed for BER theory,
 //! * [`rng`] — the in-house xoshiro256++ generator, sampler trait and
 //!   [`rng::SeedTree`] stream derivation (zero external dependencies),
-//! * [`par`] — the deterministic `std::thread::scope` parallel engine
-//!   every Monte-Carlo hot path runs on (`MMTAG_THREADS` to override),
+//! * [`pool`] — the lazily-initialized persistent worker pool (std-only
+//!   `Mutex`/`Condvar`, workers spawned once per process and reused),
+//! * [`par`] — the deterministic parallel engine every Monte-Carlo hot
+//!   path runs on, built on [`pool`] (`MMTAG_THREADS` to override),
 //! * [`obs`] — the zero-dependency observability layer (span timers,
 //!   counters, histograms, Chrome-trace export) whose recording is sharded
 //!   per worker and merged in unit order so it never perturbs results.
@@ -22,7 +24,10 @@
 //! are the part of the stack you would keep if you ported the models to
 //! firmware. `rng`/`par` are the simulation substrate layered on top.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool (`pool`) and the engine's
+// in-place result writes (`par`) opt back in with scoped `allow`s and
+// per-use SAFETY arguments. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod complex;
@@ -32,6 +37,7 @@ pub mod fft;
 pub mod math;
 pub mod obs;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod special;
 pub mod units;

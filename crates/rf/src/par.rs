@@ -1,6 +1,7 @@
-//! Deterministic parallel execution on `std::thread::scope` — no thread
-//! pools, no external crates, no shared mutable state beyond one atomic
-//! work counter.
+//! Deterministic parallel execution on the process-wide persistent
+//! worker pool ([`crate::pool`]) — no external crates, no per-call
+//! thread spawns, no shared mutable state beyond one atomic work counter
+//! per call.
 //!
 //! ## The determinism contract
 //!
@@ -19,6 +20,12 @@
 //! *chunk size*. Changing the chunk decomposition re-partitions the random
 //! streams, which is a different (equally valid) Monte-Carlo sample.
 //! Callers that expose chunked APIs fix their chunk size as a constant.
+//!
+//! Units are *claimed* in auto-tuned batches (several consecutive unit
+//! indices per counter increment) to keep contention on the shared
+//! counter negligible when units are tiny. The batch size affects only
+//! which participant runs which unit — never the unit→result mapping or
+//! the merge order — so it is free to vary without breaking determinism.
 //!
 //! ## Thread-count selection
 //!
@@ -156,59 +163,102 @@ where
             .map(|i| f(scratch.get_or_insert_with(&init), i))
             .collect();
     }
-    let workers = threads.min(n);
+    let participants = threads.min(n);
+    let batch = claim_batch(n, participants);
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, U, Vec<crate::obs::Event>)>> = std::thread::scope(|scope| {
-        let f = &f;
-        let init = &init;
-        let next = &next;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut scratch: Option<S> = None;
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        // Capture the unit's observability event delta so
-                        // the merge below can replay deltas in unit order —
-                        // the event log then matches a serial run exactly
-                        // (see `crate::obs`). Both hooks are no-ops when
-                        // recording is off.
-                        let mark = crate::obs::capture_mark();
-                        let u = f(scratch.get_or_insert_with(init), i);
-                        local.push((i, u, crate::obs::capture_since(mark)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(part) => part,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut slots: Vec<Option<(U, Vec<crate::obs::Event>)>> = (0..n).map(|_| None).collect();
-    for part in parts {
-        for (i, u, events) in part {
-            debug_assert!(slots[i].is_none(), "unit {i} computed twice");
-            slots[i] = Some((u, events));
+    // Results are written straight into the output buffer: participant
+    // batches are disjoint index ranges off one atomic counter, so every
+    // slot is written exactly once and `set_len` is sound after the pool
+    // barrier. In steady state (obs off, warm pool) the only allocation
+    // in this function is this single `Vec`, and even that disappears
+    // for zero-sized `U` — see `tests/alloc_guard.rs`.
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let base = SendPtr(out.as_mut_ptr());
+    // Per-unit observability deltas, tagged with the unit index. Only
+    // touched when recording is on; replayed in unit order below so the
+    // event log matches a serial run exactly (see `crate::obs`).
+    let shards: std::sync::Mutex<Vec<(usize, Vec<crate::obs::Event>)>> =
+        std::sync::Mutex::new(Vec::new());
+    let work = || {
+        // One activation per participant: scratch is lazily built on the
+        // first claimed unit and reused for the rest of this call.
+        let mut scratch: Option<S> = None;
+        loop {
+            let start = next.fetch_add(batch, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + batch).min(n);
+            for i in start..end {
+                let mark = crate::obs::capture_mark();
+                let u = f(scratch.get_or_insert_with(&init), i);
+                let events = crate::obs::capture_since(mark);
+                // SAFETY: `i < n <= capacity`, and the batch claim gives
+                // this participant exclusive ownership of slot `i`.
+                #[allow(unsafe_code)]
+                unsafe {
+                    base.write(i, u);
+                }
+                if !events.is_empty() {
+                    shards
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((i, events));
+                }
+            }
         }
+    };
+    // The caller is one participant; the pool contributes the rest. A
+    // participant panic propagates out of `run`, skipping `set_len` —
+    // already-written results are then leaked, never double-dropped.
+    crate::pool::run(participants - 1, &work);
+    // SAFETY: `run` returns normally only after every participant has
+    // exited its claim loop, which requires the counter to have passed
+    // `n` with all claimed units completed — all `n` slots are written.
+    #[allow(unsafe_code)]
+    unsafe {
+        out.set_len(n);
     }
-    slots
-        .into_iter()
-        .map(|s| {
-            let (u, events) = s.expect("every unit claimed exactly once");
-            crate::obs::append_events(events);
-            u
-        })
-        .collect()
+    let mut shards = shards.into_inner().unwrap_or_else(|e| e.into_inner());
+    shards.sort_unstable_by_key(|&(i, _)| i);
+    for (_, events) in shards {
+        crate::obs::append_events(events);
+    }
+    out
 }
+
+/// How many consecutive unit indices one counter increment claims.
+/// Small enough that the tail imbalance is at most one batch per
+/// participant, large enough that tiny units don't serialize on the
+/// counter's cache line.
+fn claim_batch(n: usize, participants: usize) -> usize {
+    (n / (participants * 8)).clamp(1, 64)
+}
+
+/// A raw result pointer that may cross into pool workers.
+struct SendPtr<U>(*mut U);
+
+impl<U> SendPtr<U> {
+    /// Writes `value` into slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the buffer this pointer was taken from,
+    /// and no other thread may touch slot `i`.
+    #[allow(unsafe_code)]
+    unsafe fn write(&self, i: usize, value: U) {
+        // SAFETY: delegated to the caller's contract above.
+        unsafe { self.0.add(i).write(value) }
+    }
+}
+
+// SAFETY: the pointer targets a buffer owned by the submitting stack
+// frame, which outlives the parallel region (the pool blocks until all
+// participants finish); participants write disjoint slots, and `U: Send`
+// makes moving the written values across threads sound.
+#[allow(unsafe_code)]
+unsafe impl<U: Send> Send for SendPtr<U> {}
+#[allow(unsafe_code)]
+unsafe impl<U: Send> Sync for SendPtr<U> {}
 
 /// [`par_indexed_scratch_with`] at the default [`thread_limit`].
 pub fn par_indexed_scratch<S, U, I, F>(n: usize, init: I, f: F) -> Vec<U>

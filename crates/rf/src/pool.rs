@@ -1,0 +1,326 @@
+//! A lazily-initialized, process-wide persistent worker pool — std-only
+//! (`Mutex` + `Condvar`), created once, reused by every `par_*` call.
+//!
+//! ## Why a pool
+//!
+//! The first-generation engine in [`crate::par`] spawned scoped threads
+//! per call. That is correct but pays thread creation + teardown on every
+//! parallel region, which dominates when the per-unit work is small (the
+//! committed bench report showed parallel BER sweeps running *slower*
+//! than serial). This pool spawns workers on first use and parks them on
+//! a condition variable between jobs, so the steady-state cost of a
+//! parallel region is one mutex lock, one list push, and one wakeup.
+//!
+//! ## How a job runs
+//!
+//! [`run`] publishes a *job node* — a pointer to the caller's closure
+//! plus two counters — on a global list, wakes the workers, and then
+//! **participates itself**: the submitting thread executes the same
+//! closure, so `threads == 2` means the caller plus one pool worker, and
+//! forward progress never depends on pool threads existing at all. The
+//! closure is a *claim loop*: every participant races on the caller's
+//! atomic unit counter until the units are exhausted (see
+//! [`crate::par::par_indexed_scratch_with`]), so it is safe — and
+//! expected — that any subset of the invited workers shows up.
+//!
+//! `slots` counts how many pool workers may still join the job; `active`
+//! counts participants currently inside the closure. The caller waits
+//! (on the `done` condvar) until `active` drops to zero after zeroing
+//! `slots`, which guarantees the closure reference and the caller's
+//! stack frame outlive every borrow a worker holds.
+//!
+//! ## Safety argument
+//!
+//! The job node lives on the caller's stack and is shared with workers
+//! as a raw pointer. All accesses to the node's mutable fields happen
+//! with the pool mutex held; the closure itself is `Fn + Sync`, so
+//! concurrent shared calls are sound. The caller cannot return before
+//! `active == 0` **and** the node has been unlinked from the list, so no
+//! worker can observe a dangling node or closure. Panics inside the
+//! closure are caught per-participant and re-thrown exactly once on the
+//! calling thread.
+//!
+//! Nested use is allowed: a worker that calls [`run`] from inside a job
+//! simply publishes a second node and claims units of the inner job
+//! itself; idle workers (if any) join it, and the waiting inner caller
+//! holds no lock, so there is no lock-ordering cycle and no deadlock
+//! when every worker is busy.
+
+#![allow(unsafe_code)] // see the safety argument above; crate default is deny
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// The closure type workers execute. The `'static` here is a lie told to
+/// the type system only — [`run`] erases the caller's lifetime and then
+/// enforces it manually by blocking until every participant has left.
+type Work = dyn Fn() + Sync;
+
+/// One published parallel region. Lives on the submitting thread's
+/// stack; shared with workers by pointer, mutated only under the pool
+/// mutex.
+struct JobNode {
+    work: *const Work,
+    /// Pool workers still allowed to join. Decremented on claim; zeroed
+    /// by the caller to close the job to new participants.
+    slots: usize,
+    /// Participants (pool workers only — the caller tracks itself)
+    /// currently inside `work`.
+    active: usize,
+    /// First worker panic, re-thrown by the caller.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+struct State {
+    /// Open jobs, oldest first. Nodes are caller-owned; entries are
+    /// removed by the same caller that pushed them.
+    jobs: Vec<*mut JobNode>,
+    /// Workers spawned so far (they never exit).
+    workers: usize,
+}
+
+// SAFETY: the raw pointers in `jobs` are only ever dereferenced while
+// the surrounding mutex is held, and point to nodes kept alive by their
+// publishing callers until removal (see module docs).
+unsafe impl Send for State {}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Signaled when a job with open slots is published.
+    work_ready: Condvar,
+    /// Signaled when a job's `active` count returns to zero.
+    done: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            jobs: Vec::new(),
+            workers: 0,
+        }),
+        work_ready: Condvar::new(),
+        done: Condvar::new(),
+    })
+}
+
+/// Workers spawned so far in this process. Diagnostic only — exposed so
+/// tests can assert the pool is actually reused instead of regrowing.
+pub fn worker_count() -> usize {
+    pool().state.lock().unwrap().workers
+}
+
+fn worker_loop(p: &'static Pool) {
+    let mut st = p.state.lock().unwrap();
+    loop {
+        // Oldest job with open slots first: inner (nested) jobs are
+        // pushed later, but their callers are themselves participants,
+        // so helping the oldest job cannot stall a newer one.
+        let open = st
+            .jobs
+            .iter()
+            .copied()
+            // SAFETY: mutex held; nodes alive while listed.
+            .find(|&j| unsafe { (*j).slots > 0 });
+        let Some(job) = open else {
+            st = p.work_ready.wait(st).unwrap();
+            continue;
+        };
+        // SAFETY: mutex held for the counter updates; the work pointer
+        // stays valid until the caller sees `active == 0`.
+        let work = unsafe {
+            (*job).slots -= 1;
+            (*job).active += 1;
+            (*job).work
+        };
+        drop(st);
+        // SAFETY: the caller blocks until this participant leaves, so
+        // the closure (and everything it borrows) is still alive.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*work)() }));
+        st = p.state.lock().unwrap();
+        // SAFETY: mutex re-held; the node is still listed because the
+        // caller cannot unlink it while `active > 0`.
+        unsafe {
+            if let Err(payload) = result {
+                if (*job).panic.is_none() {
+                    (*job).panic = Some(payload);
+                }
+            }
+            (*job).active -= 1;
+            if (*job).active == 0 {
+                p.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `work` on the calling thread **and** up to `extra_workers` pool
+/// workers concurrently, returning once every participant has finished.
+/// Workers are spawned on demand (never torn down); `extra_workers == 0`
+/// degenerates to a plain call with panic-unwind semantics preserved.
+///
+/// `work` must be a claim loop: participants pull work units from shared
+/// state owned by the caller and exit when none remain. Any participant
+/// panic is re-thrown here after all participants have left.
+pub fn run(extra_workers: usize, work: &(dyn Fn() + Sync)) {
+    if extra_workers == 0 {
+        work();
+        return;
+    }
+    let p = pool();
+    // SAFETY: erases the closure's borrow lifetime. Sound because this
+    // function does not return until the node is unlinked and no worker
+    // is inside the closure (`active == 0` below).
+    let work_static: *const Work = unsafe { std::mem::transmute(work as *const _) };
+    let node = UnsafeCell::new(JobNode {
+        work: work_static,
+        slots: extra_workers,
+        active: 0,
+        panic: None,
+    });
+    {
+        let mut st = p.state.lock().unwrap();
+        while st.workers < extra_workers {
+            st.workers += 1;
+            let id = st.workers;
+            std::thread::Builder::new()
+                .name(format!("mmtag-pool-{id}"))
+                .spawn(move || worker_loop(p))
+                .expect("spawning a pool worker");
+        }
+        st.jobs.push(node.get());
+        if extra_workers == 1 {
+            p.work_ready.notify_one();
+        } else {
+            p.work_ready.notify_all();
+        }
+    }
+    // The caller is a participant too — total parallelism is
+    // `extra_workers + 1`, and the region completes even if every pool
+    // worker is busy elsewhere.
+    let own = catch_unwind(AssertUnwindSafe(work));
+    let worker_panic = {
+        let mut st = p.state.lock().unwrap();
+        // SAFETY: mutex held; the node outlives this scope by
+        // construction (it is this frame's local).
+        unsafe {
+            // Close the job: late workers must not join a region whose
+            // caller has already finished its share.
+            (*node.get()).slots = 0;
+            while (*node.get()).active > 0 {
+                st = p.done.wait(st).unwrap();
+            }
+        }
+        let ptr = node.get();
+        let pos = st
+            .jobs
+            .iter()
+            .position(|&j| j == ptr)
+            .expect("published job still listed");
+        st.jobs.remove(pos);
+        // SAFETY: unlinked and quiescent — this thread owns the node again.
+        unsafe { (*node.get()).panic.take() }
+    };
+    if let Err(payload) = own {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn caller_participates_even_without_free_workers() {
+        // extra_workers == 0: the closure still runs exactly once.
+        let hits = AtomicUsize::new(0);
+        run(0, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn all_units_complete_and_workers_are_reused() {
+        let drain = |n: usize, extra: usize| {
+            let next = AtomicUsize::new(0);
+            let sum = AtomicUsize::new(0);
+            run(extra, &|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            sum.load(Ordering::Relaxed)
+        };
+        let expect = |n: usize| n * (n + 1) / 2;
+        for round in 0..3 {
+            for extra in [1usize, 3, 7] {
+                assert_eq!(drain(500, extra), expect(500), "round={round}");
+            }
+        }
+        // Repeated calls at the same budget must not regrow the pool.
+        let before = worker_count();
+        for _ in 0..10 {
+            assert_eq!(drain(100, 3), expect(100));
+        }
+        assert_eq!(worker_count(), before, "pool regrew across calls");
+    }
+
+    #[test]
+    fn nested_jobs_complete() {
+        // Each outer unit publishes an inner job; both levels are claim
+        // loops, so the work totals are exact no matter how many pool
+        // workers actually show up for either level.
+        let total = AtomicUsize::new(0);
+        let outer_next = AtomicUsize::new(0);
+        run(2, &|| loop {
+            let o = outer_next.fetch_add(1, Ordering::Relaxed);
+            if o >= 4 {
+                break;
+            }
+            let inner_next = AtomicUsize::new(0);
+            run(2, &|| loop {
+                let i = inner_next.fetch_add(1, Ordering::Relaxed);
+                if i >= 32 {
+                    break;
+                }
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 32);
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller() {
+        let next = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            run(3, &|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= 64 {
+                    break;
+                }
+                if i == 13 {
+                    panic!("unit 13 failed");
+                }
+            });
+        });
+        assert!(result.is_err(), "panic was swallowed");
+        // The pool must still be usable after a panicked job.
+        let after_next = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        run(2, &|| loop {
+            if after_next.fetch_add(1, Ordering::Relaxed) >= 16 {
+                break;
+            }
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+}

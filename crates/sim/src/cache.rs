@@ -1,0 +1,379 @@
+//! Content-addressed on-disk run cache for scenario results.
+//!
+//! The dominant workload on this repo is re-running large sweep grids
+//! with small spec deltas; any run whose spec is unchanged recomputes
+//! tables that are — by the determinism contract — bit-identical to the
+//! last time. [`RunCache`] memoizes them: the [`crate::scenario::Runner`]
+//! consults the store before executing and replays byte-identical tables
+//! on a hit.
+//!
+//! ## Key derivation
+//!
+//! An entry is addressed by the spec's FNV-1a content hash
+//! ([`crate::scenario::ScenarioSpec::hash`], taken over the canonical
+//! form) **plus** the seed, the trial count, and the cache format
+//! version, all spelled into the file name:
+//!
+//! ```text
+//! <spec_hash:016x>-s<seed>-t<trials>-v<FORMAT_VERSION>.run
+//! ```
+//!
+//! Seed and trials are already part of the canonical form (so the hash
+//! covers them); they appear in the name redundantly so a directory
+//! listing is self-describing and so hash-only collisions cannot pair
+//! specs that differ in either. As a final guard against a 64-bit hash
+//! collision, the entry stores the full canonical spec string and a
+//! lookup verifies it matches before trusting the entry.
+//!
+//! ## Invalidation
+//!
+//! Any change to the canonical spec — axis points, seed, trials, scene,
+//! reader, tag, wiring — changes the key and therefore misses. What the
+//! key **cannot** see is the code: a model change that leaves the spec
+//! intact makes stale entries indistinguishable from fresh ones. The
+//! default location (`target/mmtag-run-cache`, overridable via
+//! `MMTAG_CACHE_DIR`) ties the cache's lifetime to build artifacts, so
+//! `cargo clean` — and CI's fresh checkout — wipe it; bump
+//! [`FORMAT_VERSION`] when the entry format itself changes.
+//!
+//! ## Entry format and corruption
+//!
+//! Entries are a line-oriented text format; every `f64` cell is stored
+//! as the zero-padded hex of its IEEE-754 bit pattern, so a replayed
+//! table is **bit-identical** to the stored one — no decimal round-trip.
+//! Loads parse defensively: any structural anomaly (truncation, bad
+//! hex, wrong counts, version skew) makes the entry a **miss**, never a
+//! panic — a corrupted cache can cost a recompute, not an artifact.
+//! Writes go to a temp file first and are atomically renamed into
+//! place, so a crashed writer leaves no half-entry under the final name.
+
+use crate::experiment::Table;
+use crate::scenario::ScenarioSpec;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the entry format changes; part of the entry key, so
+/// old-format entries simply stop being addressed.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic first line of every entry.
+const MAGIC: &str = "mmtag-run-cache";
+
+/// A directory of memoized scenario runs. Cheap to construct; all I/O
+/// happens per lookup/store.
+#[derive(Clone, Debug)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+impl RunCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        RunCache { dir: dir.into() }
+    }
+
+    /// The default store: `MMTAG_CACHE_DIR` if set, else
+    /// `target/mmtag-run-cache` under the current directory — inside the
+    /// build tree on purpose, so `cargo clean` invalidates it together
+    /// with the code that produced it.
+    pub fn at_default_dir() -> Self {
+        Self::at(default_dir())
+    }
+
+    /// The directory this cache reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for `spec`.
+    pub fn entry_path(&self, spec: &ScenarioSpec) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}-s{}-t{}-v{}.run",
+            spec.hash(),
+            spec.seed,
+            spec.trials,
+            FORMAT_VERSION
+        ))
+    }
+
+    /// Looks up `spec`; `Some(tables)` replays the stored run
+    /// byte-identically. Missing, unreadable, corrupted or
+    /// canonical-mismatched entries are all `None`.
+    pub fn load(&self, spec: &ScenarioSpec) -> Option<Vec<Table>> {
+        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
+        parse_entry(&text, &spec.canonical())
+    }
+
+    /// Stores a run's tables under `spec`'s key (atomic
+    /// write-then-rename; concurrent writers of the same spec converge
+    /// on identical bytes by determinism).
+    pub fn store(&self, spec: &ScenarioSpec, tables: &[Table]) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(spec);
+        // Unique per process AND per store call: concurrent writers of
+        // the same spec (e.g. parallel tests) must not share a temp file.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp{}-{seq}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(write_entry(spec, tables).as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+}
+
+/// The default cache directory (see [`RunCache::at_default_dir`]).
+pub fn default_dir() -> PathBuf {
+    match std::env::var_os("MMTAG_CACHE_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => Path::new("target").join("mmtag-run-cache"),
+    }
+}
+
+/// One-line escaping for free text (titles, labels, canonical specs):
+/// backslash, tab and newline — the three bytes the line/field framing
+/// uses — become `\\`, `\t`, `\n`.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on a dangling or unknown escape.
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn write_entry(spec: &ScenarioSpec, tables: &[Table]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{MAGIC} {FORMAT_VERSION}\n"));
+    out.push_str(&format!("spec\t{}\n", escape(&spec.canonical())));
+    out.push_str(&format!("tables\t{}\n", tables.len()));
+    for t in tables {
+        out.push_str(&format!("table\t{}\n", escape(t.title())));
+        out.push_str(&format!("columns\t{}", t.columns().len()));
+        for c in t.columns() {
+            out.push('\t');
+            out.push_str(&escape(c));
+        }
+        out.push('\n');
+        out.push_str(&format!("rows\t{}\n", t.len()));
+        for r in 0..t.len() {
+            out.push_str("r\t");
+            out.push_str(&escape(t.label(r)));
+            for c in 0..t.columns().len() {
+                out.push_str(&format!("\t{:016x}", t.cell(r, c).to_bits()));
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses an entry, validating it against the expected canonical spec.
+/// Every failure mode — truncation, version skew, malformed counts or
+/// hex, spec mismatch — returns `None` (a cache miss).
+fn parse_entry(text: &str, want_canonical: &str) -> Option<Vec<Table>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let version = header.strip_prefix(MAGIC)?.trim();
+    if version.parse::<u32>().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    let spec_line = lines.next()?.strip_prefix("spec\t")?;
+    if unescape(spec_line)? != want_canonical {
+        return None;
+    }
+    let n_tables: usize = lines.next()?.strip_prefix("tables\t")?.parse().ok()?;
+    let mut tables = Vec::with_capacity(n_tables.min(1024));
+    for _ in 0..n_tables {
+        let title = unescape(lines.next()?.strip_prefix("table\t")?)?;
+        let mut cols = lines.next()?.strip_prefix("columns\t")?.split('\t');
+        let n_cols: usize = cols.next()?.parse().ok()?;
+        let columns: Vec<String> = cols.map(unescape).collect::<Option<_>>()?;
+        if columns.len() != n_cols || n_cols == 0 {
+            return None;
+        }
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut table = Table::new(&title, &col_refs);
+        let n_rows: usize = lines.next()?.strip_prefix("rows\t")?.parse().ok()?;
+        for _ in 0..n_rows {
+            let mut fields = lines.next()?.strip_prefix("r\t")?.split('\t');
+            let label = unescape(fields.next()?)?;
+            let cells: Vec<f64> = fields
+                .map(|h| {
+                    (h.len() == 16)
+                        .then(|| u64::from_str_radix(h, 16).ok().map(f64::from_bits))
+                        .flatten()
+                })
+                .collect::<Option<_>>()?;
+            if cells.len() != n_cols {
+                return None;
+            }
+            table.push_labeled_row(&label, &cells);
+        }
+        tables.push(table);
+    }
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    Some(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AxisKind;
+
+    fn temp_cache(tag: &str) -> RunCache {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        RunCache::at(std::env::temp_dir().join(format!(
+            "mmtag-cache-test-{tag}-{}-{nanos}",
+            std::process::id()
+        )))
+    }
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::paper_link("e00-cache", "cache unit test")
+            .with_axis("x", AxisKind::Values(vec![1.0, 2.5, -0.0]))
+            .with_trials(123)
+            .with_seed(42)
+    }
+
+    fn tables() -> Vec<Table> {
+        let mut t = Table::new("weird cells", &["x", "y\twith\ttabs"]);
+        t.push_row(&[1.0, f64::NAN]);
+        t.push_labeled_row("label\nnewline", &[f64::INFINITY, -0.0]);
+        t.push_labeled_row("plain", &[1.0e-300, 2f64.powi(-1074)]);
+        let mut u = Table::new("second", &["only"]);
+        u.push_row(&[0.1 + 0.2]); // a value decimal text would mangle
+        vec![t, u]
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical_including_nan_and_negative_zero() {
+        let cache = temp_cache("roundtrip");
+        let spec = spec();
+        let original = tables();
+        cache.store(&spec, &original).unwrap();
+        let replayed = cache.load(&spec).expect("stored entry must hit");
+        assert_eq!(original.len(), replayed.len());
+        for (a, b) in original.iter().zip(&replayed) {
+            assert_eq!(a.title(), b.title());
+            assert_eq!(a.columns(), b.columns());
+            assert_eq!(a.len(), b.len());
+            for r in 0..a.len() {
+                assert_eq!(a.label(r), b.label(r));
+                for c in 0..a.columns().len() {
+                    assert_eq!(
+                        a.cell(r, c).to_bits(),
+                        b.cell(r, c).to_bits(),
+                        "cell ({r},{c})"
+                    );
+                }
+            }
+            // The serialized artifacts must also match byte for byte.
+            assert_eq!(a.render(), b.render());
+            assert_eq!(a.to_csv(), b.to_csv());
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn any_spec_change_misses() {
+        let cache = temp_cache("specchange");
+        let base = spec();
+        cache.store(&base, &tables()).unwrap();
+        assert!(cache.load(&base).is_some());
+        let variants = [
+            base.clone().with_seed(43),
+            base.clone().with_trials(124),
+            base.clone()
+                .with_axis("x", AxisKind::Values(vec![1.0, 2.5])),
+            base.clone().with_axis("extra", AxisKind::Values(vec![0.0])),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert!(cache.load(v).is_none(), "variant {i} must miss");
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn hash_collision_with_different_canonical_misses() {
+        // Same file on disk, different canonical string → the stored
+        // canonical fails verification and the entry is ignored.
+        let cache = temp_cache("collision");
+        let a = spec();
+        cache.store(&a, &tables()).unwrap();
+        let b = a.clone().with_seed(99);
+        // Force b's lookup at a's path by copying the entry.
+        fs::copy(cache.entry_path(&a), cache.entry_path(&b)).unwrap();
+        assert!(cache.load(&b).is_none(), "mismatched canonical must miss");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupted_entries_are_misses_not_panics() {
+        let cache = temp_cache("corrupt");
+        let spec = spec();
+        cache.store(&spec, &tables()).unwrap();
+        let path = cache.entry_path(&spec);
+        let good = fs::read_to_string(&path).unwrap();
+        let corruptions: Vec<String> = vec![
+            String::new(),                                  // empty file
+            good[..good.len() / 2].to_string(),             // truncated
+            good.replace("-run-cache 1", "-run-cache 999"), // version skew
+            good.replacen("tables\t2", "tables\t7", 1),     // bad count
+            good.replace('r', "q"),                         // mangled rows
+            format!("{good}trailing garbage\n"),            // data past end
+            good.replacen("rows\t3", "rows\tlots", 1),      // non-numeric
+        ];
+        for (i, bad) in corruptions.iter().enumerate() {
+            fs::write(&path, bad).unwrap();
+            assert!(cache.load(&spec).is_none(), "corruption {i} must miss");
+        }
+        // A rewrite of the good bytes hits again.
+        fs::write(&path, &good).unwrap();
+        assert!(cache.load(&spec).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn missing_directory_is_a_miss_and_store_creates_it() {
+        let cache = temp_cache("fresh");
+        assert!(cache.load(&spec()).is_none());
+        cache.store(&spec(), &tables()).unwrap();
+        assert!(cache.load(&spec()).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

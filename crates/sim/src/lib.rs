@@ -37,6 +37,7 @@
 
 pub use mmtag_rf::obs;
 
+pub mod cache;
 pub mod des;
 pub mod experiment;
 pub mod geom;

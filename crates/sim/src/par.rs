@@ -16,7 +16,13 @@
 //! * [`par_sweep`] — one [`SeedTree`] subtree per parameter point: the
 //!   shape of every figure sweep in `mmtag-bench`,
 //! * [`par_trials`] — chunked Monte-Carlo repetitions with per-chunk
-//!   streams: the shape of BER, outage and inventory-ensemble loops.
+//!   streams: the shape of BER, outage and inventory-ensemble loops,
+//! * [`par_sweep_trials`] — the **sweep grid**: every (point × trial
+//!   chunk) pair is one work unit in a single global grid, so a short
+//!   sweep of long trial loops saturates the worker budget instead of
+//!   parallelizing one point at a time. Streams are derived exactly as
+//!   the nested `par_sweep`-of-`par_trials` shape would derive them, so
+//!   flattening an existing sweep never changes its tables.
 
 pub use mmtag_rf::par::{
     par_chunks, par_chunks_scratch, par_chunks_scratch_with, par_chunks_with, par_indexed,
@@ -98,6 +104,84 @@ where
     })
 }
 
+/// The sweep-grid scheduler: runs `trials` chunked Monte-Carlo
+/// repetitions for **every** parameter point as one flat work grid.
+/// Unit `(p, c)` derives its generator as
+/// `tree.subtree_indexed(point_label, p).rng_indexed(chunk_label, c)` —
+/// bit-for-bit the stream that nesting [`par_trials`] inside
+/// [`par_sweep`] yields — and `f` receives `(rng, point_index, &point,
+/// chunk_trials)`. Returns one `Vec<U>` per point, chunk results in
+/// chunk order, ready for the same fold the per-point code used.
+///
+/// Prefer this over a serial loop of parallel trial runs: with `P`
+/// points the grid exposes `P ×` as many units to the pool, which is
+/// what lets an 8-point sweep with per-point work smaller than the
+/// worker budget still run at full width.
+pub fn par_sweep_trials<P, U, F>(
+    tree: &SeedTree,
+    point_label: &str,
+    chunk_label: &str,
+    params: &[P],
+    trials: usize,
+    chunk_size: usize,
+    f: F,
+) -> Vec<Vec<U>>
+where
+    P: Sync,
+    U: Send,
+    F: Fn(&mut Xoshiro256pp, usize, &P, usize) -> U + Sync,
+{
+    par_sweep_trials_with(
+        thread_limit(),
+        tree,
+        point_label,
+        chunk_label,
+        params,
+        trials,
+        chunk_size,
+        f,
+    )
+}
+
+/// [`par_sweep_trials`] with an explicit thread budget.
+///
+/// # Panics
+/// Panics when `chunk_size == 0`.
+#[allow(clippy::too_many_arguments)] // mirrors par_sweep + par_trials combined
+pub fn par_sweep_trials_with<P, U, F>(
+    threads: usize,
+    tree: &SeedTree,
+    point_label: &str,
+    chunk_label: &str,
+    params: &[P],
+    trials: usize,
+    chunk_size: usize,
+    f: F,
+) -> Vec<Vec<U>>
+where
+    P: Sync,
+    U: Send,
+    F: Fn(&mut Xoshiro256pp, usize, &P, usize) -> U + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be ≥ 1");
+    let chunks_per_point = trials.div_ceil(chunk_size);
+    let flat = par_indexed_with(threads, params.len() * chunks_per_point, |u| {
+        let p = u / chunks_per_point;
+        let c = u % chunks_per_point;
+        let start = c * chunk_size;
+        let len = (start + chunk_size).min(trials) - start;
+        let mut rng = tree
+            .subtree_indexed(point_label, p as u64)
+            .rng_indexed(chunk_label, c as u64);
+        f(&mut rng, p, &params[p], len)
+    });
+    let mut flat = flat.into_iter();
+    params
+        .iter()
+        .map(|_| flat.by_ref().take(chunks_per_point).collect())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +210,54 @@ mod tests {
         for threads in [2, 3, 8] {
             assert_eq!(serial, run(threads), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn sweep_grid_matches_nested_sweep_of_trials() {
+        // The grid's defining property: flattening must not re-derive any
+        // stream. Compare against the literal nested shape it replaces.
+        let tree = SeedTree::new(31);
+        let params = [0.05f64, 0.1, 0.2];
+        let (trials, chunk) = (1000, 64);
+        let body =
+            |rng: &mut Xoshiro256pp, &p: &f64, n: usize| (0..n).filter(|_| rng.chance(p)).count();
+        let nested: Vec<usize> = par_sweep_with(1, &tree, "pt", &params, |sub, p| {
+            par_trials_with(1, &sub, "ck", trials, chunk, |rng, n| body(rng, p, n))
+                .into_iter()
+                .sum::<usize>()
+        });
+        for threads in [1usize, 2, 4, 8] {
+            let grid: Vec<usize> = par_sweep_trials_with(
+                threads,
+                &tree,
+                "pt",
+                "ck",
+                &params,
+                trials,
+                chunk,
+                |rng, _pi, p, n| body(rng, p, n),
+            )
+            .into_iter()
+            .map(|per_point| per_point.into_iter().sum())
+            .collect();
+            assert_eq!(nested, grid, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_grid_shape_is_points_by_chunks() {
+        let tree = SeedTree::new(1);
+        let out = par_sweep_trials_with(2, &tree, "pt", "ck", &[1.0, 2.0], 10, 4, |_, pi, _, n| {
+            (pi, n)
+        });
+        assert_eq!(
+            out,
+            vec![vec![(0, 4), (0, 4), (0, 2)], vec![(1, 4), (1, 4), (1, 2)],]
+        );
+        // No points → no units, regardless of trials.
+        let empty: Vec<Vec<usize>> =
+            par_sweep_trials_with(2, &tree, "pt", "ck", &[] as &[f64], 10, 4, |_, _, _, n| n);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -685,27 +685,46 @@ fn json_number(v: f64) -> String {
 
 /// Executes [`Scenario`]s and assembles [`RunRecord`]s.
 ///
-/// The runner owns the execution policy — the thread budget today;
-/// batching, caching and sharding later — so scenario bodies stay pure
-/// functions of their [`RunContext`].
+/// The runner owns the execution policy — the thread budget and,
+/// optionally, result memoization via [`crate::cache::RunCache`] — so
+/// scenario bodies stay pure functions of their [`RunContext`].
 pub struct Runner {
     threads: usize,
+    cache: Option<crate::cache::RunCache>,
 }
 
 impl Runner {
     /// A runner at the engine's default thread budget (`MMTAG_THREADS` or
-    /// `available_parallelism`).
+    /// `available_parallelism`), with no cache.
     pub fn new() -> Self {
         Runner {
             threads: crate::par::thread_limit(),
+            cache: None,
         }
     }
 
-    /// A runner pinned to an explicit thread budget.
+    /// A runner pinned to an explicit thread budget, with no cache.
     pub fn with_threads(threads: usize) -> Self {
         Runner {
             threads: threads.max(1),
+            cache: None,
         }
+    }
+
+    /// Attaches a content-addressed run cache: [`Runner::run`] consults
+    /// it before executing and replays byte-identical tables on a hit
+    /// (see [`crate::cache`] for the key and invalidation rules). The
+    /// manifest records the outcome as a `runner.cache.hit` or
+    /// `runner.cache.miss` counter in its metrics block.
+    pub fn with_cache(mut self, cache: crate::cache::RunCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Drops any attached run cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
     }
 
     /// The runner's thread budget.
@@ -771,17 +790,48 @@ impl Runner {
             let _span = obs::span("runner.canonicalize");
             format!("{:016x}", spec.hash())
         };
-        let ctx = RunContext {
-            spec,
-            tree: SeedTree::new(spec.seed),
-            threads: self.threads,
-        };
         let start = std::time::Instant::now();
-        let tables = {
-            let _span = obs::span("runner.trials");
-            scenario.run(&ctx)
+        // Cache lookup: a hit replays the stored tables byte-identically
+        // and skips execution entirely. Outcome counters land in this
+        // run's metrics window, so the manifest says which path ran.
+        let cached = self.cache.as_ref().and_then(|cache| {
+            let _span = obs::span("runner.cache.lookup");
+            let hit = cache.load(spec);
+            obs::counter_add(
+                if hit.is_some() {
+                    "runner.cache.hit"
+                } else {
+                    "runner.cache.miss"
+                },
+                1,
+            );
+            hit
+        });
+        let served_from_cache = cached.is_some();
+        let tables = match cached {
+            Some(tables) => tables,
+            None => {
+                let ctx = RunContext {
+                    spec,
+                    tree: SeedTree::new(spec.seed),
+                    threads: self.threads,
+                };
+                let _span = obs::span("runner.trials");
+                scenario.run(&ctx)
+            }
         };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if !served_from_cache {
+            if let Some(cache) = &self.cache {
+                let _span = obs::span("runner.cache.store");
+                if let Err(e) = cache.store(spec, &tables) {
+                    obs::warn(&format!(
+                        "mmtag: run cache store failed ({}): {e}",
+                        cache.dir().display()
+                    ));
+                }
+            }
+        }
         {
             let _span = obs::span("runner.tables");
             let rows: usize = tables.iter().map(Table::len).sum();
@@ -937,6 +987,92 @@ mod tests {
         assert_eq!(a.tables[0].column(1), b.tables[0].column(1));
         assert_eq!(a.manifest.spec_hash, b.manifest.spec_hash);
         assert_eq!(b.manifest.threads, 8);
+    }
+
+    #[test]
+    fn cached_runner_replays_byte_identical_tables_without_executing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Counting {
+            spec: ScenarioSpec,
+            executions: Arc<AtomicUsize>,
+        }
+        impl Scenario for Counting {
+            fn spec(&self) -> &ScenarioSpec {
+                &self.spec
+            }
+            fn run(&self, ctx: &RunContext) -> Vec<Table> {
+                self.executions.fetch_add(1, Ordering::Relaxed);
+                let mut t = Table::new("counted", &["x", "seeded"]);
+                for x in ctx.spec.values("x") {
+                    t.push_row(&[x, ctx.tree.rng("echo").f64()]);
+                }
+                vec![t]
+            }
+            fn with_spec(&self, spec: ScenarioSpec) -> Box<dyn Scenario> {
+                Box::new(Counting {
+                    spec,
+                    executions: self.executions.clone(),
+                })
+            }
+        }
+
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "mmtag-runner-cache-test-{}-{nanos}",
+            std::process::id()
+        ));
+        let executions = Arc::new(AtomicUsize::new(0));
+        let sc = Counting {
+            spec: echo_spec(),
+            executions: executions.clone(),
+        };
+        let runner = Runner::with_threads(2).with_cache(crate::cache::RunCache::at(&dir));
+
+        let first = runner.run(&sc);
+        assert_eq!(executions.load(Ordering::Relaxed), 1);
+        assert_eq!(first.manifest.metrics.counter("runner.cache.miss"), 1);
+        assert_eq!(first.manifest.metrics.counter("runner.cache.hit"), 0);
+
+        let second = runner.run(&sc);
+        assert_eq!(
+            executions.load(Ordering::Relaxed),
+            1,
+            "hit must not execute"
+        );
+        assert_eq!(second.manifest.metrics.counter("runner.cache.hit"), 1);
+
+        // Replayed tables are byte-identical in every serialization.
+        for (a, b) in first.tables.iter().zip(&second.tables) {
+            assert_eq!(a.render(), b.render());
+            assert_eq!(a.to_csv(), b.to_csv());
+        }
+        assert_eq!(first.manifest.spec_hash, second.manifest.spec_hash);
+        // The JSON table sections match too (the manifest's wall_ms may
+        // not, so compare from the tables array on).
+        let tables_json = |s: &str| s[s.find("\"tables\"").unwrap()..].to_string();
+        assert_eq!(
+            tables_json(&first.to_json()),
+            tables_json(&second.to_json())
+        );
+
+        // A different seed under the same cache misses and re-executes.
+        let reseeded = sc.with_spec(echo_spec().with_seed(9));
+        let third = runner.run(&*reseeded);
+        assert_eq!(executions.load(Ordering::Relaxed), 2);
+        assert_eq!(third.manifest.metrics.counter("runner.cache.miss"), 1);
+
+        // An uncached runner never touches the store.
+        let fourth = Runner::with_threads(2).run(&sc);
+        assert_eq!(executions.load(Ordering::Relaxed), 3);
+        assert_eq!(fourth.manifest.metrics.counter("runner.cache.hit"), 0);
+        assert_eq!(fourth.manifest.metrics.counter("runner.cache.miss"), 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

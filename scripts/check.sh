@@ -19,10 +19,29 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo run -q --release -p mmtag-bench --bin scenario -- list
 cargo run -q --release -p mmtag-bench --bin scenario -- smoke
 
-# Perf-trajectory gate: regenerate BENCH_report.json with cheap timing
-# rounds (exercises the full kernel/report pipeline and its bit-identity
-# asserts), then fail if the report is missing or unparsable.
-cargo run -q --release -p mmtag-bench --bin bench_report -- --quick
-cargo run -q --release -p mmtag-bench --bin bench_report -- --verify
+# Run-cache round trip: the same scenario twice into a fresh store. The
+# second run must be served from the cache (the manifest metrics say so)
+# and both CSV artifacts must be byte-identical.
+cache_dir="$(mktemp -d)"
+cache_a="$cache_dir/first.csv"
+cache_b="$cache_dir/second.csv"
+MMTAG_CACHE_DIR="$cache_dir" cargo run -q --release -p mmtag-bench --bin scenario -- \
+    run e02-link-budget --quick --csv > "$cache_a"
+MMTAG_CACHE_DIR="$cache_dir" cargo run -q --release -p mmtag-bench --bin scenario -- \
+    run e02-link-budget --quick --csv > "$cache_b"
+cmp "$cache_a" "$cache_b"
+# (to a file, not a pipe: `grep -q` would close the pipe at first match
+# and the writer would die on SIGPIPE/broken pipe)
+MMTAG_CACHE_DIR="$cache_dir" cargo run -q --release -p mmtag-bench --bin scenario -- \
+    run e02-link-budget --quick --json > "$cache_dir/hit.json"
+grep -q '"runner.cache.hit": 1' "$cache_dir/hit.json"
+rm -rf "$cache_dir"
 
-echo "check.sh: fmt + build + tests + clippy + scenario smoke + bench report all green"
+# Perf-trajectory gate: regenerate BENCH_report.json with cheap timing
+# rounds at a pinned 4-thread budget (exercises the pool, the per-thread
+# speedup rows and the bit-identity asserts), then fail if the report is
+# missing or unparsable.
+MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --quick
+MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --verify
+
+echo "check.sh: fmt + build + tests + clippy + scenario smoke + cache round-trip + bench report all green"

@@ -171,3 +171,55 @@ fn aloha_drain_loop_is_allocation_free_in_steady_state() {
     );
     assert_eq!(slots, warm.total_slots * 8, "replayed drains must agree");
 }
+
+#[test]
+fn pool_dispatch_is_allocation_free_in_steady_state() {
+    use mmtag_rf::par::par_indexed_scratch_with;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // The guard covers the *caller's* side of `par_indexed_scratch_with`:
+    // claim-batch dispatch, the result buffer and the shard merge. The
+    // counter is thread-local, so pool workers (whose threads the pool
+    // spawns once per process and reuses) are naturally outside the
+    // measurement — exactly the "pool init excluded" carve-out. With a
+    // zero-sized result type the output `Vec` never touches the heap, and
+    // a plain-integer scratch makes the per-participant lazy init free,
+    // so after warm-up a whole dispatch must not allocate at all.
+    const UNITS: usize = 256;
+    let sink = AtomicU64::new(0);
+    let dispatch = || {
+        par_indexed_scratch_with(
+            4,
+            UNITS,
+            || 0u64,
+            |scratch, i| {
+                *scratch = scratch.wrapping_add(i as u64);
+                sink.fetch_add(i as u64, Ordering::Relaxed);
+            },
+        )
+    };
+
+    // Warm-up: spawns the pool workers, grows the pool's job list and the
+    // shard vector's (empty) state to steady shape.
+    for _ in 0..3 {
+        dispatch();
+    }
+
+    let before = sink.load(Ordering::Relaxed);
+    let (allocs, _) = allocations_during(|| {
+        for _ in 0..16 {
+            dispatch();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm pool dispatch allocated {allocs} times over 16 calls"
+    );
+    // Every unit of every call really ran: each dispatch adds 0+1+…+255.
+    let per_call = (UNITS as u64 * (UNITS as u64 - 1)) / 2;
+    assert_eq!(
+        sink.load(Ordering::Relaxed) - before,
+        16 * per_call,
+        "steady-state dispatches must complete all units"
+    );
+}

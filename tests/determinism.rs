@@ -141,6 +141,68 @@ fn seed_tree_streams_are_position_independent() {
     );
 }
 
+/// Pool reuse: two consecutive `Runner::run` calls in one process must
+/// produce identical `spec_hash` and tables. The persistent worker pool
+/// keeps its threads alive between calls, so this catches worker-local
+/// state leaking from the first run into the second (scratch, RNG, or
+/// claim-counter residue would all show up as diverging tables here).
+#[test]
+fn pool_reuse_across_runner_calls_is_deterministic() {
+    use mmtag_sim::experiment::Table;
+    use mmtag_sim::scenario::{AxisKind, RunContext, Runner, Scenario, ScenarioSpec};
+
+    /// A par-heavy scenario: one BER point per axis value, each computed
+    /// through the pool-backed parallel engine at the runner's budget.
+    struct PoolHeavy {
+        spec: ScenarioSpec,
+    }
+    impl Scenario for PoolHeavy {
+        fn spec(&self) -> &ScenarioSpec {
+            &self.spec
+        }
+        fn run(&self, ctx: &RunContext) -> Vec<Table> {
+            let modem = OokModem::new(4);
+            let mut t = Table::new("pooled ber", &["snr_db", "ber"]);
+            for (i, snr) in ctx.spec.values("snr_db").iter().enumerate() {
+                let tree = ctx.tree.subtree_indexed("snr", i as u64);
+                let ber =
+                    measure_ber_par_with(ctx.threads, &modem, *snr, ctx.spec.trials, true, &tree);
+                t.push_row(&[*snr, ber]);
+            }
+            vec![t]
+        }
+        fn with_spec(&self, spec: ScenarioSpec) -> Box<dyn Scenario> {
+            Box::new(PoolHeavy { spec })
+        }
+    }
+
+    let spec = ScenarioSpec::paper_link("pool-reuse-probe", "pool reuse determinism")
+        .with_axis("snr_db", AxisKind::Values(vec![3.0, 6.0, 9.0]))
+        .with_trials(20_000)
+        .with_seed(0xB007);
+    let sc = PoolHeavy { spec };
+
+    // First and second run share the process — and therefore the pool's
+    // already-spawned workers. Bit equality, not approximate equality.
+    let reference = Runner::with_threads(4).run(&sc);
+    for pass in 0..2 {
+        let again = Runner::with_threads(4).run(&sc);
+        assert_eq!(
+            again.manifest.spec_hash, reference.manifest.spec_hash,
+            "spec hash changed on reuse pass {pass}"
+        );
+        assert_eq!(
+            again.tables[0].to_csv(),
+            reference.tables[0].to_csv(),
+            "tables diverged on reuse pass {pass}"
+        );
+    }
+    // And the pool state left behind by the 4-thread runs must not bleed
+    // into a different thread budget either.
+    let serial = Runner::with_threads(1).run(&sc);
+    assert_eq!(serial.tables[0].to_csv(), reference.tables[0].to_csv());
+}
+
 /// Golden values: pin the concrete seed derivation so an accidental change
 /// to the hash/derivation path cannot slip through as "all tests still
 /// agree with themselves".
