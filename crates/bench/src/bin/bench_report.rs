@@ -1,39 +1,48 @@
 //! The perf-trajectory report for the Monte-Carlo engine.
 //!
-//! Two kinds of rows, all asserted bit-identical where the determinism
-//! contract applies, written to `BENCH_report.json`:
+//! Three kinds of rows, all asserted bit-identical where the determinism
+//! contract applies, written to `BENCH_report.json` under the core-aware
+//! schema of [`mmtag_bench::report`]:
 //!
 //! * **serial → parallel** speedups of the engine hot paths (single-point
 //!   BER, an 8-point BER sweep, an Aloha inventory ensemble) — PR 1's
-//!   headline numbers, kept so the trajectory stays comparable. Since the
-//!   persistent pool made thread count a pure scheduling knob, these run
-//!   at *pinned* counts (1 and 4 threads), one speedup row per count
-//!   (`ber_sweep_8x100kbit_par4_vs_serial`, …), instead of inheriting
-//!   whatever the host machine advertises;
-//! * **old-kernel → batch-kernel** speedups at one thread — this PR's
-//!   headline: the pre-batch allocating sampler-v1 chains
-//!   ([`count_bit_errors_reference`], the scalar
-//!   [`RicianFading::outage_probability`], the allocating
-//!   [`inventory_until_drained`]) against the zero-allocation scratch
-//!   kernels that replaced them in the hot loops.
+//!   headline numbers, at *pinned* thread counts (1 and 4). A pinned
+//!   count the host cannot physically run in parallel (fewer cores than
+//!   threads) is **skipped**: bit-identity is still asserted, but the
+//!   timing row becomes `null` with a reason in `skipped` — a time-sliced
+//!   "speedup" is a measurement of the scheduler, not the pool;
+//! * **old-kernel → batch-kernel** speedups at one thread — PR 3's
+//!   headline, kept for the trajectory: sampler-v1 allocating chains vs
+//!   the zero-allocation scratch kernels;
+//! * **batch-kernel → lane-kernel** speedups at one thread — this PR's
+//!   headline (`*_lanes_vs_batch`, `fft1024_radix4_vs_radix2`): the PR 3
+//!   batch kernels vs the fixed-width SoA rewrites (fused Box–Muller
+//!   pipeline, lane-accumulator BER/outage counters, radix-4 FFT). These
+//!   rows are **gated**: `--verify` fails if any slips below 0.9×
+//!   (see [`mmtag_bench::report::verify_report`]).
 //!
 //! Modes: no args = full-fidelity run; `--quick` = small timing rounds so
 //! `scripts/check.sh` can regenerate and validate the report on every
 //! check in seconds; `--verify` = don't benchmark at all, just require
-//! that `BENCH_report.json` exists and parses as JSON (exit 1 otherwise).
+//! that `BENCH_report.json` exists, parses, and passes the schema gate
+//! (exit 1 otherwise).
 
-use mmtag_bench::timing::{bench_with, format_result, report_json, validate_json, BenchResult};
+use mmtag_bench::report::{verify_report, Report};
+use mmtag_bench::timing::{bench_with, format_result, BenchResult};
 use mmtag_channel::fading::{FadeScratch, RicianFading};
 use mmtag_mac::aloha::{
     inventory_ensemble_par_with, inventory_until_drained, inventory_until_drained_scratch,
     AlohaScratch, QAlgorithm,
 };
 use mmtag_phy::waveform::{
-    ber_sweep_par_with, count_bit_errors_reference, count_bit_errors_scratch, measure_ber_par_with,
-    Awgn, OokModem, TrialScratch, MC_CHUNK_BITS,
+    ber_sweep_par_with, count_bit_errors_reference, count_bit_errors_scratch,
+    count_bit_errors_scratch_batch, measure_ber_par_with, Awgn, OokModem, TrialScratch,
+    MC_CHUNK_BITS,
 };
+use mmtag_rf::complex::Complex;
+use mmtag_rf::fft::FftPlan;
 use mmtag_rf::obs;
-use mmtag_rf::rng::SeedTree;
+use mmtag_rf::rng::{Rng, SeedTree};
 use mmtag_rf::units::Db;
 
 const BER_BITS: usize = 100_000;
@@ -44,6 +53,8 @@ const BER_SNRS: [f64; 8] = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
 const TAGS: usize = 128;
 const REPS: usize = 16;
 const OUTAGE_TRIALS: usize = 100_000;
+const FILL_SAMPLES: usize = 65_536;
+const FFT_N: usize = 1024;
 
 const REPORT: &str = "BENCH_report.json";
 
@@ -53,13 +64,13 @@ fn verify() -> ! {
             eprintln!("bench_report --verify: cannot read {REPORT}: {e}");
             std::process::exit(1);
         }
-        Ok(text) => match validate_json(&text) {
+        Ok(text) => match verify_report(&text) {
             Err(e) => {
-                eprintln!("bench_report --verify: {REPORT} is not valid JSON: {e}");
+                eprintln!("bench_report --verify: {REPORT} fails the schema gate: {e}");
                 std::process::exit(1);
             }
             Ok(()) => {
-                println!("{REPORT}: valid JSON ({} bytes)", text.len());
+                println!("{REPORT}: schema gate passed ({} bytes)", text.len());
                 std::process::exit(0);
             }
         },
@@ -83,26 +94,33 @@ fn main() {
     };
 
     let threads = mmtag_rf::par::thread_limit();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let tree = SeedTree::new(0xBE9C);
     let modem = OokModem::new(4);
     let mut results: Vec<BenchResult> = Vec::new();
-    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(String, Option<f64>)> = Vec::new();
+    let mut skipped: Vec<(String, String)> = Vec::new();
+    let mut scaling: Vec<(String, f64)> = Vec::new();
+    let mut ns_per_bit: Vec<(String, f64)> = Vec::new();
 
     let pair = |name: &str,
                 results: &mut Vec<BenchResult>,
-                speedups: &mut Vec<(String, f64)>,
+                speedups: &mut Vec<(String, Option<f64>)>,
                 baseline: BenchResult,
                 improved: BenchResult| {
-        speedups.push((name.to_string(), improved.speedup_over(&baseline)));
+        speedups.push((name.to_string(), Some(improved.speedup_over(&baseline))));
         results.push(baseline);
         results.push(improved);
     };
 
-    // ---- old kernel vs batch kernel, both serial (this PR's headline) ----
-
-    // Waveform BER: the pre-batch chain (per-chunk Vec allocs, sampler-v1
-    // AWGN, materialized decisions) vs the TrialScratch kernel, over the
-    // same chunk decomposition.
+    // ---- old kernel vs batch kernel vs lane kernel, all serial ----
+    //
+    // Three generations of the same BER computation over the same chunk
+    // decomposition: the sampler-v1 allocating chain (PR 1), the
+    // zero-allocation AoS batch kernel (PR 3, kept as
+    // `count_bit_errors_scratch_batch`), and the fixed-width SoA lane
+    // kernel that replaced it in the hot loops (this PR). All three are
+    // bit-identical in their error counts.
     let chunk_errors_old = || {
         let mut total = 0u64;
         let chunks = BER_BITS.div_ceil(MC_CHUNK_BITS);
@@ -113,7 +131,20 @@ fn main() {
         }
         total as f64 / BER_BITS as f64
     };
-    let mut chunk_errors_new = || {
+    let chunk_errors_batch = || {
+        let awgn = Awgn::for_eb_n0(&modem, 7.0);
+        let mut scratch = TrialScratch::new();
+        let mut total = 0u64;
+        let chunks = BER_BITS.div_ceil(MC_CHUNK_BITS);
+        for ci in 0..chunks {
+            let n = MC_CHUNK_BITS.min(BER_BITS - ci * MC_CHUNK_BITS);
+            let mut rng = tree.rng_indexed("ber-chunk", ci as u64);
+            total += count_bit_errors_scratch_batch(&modem, &awgn, n, true, &mut rng, &mut scratch)
+                as u64;
+        }
+        total as f64 / BER_BITS as f64
+    };
+    let mut chunk_errors_lanes = || {
         let awgn = Awgn::for_eb_n0(&modem, 7.0);
         let mut scratch = TrialScratch::new();
         let mut total = 0u64;
@@ -127,36 +158,128 @@ fn main() {
         total as f64 / BER_BITS as f64
     };
     let s = bench("ber_kernel_scalar_100kbit", &mut { chunk_errors_old });
-    let p = bench("ber_kernel_batch_100kbit", &mut chunk_errors_new);
-    let batch_untraced = p.clone();
-    pair(
-        "ber_kernel_batch_vs_scalar",
-        &mut results,
-        &mut speedups,
-        s,
-        p,
-    );
+    let b = bench("ber_kernel_batch_100kbit", &mut { chunk_errors_batch });
+    let l = bench("ber_kernel_lanes_100kbit", &mut chunk_errors_lanes);
+    let lanes_untraced = l.clone();
+    ns_per_bit.push(("ber_kernel_scalar".into(), s.ns_per_iter / BER_BITS as f64));
+    ns_per_bit.push(("ber_kernel_batch".into(), b.ns_per_iter / BER_BITS as f64));
+    ns_per_bit.push(("ber_kernel_lanes".into(), l.ns_per_iter / BER_BITS as f64));
+    speedups.push((
+        "ber_kernel_batch_vs_scalar".into(),
+        Some(b.speedup_over(&s)),
+    ));
+    speedups.push(("ber_kernel_lanes_vs_batch".into(), Some(l.speedup_over(&b))));
+    results.push(s);
+    results.push(b);
+    results.push(l);
 
-    // Rician outage: scalar two-normal sampler vs the FadeScratch
-    // bulk-fill kernel.
+    // Rician outage, same three generations: scalar two-normal sampler,
+    // AoS batch fill (`count_outages_scratch_batch`), fused lane kernel.
     let fader = RicianFading::mmwave_los();
     let s = bench("outage_kernel_scalar_100k", &mut || {
         let mut rng = tree.rng_indexed("outage-chunk", 0);
         fader.outage_probability(Db::new(7.0), OUTAGE_TRIALS, &mut rng)
     });
-    let p = bench("outage_kernel_batch_100k", &mut || {
+    let b = bench("outage_kernel_batch_100k", &mut || {
+        let mut rng = tree.rng_indexed("outage-chunk", 0);
+        let mut scratch = FadeScratch::new();
+        fader.count_outages_scratch_batch(Db::new(7.0), OUTAGE_TRIALS, &mut rng, &mut scratch)
+            as f64
+            / OUTAGE_TRIALS as f64
+    });
+    let l = bench("outage_kernel_lanes_100k", &mut || {
         let mut rng = tree.rng_indexed("outage-chunk", 0);
         let mut scratch = FadeScratch::new();
         fader.count_outages_scratch(Db::new(7.0), OUTAGE_TRIALS, &mut rng, &mut scratch) as f64
             / OUTAGE_TRIALS as f64
     });
-    pair(
-        "outage_kernel_batch_vs_scalar",
-        &mut results,
-        &mut speedups,
-        s,
-        p,
-    );
+    ns_per_bit.push((
+        "outage_kernel_scalar".into(),
+        s.ns_per_iter / OUTAGE_TRIALS as f64,
+    ));
+    ns_per_bit.push((
+        "outage_kernel_batch".into(),
+        b.ns_per_iter / OUTAGE_TRIALS as f64,
+    ));
+    ns_per_bit.push((
+        "outage_kernel_lanes".into(),
+        l.ns_per_iter / OUTAGE_TRIALS as f64,
+    ));
+    speedups.push((
+        "outage_kernel_batch_vs_scalar".into(),
+        Some(b.speedup_over(&s)),
+    ));
+    speedups.push((
+        "outage_kernel_lanes_vs_batch".into(),
+        Some(l.speedup_over(&b)),
+    ));
+    results.push(s);
+    results.push(b);
+    results.push(l);
+
+    // Gaussian fill: the scalar pair-chain reference (what PR 3's batch
+    // kernels called per sample) vs the fused Box–Muller lane pipeline.
+    // Same stream contract, so assert it before timing.
+    {
+        let mut a = vec![0.0f64; FILL_SAMPLES];
+        let mut b = vec![0.0f64; FILL_SAMPLES];
+        tree.rng_indexed("fill-bench", 0).fill_normal(&mut a);
+        tree.rng_indexed("fill-bench", 0)
+            .fill_normal_reference(&mut b);
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "lane Gaussian fill must be bit-identical to the reference"
+        );
+    }
+    let mut buf = vec![0.0f64; FILL_SAMPLES];
+    let s = bench("fill_normal_scalar_64k", &mut || {
+        let mut rng = tree.rng_indexed("fill-bench", 0);
+        rng.fill_normal_reference(&mut buf);
+        buf[0]
+    });
+    let mut buf = vec![0.0f64; FILL_SAMPLES];
+    let l = bench("fill_normal_lanes_64k", &mut || {
+        let mut rng = tree.rng_indexed("fill-bench", 0);
+        rng.fill_normal(&mut buf);
+        buf[0]
+    });
+    ns_per_bit.push((
+        "fill_normal_scalar".into(),
+        s.ns_per_iter / FILL_SAMPLES as f64,
+    ));
+    ns_per_bit.push((
+        "fill_normal_lanes".into(),
+        l.ns_per_iter / FILL_SAMPLES as f64,
+    ));
+    speedups.push((
+        "fill_normal_lanes_vs_batch".into(),
+        Some(l.speedup_over(&s)),
+    ));
+    results.push(s);
+    results.push(l);
+
+    // FFT: the radix-2 reference plan vs the radix-4 plan `FftPlan::new`
+    // now picks for power-of-4 sizes (1024 is every Welch/spectrum
+    // experiment's nfft).
+    let sig: Vec<Complex> = (0..FFT_N)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+        .collect();
+    let plan2 = FftPlan::radix2(FFT_N);
+    let plan4 = FftPlan::new(FFT_N);
+    assert_eq!(plan4.radix(), 4, "1024 must take the radix-4 kernel");
+    let mut buf = sig.clone();
+    let s = bench("fft1024_radix2", &mut || {
+        plan2.fft(&mut buf);
+        buf[0].re
+    });
+    let mut buf = sig.clone();
+    let l = bench("fft1024_radix4", &mut || {
+        plan4.fft(&mut buf);
+        buf[0].re
+    });
+    speedups.push(("fft1024_radix4_vs_radix2".into(), Some(l.speedup_over(&s))));
+    results.push(s);
+    results.push(l);
 
     // Aloha drain loop: allocating RoundOutcome path vs the slot-count
     // scratch kernel (bit-identical streams, so assert equality too).
@@ -198,7 +321,28 @@ fn main() {
     // point (threads ≤ 1 bypasses the pool), so its ratio near 1.0 is the
     // dispatch-overhead sanity row; `par4` is the speedup headline. Every
     // parallel result is asserted bit-identical to the serial one first —
-    // the determinism contract the pool rewrite must preserve.
+    // the determinism contract the pool rewrite must preserve — even when
+    // the *timing* is skipped because the host has fewer cores than the
+    // pinned thread count (a time-sliced ratio measures the scheduler,
+    // not the pool; the row becomes `null` with a reason in `skipped`).
+    let mut par_row = |t: usize,
+                       name: &str,
+                       serial: &BenchResult,
+                       speedups: &mut Vec<(String, Option<f64>)>,
+                       results: &mut Vec<BenchResult>,
+                       f: &mut dyn FnMut() -> f64| {
+        let row = format!("{name}_par{t}_vs_serial");
+        if t > cores {
+            speedups.push((row.clone(), None));
+            skipped.push((row, format!("cores={cores} < threads={t}")));
+            return;
+        }
+        let p = bench(&format!("{name}_par{t}"), f);
+        let ratio = p.speedup_over(serial);
+        speedups.push((row, Some(ratio)));
+        scaling.push((format!("{name}_par{t}"), ratio / t as f64));
+        results.push(p);
+    };
 
     // Single-point BER, chunk-parallel.
     let s = bench("ber_point_100kbit_serial", &mut || {
@@ -213,14 +357,14 @@ fn main() {
             b.to_bits(),
             "parallel BER must be bit-identical at {t} threads"
         );
-        let p = bench(&format!("ber_point_100kbit_par{t}"), &mut || {
-            measure_ber_par_with(t, &modem, 7.0, BER_BITS, true, &tree)
-        });
-        speedups.push((
-            format!("ber_point_100kbit_par{t}_vs_serial"),
-            p.speedup_over(&s),
-        ));
-        results.push(p);
+        par_row(
+            t,
+            "ber_point_100kbit",
+            &s,
+            &mut speedups,
+            &mut results,
+            &mut || measure_ber_par_with(t, &modem, 7.0, BER_BITS, true, &tree),
+        );
     }
 
     // Full sweep, parallel over the flattened (SNR × chunk) grid.
@@ -235,14 +379,14 @@ fn main() {
             a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
             "parallel BER sweep must be bit-identical at {t} threads"
         );
-        let p = bench(&format!("ber_sweep_8x100kbit_par{t}"), &mut || {
-            ber_sweep_par_with(t, &modem, &BER_SNRS, BER_BITS, true, &tree)[0]
-        });
-        speedups.push((
-            format!("ber_sweep_8x100kbit_par{t}_vs_serial"),
-            p.speedup_over(&s),
-        ));
-        results.push(p);
+        par_row(
+            t,
+            "ber_sweep_8x100kbit",
+            &s,
+            &mut speedups,
+            &mut results,
+            &mut || ber_sweep_par_with(t, &modem, &BER_SNRS, BER_BITS, true, &tree)[0],
+        );
     }
 
     // Inventory ensemble, one repetition per work unit, scratch per worker.
@@ -258,15 +402,17 @@ fn main() {
             a, b,
             "parallel ensemble must be bit-identical at {t} threads"
         );
-        let p = bench(&format!("aloha_ensemble_128tags_x16_par{t}"), &mut || {
-            inventory_ensemble_par_with(t, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)[0]
-                .total_slots as f64
-        });
-        speedups.push((
-            format!("aloha_ensemble_128tags_x16_par{t}_vs_serial"),
-            p.speedup_over(&s),
-        ));
-        results.push(p);
+        par_row(
+            t,
+            "aloha_ensemble_128tags_x16",
+            &s,
+            &mut speedups,
+            &mut results,
+            &mut || {
+                inventory_ensemble_par_with(t, TAGS, QAlgorithm::new(), 100_000, REPS, &tree)[0]
+                    .total_slots as f64
+            },
+        );
     }
 
     // ---- observability overhead: the BER batch kernel with tracing on ----
@@ -278,7 +424,7 @@ fn main() {
     // run also populates the span table annotated onto the report.
     obs::reset();
     obs::set_level(obs::Level::Trace);
-    let traced = bench("ber_kernel_batch_100kbit_traced", &mut chunk_errors_new);
+    let traced = bench("ber_kernel_lanes_100kbit_traced", &mut chunk_errors_lanes);
     // One traced pass over the other hot kernels so the report's span
     // breakdown covers the full taxonomy, not just the BER path.
     {
@@ -303,20 +449,36 @@ fn main() {
     let trace_report = obs::drain();
     speedups.push((
         "ber_kernel_traced_over_untraced".to_string(),
-        traced.speedup_over(&batch_untraced),
+        Some(traced.speedup_over(&lanes_untraced)),
     ));
     results.push(traced);
 
     for r in &results {
         println!("{}", format_result(r));
     }
-    println!("\n== speedups ({threads} threads) ==");
+    println!("\n== speedups ({threads} threads, {cores} cores) ==");
     for (name, ratio) in &speedups {
-        println!("{name:<40} {ratio:>6.2}×");
+        match ratio {
+            Some(r) => println!("{name:<44} {r:>6.2}×"),
+            None => println!("{name:<44}   skipped"),
+        }
+    }
+    for (name, why) in &skipped {
+        println!("  skipped {name}: {why}");
     }
 
-    let json = report_json(&results, &speedups, threads, &trace_report.spans);
-    validate_json(&json).expect("bench_report produced invalid JSON");
+    let report = Report {
+        threads,
+        available_cores: cores,
+        benches: results,
+        speedups,
+        skipped,
+        scaling_efficiency: scaling,
+        ns_per_bit,
+        spans: trace_report.spans,
+    };
+    let json = report.to_json();
+    verify_report(&json).expect("bench_report produced a report its own gate rejects");
     std::fs::write(REPORT, &json).expect("write BENCH_report.json");
     println!(
         "\nwrote {REPORT}{}",

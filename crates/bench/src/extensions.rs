@@ -604,6 +604,33 @@ mod tests {
         assert!(t.cell(row, 2) >= 1.0);
     }
 
+    /// Golden pin of E20's spectrum column under the radix-4 Welch path
+    /// (nfft = 1024 is a power of 4, so this is the kernel every
+    /// spectrum experiment actually runs — see DESIGN.md §11). The pin
+    /// is to 1e-12 absolute on O(1) power fractions: ~4 orders looser
+    /// than the radix-4-vs-radix-2 ulp spread, ~10 orders tighter than
+    /// any butterfly or twiddle mistake. A deliberate kernel change that
+    /// moves these values must re-pin them here.
+    #[test]
+    fn pulse_spectrum_golden_pin() {
+        let t = fig_pulse(3);
+        let golden = [
+            0.907_819_395_549_296_4,
+            0.999_810_917_139_428_8,
+            0.999_999_379_284_025_5,
+            0.999_999_827_581_828_5,
+            0.999_999_993_707_975_8,
+        ];
+        assert_eq!(t.len(), golden.len());
+        for (row, want) in golden.iter().enumerate() {
+            let got = t.cell(row, 1);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "row {row}: power_in_channel {got:.17} vs pinned {want:.17}"
+            );
+        }
+    }
+
     #[test]
     fn pulse_shaping_buys_rate() {
         let t = fig_pulse(3);

@@ -40,6 +40,7 @@ pub mod eval;
 pub mod extensions;
 pub mod network_figs;
 pub mod phy_figs;
+pub mod report;
 pub mod scenarios;
 pub mod system_tables;
 pub mod timing;

@@ -1,0 +1,643 @@
+//! The core-aware `BENCH_report.json` schema: building, serializing, and
+//! — the part CI actually leans on — *verifying* it.
+//!
+//! PR 5's report recorded whatever speedups the host produced, which let
+//! a 1-core CI box commit `aloha_ensemble_128tags_x16_par4_vs_serial:
+//! 0.739` — four time-sliced threads losing to serial, published as if it
+//! were a measurement of the pool. This schema makes that impossible to
+//! state by accident:
+//!
+//! * `available_cores` records `std::thread::available_parallelism()` at
+//!   measurement time, next to the `threads` knob (`MMTAG_THREADS`) the
+//!   run was asked for;
+//! * a `par{t}` speedup row on a host with fewer than `t` cores is
+//!   **skipped**: the ratio is JSON `null` and a same-named entry in
+//!   `skipped` says why (`"cores=1 < threads=4"`). [`verify_report`]
+//!   rejects a report that publishes a *numeric* `par{t}` ratio measured
+//!   on fewer than `t` cores, and rejects a `null` with no reason;
+//! * `scaling_efficiency` (speedup ÷ threads) is emitted for every
+//!   parallel row that did run, so a future report can't present 2.1× on
+//!   8 threads as a win without the 0.26 efficiency sitting next to it;
+//! * `ns_per_bit` carries per-work-unit costs (ns per bit for BER rows,
+//!   per trial for outage, per sample for the Gaussian fills) — the
+//!   machine-comparable form of the kernel numbers;
+//! * the `*_lanes_vs_batch` and `fft1024_radix4_vs_radix2` ratios are
+//!   **gated**: [`verify_report`] fails if any slips below
+//!   [`KERNEL_FLOOR`] (a >10% regression of a lane kernel against the
+//!   batch kernel it replaced).
+//!
+//! The verifier parses the report into a tiny JSON DOM ([`Json`]) —
+//! shape-checking needs values, not just well-formedness, and the
+//! workspace is dependency-free by design, so no serde.
+
+use crate::timing::BenchResult;
+use mmtag_rf::obs::SpanStat;
+
+/// Minimum admissible value for the gated kernel-speedup rows: a ratio
+/// below this means the "optimized" kernel lost more than 10% to its
+/// predecessor, which is a regression, not noise.
+pub const KERNEL_FLOOR: f64 = 0.9;
+
+/// Speedup-row suffixes gated by [`KERNEL_FLOOR`].
+const GATED_SUFFIX: &str = "_lanes_vs_batch";
+/// Individually gated rows (same floor).
+const GATED_ROWS: [&str; 1] = ["fft1024_radix4_vs_radix2"];
+
+/// Everything that goes into `BENCH_report.json`, gathered by
+/// `bench_report` and serialized by [`Report::to_json`].
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The thread budget the run was asked for (`MMTAG_THREADS` /
+    /// [`mmtag_rf::par::thread_limit`]).
+    pub threads: usize,
+    /// Physical truth: `available_parallelism()` on the measuring host.
+    pub available_cores: usize,
+    /// Raw per-bench timings.
+    pub benches: Vec<BenchResult>,
+    /// Named speedup ratios; `None` means the row was skipped (see
+    /// [`Report::skipped`]) and serializes as JSON `null`.
+    pub speedups: Vec<(String, Option<f64>)>,
+    /// Why each skipped speedup row was skipped, keyed by row name.
+    pub skipped: Vec<(String, String)>,
+    /// Speedup ÷ thread count for each parallel row that ran.
+    pub scaling_efficiency: Vec<(String, f64)>,
+    /// Per-work-unit kernel costs (ns per bit / trial / sample).
+    pub ns_per_bit: Vec<(String, f64)>,
+    /// Observability span breakdown from the traced pass.
+    pub spans: Vec<SpanStat>,
+}
+
+impl Report {
+    /// Serializes the report. Key order is fixed so diffs of the
+    /// committed artifact stay readable.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num_obj(out: &mut String, name: &str, rows: &[(String, f64)], fmt3: bool) {
+            out.push_str(&format!("  \"{name}\": {{\n"));
+            for (i, (k, v)) in rows.iter().enumerate() {
+                let v = if fmt3 {
+                    format!("{v:.3}")
+                } else {
+                    format!("{v:.4}")
+                };
+                out.push_str(&format!(
+                    "    \"{}\": {}{}\n",
+                    esc(k),
+                    v,
+                    if i + 1 < rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  },\n");
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"available_cores\": {},\n",
+            self.available_cores
+        ));
+        out.push_str("  \"benches\": {\n");
+        for (i, r) in self.benches.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+                esc(&r.name),
+                r.ns_per_iter,
+                r.iters,
+                if i + 1 < self.benches.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n  \"speedups\": {\n");
+        for (i, (name, ratio)) in self.speedups.iter().enumerate() {
+            let v = match ratio {
+                Some(r) => format!("{r:.3}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                esc(name),
+                v,
+                if i + 1 < self.speedups.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n  \"skipped\": {\n");
+        for (i, (name, why)) in self.skipped.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": \"{}\"{}\n",
+                esc(name),
+                esc(why),
+                if i + 1 < self.skipped.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n");
+        num_obj(
+            &mut out,
+            "scaling_efficiency",
+            &self.scaling_efficiency,
+            true,
+        );
+        num_obj(&mut out, "ns_per_bit", &self.ns_per_bit, false);
+        out.push_str("  \"spans\": {\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"total_us\": {:.3}, \"max_us\": {:.3}}}{}\n",
+                esc(&s.name),
+                s.count,
+                s.total_us,
+                s.max_us,
+                if i + 1 < self.spans.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// A minimal JSON DOM — just enough structure for [`verify_report`] to
+/// inspect the committed artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered (duplicate keys keep the last).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document into a [`Json`] DOM. Rejects trailing
+/// garbage. Accepts exactly the grammar
+/// [`crate::timing::validate_json`] accepts.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != s.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.i)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal(b"true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.literal(b"false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal(b"null").map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.i;
+            while matches!(p.b.get(p.i), Some(b'0'..=b'9')) {
+                p.i += 1;
+            }
+            p.i > s
+        };
+        if !digits(self) {
+            return Err(self.err("expected digits"));
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("unparsable number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(&c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c as char);
+                            self.i += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.i += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.i += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.i += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.i += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = match self.b.get(self.i) {
+                                    Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                                    Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                                    Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                };
+                                code = code * 16 + d;
+                                self.i += 1;
+                            }
+                            // Lone surrogates degrade to the replacement
+                            // character — the verifier only compares keys,
+                            // which the report writer never escapes.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let s = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[s..self.i])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.i += 1; // '{'
+        self.ws();
+        let mut members = Vec::new();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.ws();
+            if self.b.get(self.i) != Some(&b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.i += 1;
+            let val = self.value()?;
+            members.push((key, val));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.i += 1; // '['
+        self.ws();
+        let mut items = Vec::new();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+/// Extracts the pinned thread count from a `…par{t}_vs_serial` speedup
+/// row name (`None` for rows that aren't parallel-vs-serial).
+fn par_threads(name: &str) -> Option<usize> {
+    let stem = name.strip_suffix("_vs_serial")?;
+    let at = stem.rfind("_par")?;
+    let digits = &stem[at + 4..];
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The `--verify` gate over a committed `BENCH_report.json`.
+///
+/// Checks, in order:
+/// 1. the document parses and has `threads`, `available_cores` (integer
+///    ≥ 1), non-empty `benches`, `speedups`, `skipped`, and a non-empty
+///    `ns_per_bit` of finite positive numbers;
+/// 2. no *numeric* `par{t}_vs_serial` speedup was measured with
+///    `t > available_cores` — those rows must be `null` with a reason in
+///    `skipped` (and any `null` row must carry a reason);
+/// 3. every gated kernel row (`*_lanes_vs_batch`,
+///    `fft1024_radix4_vs_radix2`) is present, numeric, and at least
+///    [`KERNEL_FLOOR`].
+pub fn verify_report(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let cores = doc
+        .get("available_cores")
+        .and_then(Json::as_num)
+        .ok_or("report lacks \"available_cores\"")?;
+    if cores < 1.0 || cores.fract() != 0.0 {
+        return Err(format!(
+            "\"available_cores\" must be a positive integer, got {cores}"
+        ));
+    }
+    let cores = cores as usize;
+    doc.get("threads")
+        .and_then(Json::as_num)
+        .ok_or("report lacks \"threads\"")?;
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_obj)
+        .ok_or("report lacks \"benches\"")?;
+    if benches.is_empty() {
+        return Err("\"benches\" is empty".into());
+    }
+    let speedups = doc
+        .get("speedups")
+        .and_then(Json::as_obj)
+        .ok_or("report lacks \"speedups\"")?;
+    let skipped = doc
+        .get("skipped")
+        .and_then(Json::as_obj)
+        .ok_or("report lacks \"skipped\" (pre-core-aware schema?)")?;
+    let ns_per_bit = doc
+        .get("ns_per_bit")
+        .and_then(Json::as_obj)
+        .ok_or("report lacks \"ns_per_bit\"")?;
+    if ns_per_bit.is_empty() {
+        return Err("\"ns_per_bit\" is empty".into());
+    }
+    for (k, v) in ns_per_bit {
+        match v.as_num() {
+            Some(x) if x.is_finite() && x > 0.0 => {}
+            _ => return Err(format!("ns_per_bit[\"{k}\"] is not a positive number")),
+        }
+    }
+
+    let has_reason = |name: &str| skipped.iter().any(|(k, _)| k == name);
+    for (name, v) in speedups {
+        match v {
+            Json::Null => {
+                if !has_reason(name) {
+                    return Err(format!(
+                        "speedup \"{name}\" is null with no entry in \"skipped\""
+                    ));
+                }
+            }
+            Json::Num(ratio) => {
+                if let Some(t) = par_threads(name) {
+                    if t > cores {
+                        return Err(format!(
+                            "speedup \"{name}\" claims a {t}-thread measurement on \
+                             {cores} core(s) — time-sliced, not parallel; must be \
+                             skipped (null + reason)"
+                        ));
+                    }
+                }
+                if (name.ends_with(GATED_SUFFIX) || GATED_ROWS.contains(&name.as_str()))
+                    && *ratio < KERNEL_FLOOR
+                {
+                    return Err(format!(
+                        "gated kernel speedup \"{name}\" = {ratio:.3} is below the \
+                         {KERNEL_FLOOR} floor (>10% regression)"
+                    ));
+                }
+            }
+            _ => return Err(format!("speedup \"{name}\" is neither a number nor null")),
+        }
+    }
+    for row in GATED_ROWS {
+        if !speedups.iter().any(|(k, _)| k == row) {
+            return Err(format!("gated kernel speedup \"{row}\" is missing"));
+        }
+    }
+    if !speedups.iter().any(|(k, _)| k.ends_with(GATED_SUFFIX)) {
+        return Err(format!(
+            "no \"*{GATED_SUFFIX}\" rows — the lane-kernel trajectory is not being tracked"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_report() -> Report {
+        Report {
+            threads: 4,
+            available_cores: 1,
+            benches: vec![BenchResult {
+                name: "k".into(),
+                iters: 3,
+                ns_per_iter: 10.0,
+            }],
+            speedups: vec![
+                ("ber_kernel_lanes_vs_batch".into(), Some(1.26)),
+                ("fft1024_radix4_vs_radix2".into(), Some(1.65)),
+                ("ber_point_100kbit_par1_vs_serial".into(), Some(0.99)),
+                ("ber_point_100kbit_par4_vs_serial".into(), None),
+            ],
+            skipped: vec![(
+                "ber_point_100kbit_par4_vs_serial".into(),
+                "cores=1 < threads=4".into(),
+            )],
+            scaling_efficiency: vec![("ber_point_100kbit_par1".into(), 0.99)],
+            ns_per_bit: vec![("ber_kernel_lanes".into(), 53.2)],
+            spans: vec![],
+        }
+    }
+
+    #[test]
+    fn round_trip_report_verifies() {
+        let json = base_report().to_json();
+        crate::timing::validate_json(&json).unwrap();
+        verify_report(&json).unwrap();
+    }
+
+    #[test]
+    fn parser_builds_the_dom() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, null, true], "b": "x\"y"}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Null,
+                Json::Bool(true)
+            ]))
+        );
+        assert_eq!(v.get("b"), Some(&Json::Str("x\"y".into())));
+        assert!(parse_json("{} junk").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn par_thread_names_parse() {
+        assert_eq!(par_threads("ber_point_100kbit_par4_vs_serial"), Some(4));
+        assert_eq!(
+            par_threads("aloha_ensemble_128tags_x16_par16_vs_serial"),
+            Some(16)
+        );
+        assert_eq!(par_threads("ber_kernel_lanes_vs_batch"), None);
+        assert_eq!(par_threads("something_par_vs_serial"), None);
+    }
+
+    #[test]
+    fn numeric_par_row_beyond_core_count_is_rejected() {
+        let mut r = base_report();
+        r.speedups[3].1 = Some(0.739); // the PR 5 lie, restated
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("time-sliced"), "{err}");
+    }
+
+    #[test]
+    fn null_without_reason_is_rejected() {
+        let mut r = base_report();
+        r.skipped.clear();
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("no entry in \"skipped\""), "{err}");
+    }
+
+    #[test]
+    fn kernel_regression_is_rejected() {
+        let mut r = base_report();
+        r.speedups[0].1 = Some(0.85);
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("below the 0.9 floor"), "{err}");
+    }
+
+    #[test]
+    fn missing_gated_rows_are_rejected() {
+        let mut r = base_report();
+        r.speedups.remove(1);
+        assert!(verify_report(&r.to_json())
+            .unwrap_err()
+            .contains("fft1024_radix4_vs_radix2"));
+        let mut r = base_report();
+        r.speedups.remove(0);
+        assert!(verify_report(&r.to_json())
+            .unwrap_err()
+            .contains("lane-kernel trajectory"));
+    }
+
+    #[test]
+    fn pre_core_aware_reports_are_rejected() {
+        // The PR 5 shape: no available_cores, no skipped, no ns_per_bit.
+        let old = r#"{"threads": 4, "benches": {"k": {"ns_per_iter": 1.0, "iters": 1}},
+                      "speedups": {"a_par4_vs_serial": 0.739}, "spans": {}}"#;
+        assert!(verify_report(old).is_err());
+    }
+}

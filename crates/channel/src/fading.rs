@@ -11,18 +11,23 @@
 //! runs the trial loop chunked over the [`mmtag_rf::par`] engine with one
 //! [`SeedTree`] stream per chunk, bit-identical at any thread count.
 //!
-//! The chunk kernel is the batch [`RicianFading::count_outages_scratch`]:
-//! it bulk-fills a caller-owned [`FadeScratch`] with complex normals via
-//! [`Rng::fill_complex_normal`] (**sampler v2** — one Box–Muller pair per
-//! fade, half the transcendental calls of the scalar
-//! [`RicianFading::sample`], which burns two cosine-branch draws), then
-//! counts threshold crossings in a second, autovectorizable pass. The
-//! scalar path stays as the sampler-v1 reference for the differential
+//! The chunk kernel is the lane [`RicianFading::count_outages_scratch`]
+//! (DESIGN.md §11): it streams one Box–Muller pair per fade out of the
+//! fused block pipeline ([`normal_pair_block`] — **sampler v2**, half the
+//! transcendental calls of the scalar [`RicianFading::sample`], which
+//! burns two cosine-branch draws) and counts threshold crossings on each
+//! L1-resident block, [`mmtag_rf::math::LANES`] trials per pass with
+//! lane-local counters reduced in a fixed order.
+//! The PR 3 AoS kernel stays as
+//! [`RicianFading::count_outages_scratch_batch`] — bit-identical, the
+//! differential reference and the old side of the bench pair — and the
+//! scalar path stays as the sampler-v1 reference for the statistical
 //! tests and the old-vs-new rows in `bench_report`.
 
+use mmtag_rf::math::LANES;
 use mmtag_rf::obs;
 use mmtag_rf::par;
-use mmtag_rf::rng::{Rng, SeedTree};
+use mmtag_rf::rng::{normal_pair_block, Rng, SeedTree, BM_BLOCK};
 use mmtag_rf::units::Db;
 use mmtag_rf::Complex;
 
@@ -38,7 +43,10 @@ pub const OUTAGE_CHUNK_TRIALS: usize = 16_384;
 /// worker claims.
 #[derive(Clone, Debug, Default)]
 pub struct FadeScratch {
-    /// Unit-variance-per-component complex normals, one per trial.
+    /// Unit-variance-per-component complex normals, one per trial — the
+    /// AoS buffer of the batch kernel
+    /// ([`RicianFading::count_outages_scratch_batch`]); the lane kernel
+    /// works entirely in stack blocks and leaves this untouched.
     draws: Vec<Complex>,
 }
 
@@ -118,13 +126,79 @@ impl RicianFading {
         outages as f64 / trials as f64
     }
 
-    /// The batch outage kernel (**sampler v2**): bulk-fills `scratch` with
-    /// one complex normal per trial via [`Rng::fill_complex_normal`], then
+    /// The lane outage kernel (DESIGN.md §11): streams Gaussian pairs
+    /// through the fused Box–Muller **block pipeline**
+    /// ([`mmtag_rf::rng::normal_pair_block`], one pair per trial) and
     /// counts fades whose power `|los + σ·z|²` falls below the `margin`
-    /// threshold. Zero heap allocation once the scratch has grown to the
-    /// chunk size; the count/scale pass is branch-free over a plain slice
-    /// so it autovectorizes.
+    /// threshold directly on each L1-resident block —
+    /// [`mmtag_rf::math::LANES`] trials per pass into lane-local integer
+    /// counters reduced in fixed lane order. The trial draws never touch
+    /// the heap at all (the `scratch` is accepted for API symmetry with
+    /// the batch kernel but the lane path works entirely in stack
+    /// blocks). The per-trial comparison is the exact expression of the
+    /// batch kernel and the lanes never interact, so counts — and the RNG
+    /// stream position — are **bit-identical** to
+    /// [`RicianFading::count_outages_scratch_batch`], including
+    /// non-finite thresholds (a NaN margin compares false in every lane,
+    /// in both kernels).
     pub fn count_outages_scratch<R: Rng + ?Sized>(
+        &self,
+        margin: Db,
+        trials: usize,
+        rng: &mut R,
+        scratch: &mut FadeScratch,
+    ) -> usize {
+        let _ = &scratch;
+        let _span = obs::span("channel.outage.chunk");
+        let threshold = outage_threshold(margin);
+        let los = (self.k / (self.k + 1.0)).sqrt();
+        let sigma = (0.5 / (self.k + 1.0)).sqrt();
+        let mut z0 = [0.0f64; BM_BLOCK];
+        let mut z1 = [0.0f64; BM_BLOCK];
+        let mut lane_outages = [0u64; LANES];
+        // Tail trials (the < LANES remainder of a partial block) keep
+        // their own exact integer counter; the fixed lane/tail split is
+        // for the bit-identity argument, not the sum (integer adds are
+        // exact in any order).
+        let mut tail_outages = 0u64;
+        let mut done = 0usize;
+        while done < trials {
+            let n = BM_BLOCK.min(trials - done);
+            normal_pair_block(rng, &mut z0, &mut z1, n);
+            let full = n - n % LANES;
+            for base in (0..full).step_by(LANES) {
+                for l in 0..LANES {
+                    let v = los + sigma * z0[base + l];
+                    let w = sigma * z1[base + l];
+                    lane_outages[l] += u64::from(v * v + w * w < threshold);
+                }
+            }
+            for i in full..n {
+                let v = los + sigma * z0[i];
+                let w = sigma * z1[i];
+                tail_outages += u64::from(v * v + w * w < threshold);
+            }
+            done += n;
+        }
+        let mut outages: u64 = 0;
+        for &o in &lane_outages {
+            outages += o;
+        }
+        outages += tail_outages;
+        let outages = outages as usize;
+        obs::counter_add("channel.outage.trials", trials as u64);
+        obs::observe("channel.outage.chunk_outages", outages as u64);
+        outages
+    }
+
+    /// The PR 3 batch outage kernel, kept verbatim: one AoS `Complex`
+    /// draw buffer filled per-element through the scalar Box–Muller pair
+    /// chain ([`Rng::fill_complex_normal_reference`] — what
+    /// `fill_complex_normal` *was* before the blocked pipeline), counted
+    /// by a filter pass. Same stream, same count as the lane kernel — the
+    /// reference side of the differential tests and the old side of the
+    /// `outage_kernel_lanes_vs_batch` bench row.
+    pub fn count_outages_scratch_batch<R: Rng + ?Sized>(
         &self,
         margin: Db,
         trials: usize,
@@ -136,7 +210,7 @@ impl RicianFading {
         let los = (self.k / (self.k + 1.0)).sqrt();
         let sigma = (0.5 / (self.k + 1.0)).sqrt();
         scratch.draws.resize(trials, Complex::ZERO);
-        rng.fill_complex_normal(&mut scratch.draws);
+        rng.fill_complex_normal_reference(&mut scratch.draws);
         let outages = scratch
             .draws
             .iter()
@@ -363,6 +437,71 @@ mod tests {
             assert_eq!(got, want, "trials={trials}");
             // Both sides consumed the same amount of stream.
             assert_eq!(a.next_u64(), b.next_u64(), "trials={trials}");
+        }
+    }
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_batch_kernel() {
+        // Tentpole contract: the SoA lane kernel and the PR 3 AoS batch
+        // kernel consume the same stream and return the same count at
+        // every length class — empty, sub-lane, the lane boundary and its
+        // neighbours, and long chunks with a tail.
+        for fader in [RicianFading::mmwave_los(), RicianFading::rayleigh()] {
+            for &trials in &[0usize, 1, 7, 8, 9, 1000, 100_000] {
+                let margin = Db::new(6.0);
+                let mut a = Xoshiro256pp::seed_from(0xFA0E ^ trials as u64);
+                let mut b = Xoshiro256pp::seed_from(0xFA0E ^ trials as u64);
+                let mut sa = FadeScratch::new();
+                let mut sb = FadeScratch::new();
+                let lanes = fader.count_outages_scratch(margin, trials, &mut a, &mut sa);
+                let batch = fader.count_outages_scratch_batch(margin, trials, &mut b, &mut sb);
+                assert_eq!(lanes, batch, "K={} trials={trials}", fader.k());
+                assert_eq!(a.next_u64(), b.next_u64(), "stream at trials={trials}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_matches_batch_on_degenerate_margins() {
+        // Non-finite and sign-of-zero edge cases must degrade identically
+        // in both kernels:
+        //  * margin = +∞ → threshold 0.0: `power < 0.0` is false for every
+        //    fade, including exact (+/−)0.0 powers — zero outages;
+        //  * margin = −∞ → threshold +∞: every finite power outages;
+        //  * margin = NaN → threshold NaN: every comparison is false;
+        //  * Rayleigh (K = 0, los = 0.0) keeps σ·z's sign, so negative
+        //    draws put −0.0-signed products through v·v + w·w.
+        let margins = [
+            Db::new(f64::INFINITY),
+            Db::new(f64::NEG_INFINITY),
+            Db::new(f64::NAN),
+            Db::new(-300.0),
+        ];
+        for fader in [RicianFading::rayleigh(), RicianFading::mmwave_los()] {
+            for (mi, &margin) in margins.iter().enumerate() {
+                for &trials in &[1usize, 9, 1000] {
+                    let seed = 0xED6E ^ (mi as u64) << 32 ^ trials as u64;
+                    let mut a = Xoshiro256pp::seed_from(seed);
+                    let mut b = Xoshiro256pp::seed_from(seed);
+                    let mut sa = FadeScratch::new();
+                    let mut sb = FadeScratch::new();
+                    let lanes = fader.count_outages_scratch(margin, trials, &mut a, &mut sa);
+                    let batch = fader.count_outages_scratch_batch(margin, trials, &mut b, &mut sb);
+                    assert_eq!(
+                        lanes,
+                        batch,
+                        "K={} margin={} trials={trials}",
+                        fader.k(),
+                        margin.db()
+                    );
+                    // And the degenerate counts themselves are pinned.
+                    if margin.db() == f64::INFINITY || margin.db().is_nan() {
+                        assert_eq!(lanes, 0, "threshold {} must never fire", margin.db());
+                    } else {
+                        assert_eq!(lanes, trials, "threshold {} must always fire", margin.db());
+                    }
+                }
+            }
         }
     }
 

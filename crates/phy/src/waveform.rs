@@ -26,12 +26,22 @@
 //! [`Awgn::add_awgn_into`], [`OokModem::matched_filter_into`], and the
 //! fused [`OokModem::count_bit_errors`] that folds matched filtering,
 //! thresholding and comparison into one error count with no intermediate
-//! `Vec<bool>`. [`count_bit_errors_scratch`] chains them over a
+//! `Vec<bool>`. [`count_bit_errors_scratch_batch`] chains them over a
 //! caller-owned [`TrialScratch`], so the steady state of a trial loop
 //! performs **zero heap allocations** (verified by the repo's
 //! allocation-guard integration test). The original allocating APIs
 //! remain — as the scalar references the differential property tests
 //! compare against, and for one-shot callers that don't care.
+//!
+//! On top of the batch chain sits the **lane kernel**,
+//! [`count_bit_errors_scratch`] (DESIGN.md §11): the same trial expressed
+//! as structure-of-arrays sweeps over flat `f64` buffers — blocked
+//! Gaussian fills via [`Rng::fill_normal_soa`], a fused modulate+noise
+//! pass, and a matched filter that carries [`mmtag_rf::math::LANES`]
+//! symbols in lane-local accumulators reduced in a fixed order. It is
+//! bit-identical to the batch chain (same counts, same RNG stream
+//! position), just shaped so the compiler can keep the whole loop in
+//! vector registers.
 //!
 //! Noise streams are **sampler v2**: AWGN consumes both Box–Muller
 //! branches through [`Rng::normal_pair`] (one uniform pair per complex
@@ -40,6 +50,7 @@
 //! pre-batch implementation; determinism across thread counts is
 //! unaffected.
 
+use mmtag_rf::math::LANES;
 use mmtag_rf::obs;
 use mmtag_rf::par;
 use mmtag_rf::rng::{Rng, SeedTree};
@@ -264,8 +275,13 @@ impl Awgn {
 pub struct TrialScratch {
     /// The chunk's random data bits.
     bits: Vec<bool>,
-    /// The modulated (then noise-corrupted) IQ waveform.
+    /// The modulated (then noise-corrupted) IQ waveform — the AoS buffer
+    /// of the batch kernel ([`count_bit_errors_scratch_batch`]).
     samples: Vec<Complex>,
+    /// SoA I components for the lane kernel ([`count_bit_errors_scratch`]).
+    re: Vec<f64>,
+    /// SoA Q components for the lane kernel.
+    im: Vec<f64>,
 }
 
 impl TrialScratch {
@@ -278,6 +294,18 @@ impl TrialScratch {
 /// The zero-allocation trial kernel: draws `n_bits` random bits and the
 /// AWGN from `rng`, runs modulate → noise → fused demodulate-and-count
 /// entirely inside `scratch`, and returns the bit-error count.
+///
+/// This is the **lane kernel** (DESIGN.md §11): the waveform lives in two
+/// flat `f64` arrays (structure-of-arrays) instead of a `Complex` slice,
+/// the noise comes from the blocked [`Rng::fill_normal_soa`] pipeline, the
+/// modulate+noise pass is a fused elementwise sweep, and the matched
+/// filter accumulates [`LANES`] symbols side by side with the error count
+/// folded through fixed-order lane-local counters. Every floating-point
+/// value is produced by the same operation sequence as the batch chain
+/// (`a + σ·n` per component, symbol sums folded first-to-last from zero,
+/// `hypot` envelopes), so the counts — and the RNG stream position — are
+/// **bit-identical** to [`count_bit_errors_scratch_batch`], which the
+/// differential tests pin at odd and non-multiple-of-8 lengths.
 ///
 /// [`count_bit_errors`] is a thin wrapper over this with a one-shot
 /// workspace; the chunked Monte-Carlo loops instead thread one
@@ -306,6 +334,110 @@ impl TrialScratch {
 /// assert!(errors < 100);
 /// ```
 pub fn count_bit_errors_scratch<R: Rng + ?Sized>(
+    modem: &OokModem,
+    awgn: &Awgn,
+    n_bits: usize,
+    coherent: bool,
+    rng: &mut R,
+    scratch: &mut TrialScratch,
+) -> usize {
+    let _span = obs::span("phy.ber.chunk");
+    let sps = modem.samples_per_symbol;
+    scratch.bits.resize(n_bits, false);
+    rng.fill_bits(&mut scratch.bits);
+    let n_samples = n_bits * sps;
+    scratch.re.resize(n_samples, 0.0);
+    scratch.im.resize(n_samples, 0.0);
+    rng.fill_normal_soa(&mut scratch.re, &mut scratch.im);
+    // Fused modulate + AWGN sweep. Elementwise identical to the batch
+    // chain's modulate_into-then-add_awgn_into: per sample the batch path
+    // computes `a + σ·nᵢ` on I and `0.0 + σ·n_q` on Q, and so does this —
+    // the explicit `0.0 +` keeps the Q expression literally the same (it
+    // rewrites a σ·n_q of −0.0 to +0.0 exactly as the batch `+=` does).
+    let sigma = awgn.sigma;
+    for ((chunk_re, chunk_im), &bit) in scratch
+        .re
+        .chunks_exact_mut(sps)
+        .zip(scratch.im.chunks_exact_mut(sps))
+        .zip(scratch.bits.iter())
+    {
+        let a = if modem.is_mark(bit) {
+            modem.amplitude
+        } else {
+            0.0
+        };
+        for (r, i) in chunk_re.iter_mut().zip(chunk_im.iter_mut()) {
+            *r = a + sigma * *r;
+            *i = 0.0 + sigma * *i;
+        }
+    }
+    // Matched filter + threshold + compare, LANES symbols at a time. The
+    // per-symbol sums fold sample 0 → sample sps−1 onto 0.0, exactly the
+    // order `Complex::sum` uses in the fused scalar kernel, so each
+    // statistic carries the same rounding; only *independent* symbols run
+    // side by side. Error counts land in lane-local integer accumulators
+    // reduced in fixed lane order (integer addition is exact, so the order
+    // is for the argument's sake, not the sum's).
+    let threshold = modem.decision_threshold();
+    let mark_bit = modem.mark_bit;
+    let lane_syms = n_bits - n_bits % LANES;
+    let mut lane_errors = [0u64; LANES];
+    for base in (0..lane_syms).step_by(LANES) {
+        let seg_re = &scratch.re[base * sps..(base + LANES) * sps];
+        let seg_im = &scratch.im[base * sps..(base + LANES) * sps];
+        let mut sum_re = [0.0f64; LANES];
+        let mut sum_im = [0.0f64; LANES];
+        for j in 0..sps {
+            for l in 0..LANES {
+                sum_re[l] += seg_re[l * sps + j];
+                sum_im[l] += seg_im[l * sps + j];
+            }
+        }
+        for l in 0..LANES {
+            let stat = if coherent {
+                sum_re[l]
+            } else {
+                sum_re[l].hypot(sum_im[l])
+            };
+            let decided = (stat > threshold) == mark_bit;
+            lane_errors[l] += u64::from(decided != scratch.bits[base + l]);
+        }
+    }
+    let mut errors: u64 = 0;
+    for &e in &lane_errors {
+        errors += e;
+    }
+    // Scalar tail: up to LANES−1 trailing symbols, same fold order.
+    for (sym, &bit) in scratch.bits[lane_syms..n_bits].iter().enumerate() {
+        let base = (lane_syms + sym) * sps;
+        let mut sum_re = 0.0f64;
+        let mut sum_im = 0.0f64;
+        for j in 0..sps {
+            sum_re += scratch.re[base + j];
+            sum_im += scratch.im[base + j];
+        }
+        let stat = if coherent {
+            sum_re
+        } else {
+            sum_re.hypot(sum_im)
+        };
+        let decided = (stat > threshold) == mark_bit;
+        errors += u64::from(decided != bit);
+    }
+    let errors = errors as usize;
+    obs::counter_add("phy.ber.bits", n_bits as u64);
+    obs::observe("phy.ber.chunk_errors", errors as u64);
+    errors
+}
+
+/// The PR 3 batch kernel, kept verbatim: AoS `Complex` waveform buffer,
+/// [`OokModem::modulate_into`] → [`Awgn::add_awgn_into`] →
+/// [`OokModem::count_bit_errors`]. It consumes the same RNG stream and
+/// produces the same count as the lane kernel — the differential tests
+/// hold [`count_bit_errors_scratch`] against this bit for bit, and the
+/// `ber_kernel_lanes_vs_batch` bench row times the two against each
+/// other.
+pub fn count_bit_errors_scratch_batch<R: Rng + ?Sized>(
     modem: &OokModem,
     awgn: &Awgn,
     n_bits: usize,
@@ -700,6 +832,51 @@ mod tests {
             let mut fresh = TrialScratch::new();
             let b = count_bit_errors_scratch(&modem, &awgn, n, true, &mut rng_b, &mut fresh);
             assert_eq!(a, b, "call {i} (n={n})");
+        }
+    }
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_batch_kernel() {
+        // The tentpole contract: the SoA lane kernel returns the same
+        // count AND leaves the RNG at the same stream position as the
+        // PR 3 batch kernel, at every length class — empty, sub-lane,
+        // the 8-lane boundary and its neighbours, and long chunks that
+        // exercise many full lane blocks plus a tail.
+        let combos = |n: usize| -> &'static [(bool, bool)] {
+            if n <= 1_000 {
+                &[(true, false), (true, true), (false, false), (false, true)]
+            } else {
+                &[(true, false), (false, true)]
+            }
+        };
+        for &n in &[0usize, 1, 7, 8, 9, 1000, 100_000] {
+            for &(coherent, mark_bit) in combos(n) {
+                for sps in [1usize, 4] {
+                    let modem = OokModem {
+                        mark_bit,
+                        ..OokModem::new(sps)
+                    };
+                    let awgn = Awgn::for_eb_n0(&modem, 4.0);
+                    let mut rng_a = Xoshiro256pp::seed_from(0xB17 ^ n as u64);
+                    let mut rng_b = Xoshiro256pp::seed_from(0xB17 ^ n as u64);
+                    let mut sa = TrialScratch::new();
+                    let mut sb = TrialScratch::new();
+                    let lanes =
+                        count_bit_errors_scratch(&modem, &awgn, n, coherent, &mut rng_a, &mut sa);
+                    let batch = count_bit_errors_scratch_batch(
+                        &modem, &awgn, n, coherent, &mut rng_b, &mut sb,
+                    );
+                    assert_eq!(
+                        lanes, batch,
+                        "count diverged at n={n} coherent={coherent} mark_bit={mark_bit} sps={sps}"
+                    );
+                    assert_eq!(
+                        rng_a.next_u64(),
+                        rng_b.next_u64(),
+                        "stream position diverged at n={n} sps={sps}"
+                    );
+                }
+            }
         }
     }
 

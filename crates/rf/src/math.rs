@@ -12,6 +12,13 @@
 
 use std::f64::consts::FRAC_PI_2;
 
+/// Lane width of the fixed-width SIMD-shaped kernels (8 × f64 = one
+/// AVX-512 register, two AVX2 registers). Every SoA hot loop in the stack
+/// — the Box–Muller pipeline, the BER/outage counters — processes this
+/// many independent elements per pass so the compiler can autovectorize
+/// without any explicit intrinsics (the `rf` crate stays `deny(unsafe)`).
+pub const LANES: usize = 8;
+
 /// Degree-13 odd minimax polynomial for `sin(x)` on `[-π/4, π/4]`
 /// (Cephes `sincof` coefficients, highest order first), evaluated as
 /// `x + x·z·P(z)` with `z = x²`.
@@ -86,6 +93,60 @@ pub fn sincos_2pi(u: f64) -> (f64, f64) {
     (s_out, c_out)
 }
 
+/// `2⁵² + 2⁵¹`: adding this to an integer-valued `f64` with magnitude
+/// below `2⁵¹` is exact and lands the sum in `[2⁵², 2⁵³)`, where the ulp
+/// is 1 — so the addend's two's-complement integer bits appear directly
+/// in the low mantissa bits. The lane kernel uses this to read a
+/// quadrant index without an `f64 → i64` cast, because Rust's saturating
+/// cast lowers to `fptosi.sat`, which LLVM's loop vectorizer refuses —
+/// one scalar cast per lane was the single instruction keeping the whole
+/// sin/cos pipeline out of vector registers.
+const QUADRANT_MAGIC: f64 = 6_755_399_441_055_744.0;
+
+/// [`sincos_2pi`] over [`LANES`] independent arguments at once: lane `l`
+/// of the outputs is **bit-identical** to `sincos_2pi(u[l])`.
+///
+/// The scalar kernel is already branch-free (the quadrant rotation is a
+/// bit-select, not a match), so evaluating it across a fixed-width array
+/// is a pure data-parallel loop the compiler turns into vector code: the
+/// polynomial Horner chains run [`LANES`] lanes per instruction instead
+/// of one. Every floating-point operation that *produces* an output runs
+/// in the scalar kernel's exact sequence — no FMA contraction, no
+/// reassociation — so the results carry the same rounding bit for bit,
+/// which is what lets the batch Gaussian pipeline
+/// ([`crate::rng::Rng::fill_normal`]) keep the seeded golden streams
+/// unchanged while vectorizing.
+///
+/// The one deviation is how the integer quadrant index `q` is read out
+/// of `k`: a magic-constant add (`QUADRANT_MAGIC`, 2⁵²+2⁵¹) instead of
+/// the scalar path's `as i64`
+/// cast. The rotation consumes only `q & 1`, `q & 2` and `(q + 1) & 2`,
+/// and both extractions yield `k`'s exact low two bits for every `|k| <
+/// 2⁵¹` (the samplers stay below `|k| ≤ 5`), so the selected/negated
+/// outputs are identical — pinned lane-by-lane by this module's tests.
+#[inline]
+pub fn sincos_2pi_lanes(u: &[f64; LANES]) -> ([f64; LANES], [f64; LANES]) {
+    let mut s = [0.0f64; LANES];
+    let mut c = [0.0f64; LANES];
+    for l in 0..LANES {
+        let scaled = 4.0 * u[l];
+        let k = (scaled + 0.5).floor();
+        let f = scaled - k;
+        let x = f * FRAC_PI_2;
+        let z = x * x;
+        let sv = x + x * z * poly(z, &SIN_COEF);
+        let cv = 1.0 - 0.5 * z + z * z * poly(z, &COS_COEF);
+        let q = (k + QUADRANT_MAGIC).to_bits();
+        let swap = (q & 1).wrapping_neg();
+        let (sb, cb) = (sv.to_bits(), cv.to_bits());
+        let sm = f64::from_bits((sb & !swap) | (cb & swap));
+        let cm = f64::from_bits((cb & !swap) | (sb & swap));
+        s[l] = f64::from_bits(sm.to_bits() ^ ((q & 2) << 62));
+        c[l] = f64::from_bits(cm.to_bits() ^ ((q.wrapping_add(1) & 2) << 62));
+    }
+    (s, c)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +185,35 @@ mod tests {
         assert_eq!((s.abs(), c), (0.0, -1.0));
         let (s, c) = sincos_2pi(0.75);
         assert_eq!((s, c.abs()), (-1.0, 0.0));
+    }
+
+    #[test]
+    fn lanes_kernel_is_bit_identical_to_scalar() {
+        // Dense grid spanning all quadrants — including negative and
+        // multi-turn arguments, so the magic-number quadrant extraction
+        // is pinned against the scalar `as i64` path for negative k too —
+        // plus the exact quadrant boundaries.
+        for base in -5_000i32..5_000 {
+            let mut u = [0.0f64; LANES];
+            for (l, slot) in u.iter_mut().enumerate() {
+                *slot = (f64::from(base) * LANES as f64 + l as f64) / 4_000.0;
+            }
+            let (s, c) = sincos_2pi_lanes(&u);
+            for l in 0..LANES {
+                let (ss, cs) = sincos_2pi(u[l]);
+                assert_eq!(s[l].to_bits(), ss.to_bits(), "sin lane {l} at u={}", u[l]);
+                assert_eq!(c[l].to_bits(), cs.to_bits(), "cos lane {l} at u={}", u[l]);
+            }
+        }
+        let boundaries = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875];
+        let (s, c) = sincos_2pi_lanes(&boundaries);
+        for l in 0..LANES {
+            let (ss, cs) = sincos_2pi(boundaries[l]);
+            assert_eq!(
+                (s[l].to_bits(), c[l].to_bits()),
+                (ss.to_bits(), cs.to_bits())
+            );
+        }
     }
 
     #[test]

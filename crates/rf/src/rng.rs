@@ -134,7 +134,44 @@ pub trait Rng {
     /// `fill_normal` over any split of a buffer consumes the same stream
     /// as one call over the whole buffer only when splits are even-sized
     /// (batch callers use even chunk sizes for exactly this reason).
+    ///
+    /// Since the lane rework this runs the fused Box–Muller **block
+    /// pipeline** ([`normal_pair_block`]'s fixed-width SoA sweeps) rather
+    /// than a per-pair scalar chain, but every value and the stream
+    /// position afterwards are bit-identical to the per-pair path — see
+    /// [`Rng::fill_normal_reference`], which the differential tests hold
+    /// this against.
     fn fill_normal(&mut self, out: &mut [f64]) {
+        let mut z0 = [0.0f64; BM_BLOCK];
+        let mut z1 = [0.0f64; BM_BLOCK];
+        let mut blocks = out.chunks_exact_mut(2 * BM_BLOCK);
+        for block in &mut blocks {
+            normal_pair_block(self, &mut z0, &mut z1, BM_BLOCK);
+            for ((pair, a), b) in block.chunks_exact_mut(2).zip(&z0).zip(&z1) {
+                pair[0] = *a;
+                pair[1] = *b;
+            }
+        }
+        let rem = blocks.into_remainder();
+        let pairs = rem.len() / 2;
+        normal_pair_block(self, &mut z0, &mut z1, pairs);
+        for ((pair, a), b) in rem.chunks_exact_mut(2).zip(&z0).zip(&z1) {
+            pair[0] = *a;
+            pair[1] = *b;
+        }
+        if let Some(last) = rem.get_mut(pairs * 2) {
+            *last = self.normal_pair().0;
+        }
+    }
+
+    /// The pre-lane batch fill (PR 3's sampler): one scalar
+    /// [`Rng::normal_pair`] per two outputs, odd tail on the cosine
+    /// branch. Values and stream consumption are **bit-identical** to
+    /// [`Rng::fill_normal`]; kept verbatim as the reference side of the
+    /// differential tests and of the `fill_normal_lanes_vs_batch` bench
+    /// row, so the lane pipeline's win (and its continued bit-identity)
+    /// stays measurable.
+    fn fill_normal_reference(&mut self, out: &mut [f64]) {
         let mut chunks = out.chunks_exact_mut(2);
         for pair in &mut chunks {
             (pair[0], pair[1]) = self.normal_pair();
@@ -148,11 +185,61 @@ pub trait Rng {
     /// complex normals: one [`Rng::normal_pair`] per element (`re` takes
     /// the cosine branch, `im` the sine). This is the AWGN/fading workhorse
     /// — a complex sample needs exactly one pair, so nothing is discarded.
+    /// Runs the same block pipeline as [`Rng::fill_normal`]; bit-identical
+    /// to [`Rng::fill_complex_normal_reference`].
     fn fill_complex_normal(&mut self, out: &mut [Complex]) {
+        let mut z0 = [0.0f64; BM_BLOCK];
+        let mut z1 = [0.0f64; BM_BLOCK];
+        let mut blocks = out.chunks_exact_mut(BM_BLOCK);
+        for block in &mut blocks {
+            normal_pair_block(self, &mut z0, &mut z1, BM_BLOCK);
+            for ((z, a), b) in block.iter_mut().zip(&z0).zip(&z1) {
+                *z = Complex::new(*a, *b);
+            }
+        }
+        let rem = blocks.into_remainder();
+        normal_pair_block(self, &mut z0, &mut z1, rem.len());
+        for ((z, a), b) in rem.iter_mut().zip(&z0).zip(&z1) {
+            *z = Complex::new(*a, *b);
+        }
+    }
+
+    /// The pre-lane complex fill: one scalar [`Rng::normal_pair`] per
+    /// element. Bit-identical to [`Rng::fill_complex_normal`]; kept as the
+    /// differential-test reference.
+    fn fill_complex_normal_reference(&mut self, out: &mut [Complex]) {
         for z in out {
             let (re, im) = self.normal_pair();
             *z = Complex::new(re, im);
         }
+    }
+
+    /// Structure-of-arrays twin of [`Rng::fill_complex_normal`]: pair `i`
+    /// lands in `(re[i], im[i])` — the same values from the same stream
+    /// positions, bit for bit, but split into two flat `f64` arrays
+    /// instead of interleaved `Complex` slots. The lane-width Monte-Carlo
+    /// kernels (BER and outage counting) consume this layout so their
+    /// count passes sweep contiguous same-type data, which is what lets
+    /// the compiler vectorize them.
+    ///
+    /// # Panics
+    /// Panics if the two halves differ in length.
+    fn fill_normal_soa(&mut self, re: &mut [f64], im: &mut [f64]) {
+        assert_eq!(re.len(), im.len(), "SoA halves must have equal length");
+        let mut z0 = [0.0f64; BM_BLOCK];
+        let mut z1 = [0.0f64; BM_BLOCK];
+        let mut re_blocks = re.chunks_exact_mut(BM_BLOCK);
+        let mut im_blocks = im.chunks_exact_mut(BM_BLOCK);
+        for (rb, ib) in (&mut re_blocks).zip(&mut im_blocks) {
+            normal_pair_block(self, &mut z0, &mut z1, BM_BLOCK);
+            rb.copy_from_slice(&z0);
+            ib.copy_from_slice(&z1);
+        }
+        let rr = re_blocks.into_remainder();
+        let ir = im_blocks.into_remainder();
+        normal_pair_block(self, &mut z0, &mut z1, rr.len());
+        rr.copy_from_slice(&z0[..rr.len()]);
+        ir.copy_from_slice(&z1[..ir.len()]);
     }
 
     /// Fills `out` with uniform `f64`s in `[0, 1)`; element `i` is
@@ -187,6 +274,128 @@ pub trait Rng {
 impl<R: Rng + ?Sized> Rng for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+}
+
+/// Pairs per block of the fused Box–Muller pipeline: 64 pairs keep the
+/// whole working set (one raw-draw buffer plus five `f64` work arrays,
+/// ~3.5 KiB) on the stack and inside L1, while giving the fixed-width
+/// inner sweeps enough trip count to fill vector registers.
+pub const BM_BLOCK: usize = 64;
+
+/// The 53-bit uniform ladder scale, 2⁻⁵³ (matches [`Rng::f64`]).
+const F64_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// One block of the fused Box–Muller pipeline: computes the first `n`
+/// (≤ [`BM_BLOCK`]) pairs of the stream into `z0` (cosine branches) and
+/// `z1` (sine branches), **bit-identical** to `n` scalar
+/// [`Rng::normal_pair`] calls — same values, same stream consumption.
+///
+/// The fast path is a sequence of flat fixed-width sweeps over stack
+/// arrays (structure-of-arrays, no per-pair control flow), which is what
+/// lets the compiler autovectorize it:
+///
+/// 1. bulk-draw `2n` raw `u64`s (the only serially-dependent stage),
+/// 2. map raws to uniforms with the 2⁻⁵³ ladder,
+/// 3. `ln` hoisted into its own sweep (libm calls stay scalar, but
+///    isolating them keeps every other pass branch-free),
+/// 4. `√(−2·ln u1)` as a pure array sweep,
+/// 5. [`crate::math::sincos_2pi_lanes`] — [`crate::math::LANES`]
+///    polynomial lanes per pass,
+/// 6. the output products.
+///
+/// Bit-identity holds because each pair undergoes exactly the scalar
+/// chain's operation sequence — elementwise reordering across independent
+/// pairs never changes any pair's own rounding (Rust does not contract
+/// floating-point expressions, so vectorizing cannot introduce FMAs).
+///
+/// The scalar chain's rejection (`u1 ≤ f64::MIN_POSITIVE`, i.e. a raw
+/// with all-zero top 53 bits, probability 2⁻⁵³ per pair) is detected by
+/// an OR fold inside the draw loop; on a hit the block falls back —
+/// essentially never — to a scalar replay that consumes the buffered
+/// raws first and only then pulls fresh draws, leaving the stream
+/// position exactly where the scalar chain would.
+pub fn normal_pair_block<R: Rng + ?Sized>(
+    rng: &mut R,
+    z0: &mut [f64; BM_BLOCK],
+    z1: &mut [f64; BM_BLOCK],
+    n: usize,
+) {
+    use crate::math::{sincos_2pi, sincos_2pi_lanes, LANES};
+    assert!(n <= BM_BLOCK, "block kernel serves at most BM_BLOCK pairs");
+    // Draw the raws already deinterleaved (u1 raws and u2 raws in their
+    // own arrays), folding the rejection check into the one serially-
+    // dependent loop — every later sweep then walks contiguous memory.
+    let mut raw1 = [0u64; BM_BLOCK];
+    let mut raw2 = [0u64; BM_BLOCK];
+    let mut any_rejected = false;
+    for i in 0..n {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        any_rejected |= a >> 11 == 0;
+        raw1[i] = a;
+        raw2[i] = b;
+    }
+    if any_rejected {
+        // Rare path: replay the scalar pair chain over the buffered raws
+        // (re-interleaved to stream order), drawing extras only where
+        // rejections demand them.
+        let mut next = 0usize;
+        let take = |next: &mut usize, rng: &mut R| -> u64 {
+            let i = *next;
+            *next += 1;
+            if i < 2 * n {
+                if i % 2 == 0 {
+                    raw1[i / 2]
+                } else {
+                    raw2[i / 2]
+                }
+            } else {
+                rng.next_u64()
+            }
+        };
+        for i in 0..n {
+            (z0[i], z1[i]) = loop {
+                let u1 = (take(&mut next, rng) >> 11) as f64 * F64_SCALE;
+                if u1 <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let u2 = (take(&mut next, rng) >> 11) as f64 * F64_SCALE;
+                let r = (-2.0 * u1.ln()).sqrt();
+                let (s, c) = sincos_2pi(u2);
+                break (r * c, r * s);
+            };
+        }
+        return;
+    }
+    let mut u1 = [0.0f64; BM_BLOCK];
+    let mut u2 = [0.0f64; BM_BLOCK];
+    for i in 0..n {
+        u1[i] = (raw1[i] >> 11) as f64 * F64_SCALE;
+        u2[i] = (raw2[i] >> 11) as f64 * F64_SCALE;
+    }
+    let mut r = [0.0f64; BM_BLOCK];
+    for (ri, a) in r[..n].iter_mut().zip(&u1) {
+        *ri = a.ln();
+    }
+    for ri in r[..n].iter_mut() {
+        *ri = (-2.0 * *ri).sqrt();
+    }
+    let mut s = [0.0f64; BM_BLOCK];
+    let mut c = [0.0f64; BM_BLOCK];
+    let full = n - n % LANES;
+    for (i, chunk) in u2[..full].chunks_exact(LANES).enumerate() {
+        let args: &[f64; LANES] = chunk.try_into().expect("chunks_exact yields LANES");
+        let (sl, cl) = sincos_2pi_lanes(args);
+        s[i * LANES..(i + 1) * LANES].copy_from_slice(&sl);
+        c[i * LANES..(i + 1) * LANES].copy_from_slice(&cl);
+    }
+    for i in full..n {
+        (s[i], c[i]) = sincos_2pi(u2[i]);
+    }
+    for i in 0..n {
+        z0[i] = r[i] * c[i];
+        z1[i] = r[i] * s[i];
     }
 }
 
@@ -462,6 +671,130 @@ mod tests {
         let mut scalar = tree.rng("noise-golden");
         let v1 = scalar.normal();
         assert!((v1 - buf[0]).abs() <= 1e-12 * v1.abs().max(1.0));
+    }
+
+    /// Emits a canned prefix of raws, then falls through to xoshiro —
+    /// the only way to deterministically land a `raw >> 11 == 0` draw on
+    /// the Box–Muller rejection check.
+    struct ScriptedRng {
+        script: Vec<u64>,
+        at: usize,
+        tail: Xoshiro256pp,
+    }
+
+    impl ScriptedRng {
+        fn new(script: Vec<u64>, seed: u64) -> Self {
+            ScriptedRng {
+                script,
+                at: 0,
+                tail: Xoshiro256pp::seed_from(seed),
+            }
+        }
+    }
+
+    impl Rng for ScriptedRng {
+        fn next_u64(&mut self) -> u64 {
+            if self.at < self.script.len() {
+                self.at += 1;
+                self.script[self.at - 1]
+            } else {
+                self.tail.next_u64()
+            }
+        }
+    }
+
+    #[test]
+    fn lane_pipeline_fill_normal_is_bit_identical_to_reference() {
+        // The ISSUE-6 differential ladder: zero, sub-lane, exact-lane,
+        // lane+1, block-straddling, and bulk lengths. Values AND stream
+        // position must match the scalar pair chain exactly.
+        for n in [0usize, 1, 7, 8, 9, 127, 128, 129, 1000, 100_000] {
+            let mut a = Xoshiro256pp::seed_from(0xD1FF ^ n as u64);
+            let mut b = a.clone();
+            let mut lanes = vec![0.0f64; n];
+            let mut reference = vec![0.0f64; n];
+            a.fill_normal(&mut lanes);
+            b.fill_normal_reference(&mut reference);
+            for (i, (x, y)) in lanes.iter().zip(&reference).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n} sample {i}");
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "n={n} stream position");
+        }
+    }
+
+    #[test]
+    fn lane_pipeline_fill_complex_normal_is_bit_identical_to_reference() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000, 100_000] {
+            let mut a = Xoshiro256pp::seed_from(0xC03 ^ n as u64);
+            let mut b = a.clone();
+            let mut lanes = vec![Complex::ZERO; n];
+            let mut reference = vec![Complex::ZERO; n];
+            a.fill_complex_normal(&mut lanes);
+            b.fill_complex_normal_reference(&mut reference);
+            for (i, (x, y)) in lanes.iter().zip(&reference).enumerate() {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "n={n} sample {i} re");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "n={n} sample {i} im");
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "n={n} stream position");
+        }
+    }
+
+    #[test]
+    fn fill_normal_soa_matches_complex_fill_bit_for_bit() {
+        for n in [0usize, 1, 7, 8, 9, 100, 1000] {
+            let mut a = Xoshiro256pp::seed_from(0x50A ^ n as u64);
+            let mut b = a.clone();
+            let mut re = vec![0.0f64; n];
+            let mut im = vec![0.0f64; n];
+            a.fill_normal_soa(&mut re, &mut im);
+            let mut zs = vec![Complex::ZERO; n];
+            b.fill_complex_normal(&mut zs);
+            for i in 0..n {
+                assert_eq!(re[i].to_bits(), zs[i].re.to_bits(), "n={n} pair {i} re");
+                assert_eq!(im[i].to_bits(), zs[i].im.to_bits(), "n={n} pair {i} im");
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "n={n} stream position");
+        }
+    }
+
+    #[test]
+    fn rejection_fallback_replays_the_scalar_chain_exactly() {
+        // Plant `raw >> 11 == 0` draws (the 2⁻⁵³ Box–Muller rejection) at
+        // the start of a block, mid-block, and as the very last pair's u1
+        // — including one script that forces TWO consecutive rejections —
+        // and require the block pipeline to match the scalar chain bit for
+        // bit, stream position included.
+        let ok = 0xABCD_EF01_2345_6789u64; // any raw with top 53 bits set
+        let zero = 0x7FFu64; // raw >> 11 == 0 but nonzero low bits
+        let scripts: Vec<Vec<u64>> = vec![
+            vec![zero],                                     // first pair's u1 rejected
+            vec![ok, ok, zero, zero, ok],                   // double rejection mid-block
+            [vec![ok; 126], vec![zero]].concat(),           // last pair of block 0
+            [vec![ok; 128], vec![zero, ok, zero]].concat(), // block 1 + tail
+        ];
+        for (si, script) in scripts.iter().enumerate() {
+            for n in [1usize, 9, 128, 200] {
+                let mut a = ScriptedRng::new(script.clone(), 77);
+                let mut b = ScriptedRng::new(script.clone(), 77);
+                let mut lanes = vec![0.0f64; n];
+                let mut reference = vec![0.0f64; n];
+                a.fill_normal(&mut lanes);
+                b.fill_normal_reference(&mut reference);
+                for (i, (x, y)) in lanes.iter().zip(&reference).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "script {si} n={n} sample {i}");
+                }
+                assert_eq!(a.next_u64(), b.next_u64(), "script {si} n={n} stream");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn soa_halves_must_match_in_length() {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let mut re = vec![0.0f64; 4];
+        let mut im = vec![0.0f64; 5];
+        rng.fill_normal_soa(&mut re, &mut im);
     }
 
     #[test]

@@ -39,9 +39,22 @@ rm -rf "$cache_dir"
 
 # Perf-trajectory gate: regenerate BENCH_report.json with cheap timing
 # rounds at a pinned 4-thread budget (exercises the pool, the per-thread
-# speedup rows and the bit-identity asserts), then fail if the report is
-# missing or unparsable.
+# speedup rows, the core-aware skip logic and the bit-identity asserts),
+# then run the schema gate: --verify fails on a missing/unparsable report,
+# a par{t} ratio measured on fewer than t cores, or any gated kernel row
+# (*_lanes_vs_batch, fft1024_radix4_vs_radix2) below the 0.9 floor.
 MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --quick
 MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --verify
+
+# Compile-cost canary for the lane kernels: a from-scratch release build
+# of the rf crate (where the fixed-width pipelines live), timed into its
+# own target dir so the main build cache stays warm. Informational —
+# autovectorized kernel code is where compile time would creep in first.
+rm -rf target/rf-build-timing
+rf_t0=$(date +%s)
+CARGO_TARGET_DIR=target/rf-build-timing cargo build -q --release -p mmtag-rf
+rf_t1=$(date +%s)
+echo "rf crate release build (clean): $((rf_t1 - rf_t0))s"
+rm -rf target/rf-build-timing
 
 echo "check.sh: fmt + build + tests + clippy + scenario smoke + cache round-trip + bench report all green"

@@ -133,6 +133,78 @@ fn outage_trial_loop_is_allocation_free_in_steady_state() {
 }
 
 #[test]
+fn radix4_fft_and_welch_are_allocation_free_after_planning() {
+    use mmtag_rf::complex::Complex;
+    use mmtag_rf::fft::{FftPlan, WelchPlan};
+
+    // 1024 = 4⁵, so FftPlan::new picks the radix-4 kernel — the guard
+    // covers the new butterfly path, not just the radix-2 one.
+    let plan = FftPlan::new(1024);
+    assert_eq!(plan.radix(), 4);
+    let welch = WelchPlan::new(1024);
+    let sig: Vec<Complex> = (0..8192)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+        .collect();
+    let mut buf: Vec<Complex> = sig[..1024].to_vec();
+    let mut seg = vec![Complex::ZERO; 1024];
+    let mut out = vec![0.0f64; 1024];
+
+    // Warm-up (the plans are already fully built; this pins that the
+    // transforms themselves never lazily allocate either).
+    plan.fft(&mut buf);
+    plan.ifft(&mut buf);
+    welch.psd_into(&sig, &mut seg, &mut out);
+
+    let (allocs, checksum) = allocations_during(|| {
+        let mut acc = 0.0f64;
+        for _ in 0..8 {
+            plan.fft(&mut buf);
+            plan.ifft(&mut buf);
+            welch.psd_into(&sig, &mut seg, &mut out);
+            acc += out[0] + buf[0].re;
+        }
+        acc
+    });
+    assert_eq!(
+        allocs, 0,
+        "planned FFT/Welch allocated {allocs} times over 8 rounds"
+    );
+    assert!(checksum.is_finite(), "transforms must produce real data");
+}
+
+#[test]
+fn gaussian_fill_is_allocation_free_into_existing_buffers() {
+    use mmtag_rf::rng::{Rng, SeedTree};
+
+    // The fused Box–Muller pipeline (DESIGN.md §11) stages everything in
+    // fixed-size stack blocks; filling caller-owned buffers must never
+    // touch the heap, lane path and SoA path alike.
+    let tree = SeedTree::new(0xF111);
+    let mut rng = tree.rng_indexed("alloc-fill", 0);
+    let mut z = vec![0.0f64; 10_001]; // odd length exercises the tail
+    let mut re = vec![0.0f64; 4_096];
+    let mut im = vec![0.0f64; 4_096];
+
+    rng.fill_normal(&mut z);
+    rng.fill_normal_soa(&mut re, &mut im);
+
+    let (allocs, sum) = allocations_during(|| {
+        let mut acc = 0.0f64;
+        for _ in 0..8 {
+            rng.fill_normal(&mut z);
+            rng.fill_normal_soa(&mut re, &mut im);
+            acc += z[0] + re[0] + im[0];
+        }
+        acc
+    });
+    assert_eq!(
+        allocs, 0,
+        "Gaussian fills allocated {allocs} times over 8 rounds"
+    );
+    assert!(sum.is_finite());
+}
+
+#[test]
 fn aloha_drain_loop_is_allocation_free_in_steady_state() {
     use mmtag_mac::aloha::{inventory_until_drained_scratch, AlohaScratch, QAlgorithm};
     use mmtag_rf::rng::SeedTree;
