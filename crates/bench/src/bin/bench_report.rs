@@ -19,7 +19,12 @@
 //!   batch kernels vs the fixed-width SoA rewrites (fused Box–Muller
 //!   pipeline, lane-accumulator BER/outage counters, radix-4 FFT). These
 //!   rows are **gated**: `--verify` fails if any slips below 0.9×
-//!   (see [`mmtag_bench::report::verify_report`]).
+//!   (see [`mmtag_bench::report::verify_report`]);
+//! * **city-engine** rows — this PR's headline: the sharded
+//!   calendar-queue DES against the heap-scheduler reference on a
+//!   10⁵–10⁶-tag city (`city_calendar_vs_heap_des`, gated at the same
+//!   0.9 floor), its `par{t}` pool rows, and the `throughput` block
+//!   (`*_tags_per_sec`, `*_events_per_sec`) `--verify` requires.
 //!
 //! Modes: no args = full-fidelity run; `--quick` = small timing rounds so
 //! `scripts/check.sh` can regenerate and validate the report on every
@@ -34,6 +39,7 @@ use mmtag_mac::aloha::{
     inventory_ensemble_par_with, inventory_until_drained, inventory_until_drained_scratch,
     AlohaScratch, QAlgorithm,
 };
+use mmtag_mac::city::{CityConfig, CityEngine};
 use mmtag_phy::waveform::{
     ber_sweep_par_with, count_bit_errors_reference, count_bit_errors_scratch,
     count_bit_errors_scratch_batch, measure_ber_par_with, Awgn, OokModem, TrialScratch,
@@ -102,6 +108,7 @@ fn main() {
     let mut skipped: Vec<(String, String)> = Vec::new();
     let mut scaling: Vec<(String, f64)> = Vec::new();
     let mut ns_per_bit: Vec<(String, f64)> = Vec::new();
+    let mut throughput: Vec<(String, f64)> = Vec::new();
 
     let pair = |name: &str,
                 results: &mut Vec<BenchResult>,
@@ -415,6 +422,72 @@ fn main() {
         );
     }
 
+    // ---- city engine: calendar-queue DES vs the heap reference ----
+    //
+    // The city-scale rows: a dense reader grid inventorying 10⁵ (quick)
+    // or 10⁶ (full) mobile tags. The gated `city_calendar_vs_heap_des`
+    // ratio is the tentpole number — the sharded calendar-queue engine,
+    // run serially, against the same per-reader logic on the binary-heap
+    // scheduler. Bit-identity across engines and thread counts is
+    // asserted *before* any timing; `par{t}` rows follow the same
+    // honest core-aware skip as every other pool row. The `throughput`
+    // rows (`tags_per_sec`, `events_per_sec`) are what `--verify` pins:
+    // wall-clock engine rate of the production path (tag-rounds and DES
+    // events per second).
+    let city_tags: usize = if quick { 100_000 } else { 1_000_000 };
+    let city_rounds = if quick { 3 } else { 6 };
+    let city_label = format!("city_{}k", city_tags / 1_000);
+    let city_cfg = CityConfig::dense(city_tags, city_rounds);
+    let city_tree = tree.subtree("city-bench");
+    let city_stats = {
+        let mut reference = CityEngine::new(city_cfg, city_tree);
+        let want = reference.run_rounds_reference();
+        assert!(want.tags_read > 0, "city bench must actually read tags");
+        for t in [1usize, 2, 4] {
+            let mut eng = CityEngine::new(city_cfg, city_tree);
+            assert_eq!(
+                eng.run_rounds(t),
+                want,
+                "sharded city engine must be bit-identical at {t} threads"
+            );
+        }
+        want
+    };
+    let s = bench(&format!("{city_label}_heap_des"), &mut || {
+        let mut eng = CityEngine::new(city_cfg, city_tree);
+        eng.run_rounds_reference().tags_read as f64
+    });
+    let l = bench(&format!("{city_label}_calendar_serial"), &mut || {
+        let mut eng = CityEngine::new(city_cfg, city_tree);
+        eng.run_rounds(1).tags_read as f64
+    });
+    speedups.push(("city_calendar_vs_heap_des".into(), Some(l.speedup_over(&s))));
+    ns_per_bit.push((
+        "city_ns_per_event".into(),
+        l.ns_per_iter / city_stats.events as f64,
+    ));
+    // Throughput is engine rate, not MAC yield: every round streams the
+    // whole population through mobility/harvest/assignment regardless of
+    // how many tags the (still-adapting) Q-algorithm reads, so the
+    // tags-per-second row is population × rounds over wall time.
+    let city_secs = l.ns_per_iter / 1e9;
+    throughput.push((
+        format!("{city_label}_tags_per_sec"),
+        (city_tags as u64 * city_stats.rounds) as f64 / city_secs,
+    ));
+    throughput.push((
+        format!("{city_label}_events_per_sec"),
+        city_stats.events as f64 / city_secs,
+    ));
+    for t in PAR_THREADS {
+        par_row(t, &city_label, &l, &mut speedups, &mut results, &mut || {
+            let mut eng = CityEngine::new(city_cfg, city_tree);
+            eng.run_rounds(t).tags_read as f64
+        });
+    }
+    results.push(s);
+    results.push(l);
+
     // ---- observability overhead: the BER batch kernel with tracing on ----
     //
     // The ISSUE-4 acceptance bar: full tracing (spans + counters) must cost
@@ -475,6 +548,7 @@ fn main() {
         skipped,
         scaling_efficiency: scaling,
         ns_per_bit,
+        throughput,
         spans: trace_report.spans,
     };
     let json = report.to_json();

@@ -36,6 +36,7 @@
 
 pub mod advanced;
 pub mod antenna_figs;
+pub mod city_figs;
 pub mod eval;
 pub mod extensions;
 pub mod network_figs;

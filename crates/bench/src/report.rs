@@ -40,8 +40,17 @@ pub const KERNEL_FLOOR: f64 = 0.9;
 
 /// Speedup-row suffixes gated by [`KERNEL_FLOOR`].
 const GATED_SUFFIX: &str = "_lanes_vs_batch";
-/// Individually gated rows (same floor).
-const GATED_ROWS: [&str; 1] = ["fft1024_radix4_vs_radix2"];
+/// Individually gated rows (same floor). `city_calendar_vs_heap_des` is
+/// the city engine's DES speedup: the sharded calendar-queue engine run
+/// serially against the heap-scheduler reference on the same deployment —
+/// a ratio below the floor means the calendar queue lost >10% to the
+/// binary heap it replaced.
+const GATED_ROWS: [&str; 2] = ["fft1024_radix4_vs_radix2", "city_calendar_vs_heap_des"];
+
+/// Throughput-row suffixes [`verify_report`] requires: the city engine
+/// must publish how many tags it inventories and how many DES events it
+/// retires per wall-clock second.
+const THROUGHPUT_SUFFIXES: [&str; 2] = ["_tags_per_sec", "_events_per_sec"];
 
 /// Everything that goes into `BENCH_report.json`, gathered by
 /// `bench_report` and serialized by [`Report::to_json`].
@@ -63,6 +72,9 @@ pub struct Report {
     pub scaling_efficiency: Vec<(String, f64)>,
     /// Per-work-unit kernel costs (ns per bit / trial / sample).
     pub ns_per_bit: Vec<(String, f64)>,
+    /// Wall-clock throughput rows (`*_tags_per_sec`, `*_events_per_sec`)
+    /// from the city-engine benches.
+    pub throughput: Vec<(String, f64)>,
     /// Observability span breakdown from the traced pass.
     pub spans: Vec<SpanStat>,
 }
@@ -74,14 +86,10 @@ impl Report {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        fn num_obj(out: &mut String, name: &str, rows: &[(String, f64)], fmt3: bool) {
+        fn num_obj(out: &mut String, name: &str, rows: &[(String, f64)], prec: usize) {
             out.push_str(&format!("  \"{name}\": {{\n"));
             for (i, (k, v)) in rows.iter().enumerate() {
-                let v = if fmt3 {
-                    format!("{v:.3}")
-                } else {
-                    format!("{v:.4}")
-                };
+                let v = format!("{v:.prec$}");
                 out.push_str(&format!(
                     "    \"{}\": {}{}\n",
                     esc(k),
@@ -130,13 +138,9 @@ impl Report {
             ));
         }
         out.push_str("  },\n");
-        num_obj(
-            &mut out,
-            "scaling_efficiency",
-            &self.scaling_efficiency,
-            true,
-        );
-        num_obj(&mut out, "ns_per_bit", &self.ns_per_bit, false);
+        num_obj(&mut out, "scaling_efficiency", &self.scaling_efficiency, 3);
+        num_obj(&mut out, "ns_per_bit", &self.ns_per_bit, 4);
+        num_obj(&mut out, "throughput", &self.throughput, 1);
         out.push_str("  \"spans\": {\n");
         for (i, s) in self.spans.iter().enumerate() {
             out.push_str(&format!(
@@ -440,8 +444,11 @@ fn par_threads(name: &str) -> Option<usize> {
 ///    `t > available_cores` — those rows must be `null` with a reason in
 ///    `skipped` (and any `null` row must carry a reason);
 /// 3. every gated kernel row (`*_lanes_vs_batch`,
-///    `fft1024_radix4_vs_radix2`) is present, numeric, and at least
-///    [`KERNEL_FLOOR`].
+///    `fft1024_radix4_vs_radix2`, `city_calendar_vs_heap_des`) is
+///    present, numeric, and at least [`KERNEL_FLOOR`];
+/// 4. `throughput` is present with finite positive numbers and carries
+///    at least one `*_tags_per_sec` and one `*_events_per_sec` row — the
+///    city engine's wall-clock numbers cannot silently drop out.
 pub fn verify_report(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let cores = doc
@@ -483,6 +490,24 @@ pub fn verify_report(text: &str) -> Result<(), String> {
         match v.as_num() {
             Some(x) if x.is_finite() && x > 0.0 => {}
             _ => return Err(format!("ns_per_bit[\"{k}\"] is not a positive number")),
+        }
+    }
+    let throughput = doc
+        .get("throughput")
+        .and_then(Json::as_obj)
+        .ok_or("report lacks \"throughput\" (pre-city schema?)")?;
+    for (k, v) in throughput {
+        match v.as_num() {
+            Some(x) if x.is_finite() && x > 0.0 => {}
+            _ => return Err(format!("throughput[\"{k}\"] is not a positive number")),
+        }
+    }
+    for suffix in THROUGHPUT_SUFFIXES {
+        if !throughput.iter().any(|(k, _)| k.ends_with(suffix)) {
+            return Err(format!(
+                "no \"*{suffix}\" row in \"throughput\" — the city engine's \
+                 wall-clock numbers are not being tracked"
+            ));
         }
     }
 
@@ -547,6 +572,7 @@ mod tests {
             speedups: vec![
                 ("ber_kernel_lanes_vs_batch".into(), Some(1.26)),
                 ("fft1024_radix4_vs_radix2".into(), Some(1.65)),
+                ("city_calendar_vs_heap_des".into(), Some(1.08)),
                 ("ber_point_100kbit_par1_vs_serial".into(), Some(0.99)),
                 ("ber_point_100kbit_par4_vs_serial".into(), None),
             ],
@@ -556,6 +582,10 @@ mod tests {
             )],
             scaling_efficiency: vec![("ber_point_100kbit_par1".into(), 0.99)],
             ns_per_bit: vec![("ber_kernel_lanes".into(), 53.2)],
+            throughput: vec![
+                ("city_100k_tags_per_sec".into(), 2.5e6),
+                ("city_100k_events_per_sec".into(), 8.1e6),
+            ],
             spans: vec![],
         }
     }
@@ -598,7 +628,7 @@ mod tests {
     #[test]
     fn numeric_par_row_beyond_core_count_is_rejected() {
         let mut r = base_report();
-        r.speedups[3].1 = Some(0.739); // the PR 5 lie, restated
+        r.speedups[4].1 = Some(0.739); // the PR 5 lie, restated
         let err = verify_report(&r.to_json()).unwrap_err();
         assert!(err.contains("time-sliced"), "{err}");
     }
@@ -631,6 +661,33 @@ mod tests {
         assert!(verify_report(&r.to_json())
             .unwrap_err()
             .contains("lane-kernel trajectory"));
+    }
+
+    #[test]
+    fn city_des_regression_is_rejected() {
+        let mut r = base_report();
+        r.speedups[2].1 = Some(0.42); // calendar queue losing badly to the heap
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("city_calendar_vs_heap_des"), "{err}");
+        assert!(err.contains("below the 0.9 floor"), "{err}");
+    }
+
+    #[test]
+    fn missing_throughput_rows_are_rejected() {
+        let mut r = base_report();
+        r.throughput.clear();
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("_tags_per_sec"), "{err}");
+
+        let mut r = base_report();
+        r.throughput.remove(1); // keep tags_per_sec, drop events_per_sec
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("_events_per_sec"), "{err}");
+
+        let mut r = base_report();
+        r.throughput[0].1 = 0.0; // a throughput of zero is a broken bench
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("not a positive number"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use mmtag_sim::scenario::{Registry, RunContext, RunRecord, Runner, Scenario, Sce
 pub type FigBody = fn(&RunContext) -> Vec<Table>;
 
 /// A registry-ready experiment: a typed spec paired with the function
-/// that interprets it. All 26 experiments in this crate are instances.
+/// that interprets it. All 28 experiments in this crate are instances.
 pub struct FigScenario {
     spec: ScenarioSpec,
     body: FigBody,
@@ -59,7 +59,7 @@ impl Scenario for FigScenario {
     }
 }
 
-/// Builds the full registry: every experiment E1–E26 under its canonical
+/// Builds the full registry: every experiment E1–E28 under its canonical
 /// name, with the exact default parameters the figure binaries publish.
 pub fn registry() -> Registry {
     let mut reg = Registry::new();
@@ -129,6 +129,8 @@ pub fn registry() -> Registry {
         crate::advanced::e26_spec(100_000, 7),
         crate::advanced::e26_body,
     );
+    add(crate::city_figs::e27_spec(7), crate::city_figs::e27_body);
+    add(crate::city_figs::e28_spec(7), crate::city_figs::e28_body);
 
     reg
 }
@@ -152,13 +154,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_26_experiments_in_order() {
+    fn registry_has_all_28_experiments_in_order() {
         let reg = registry();
-        assert_eq!(reg.len(), 26);
+        assert_eq!(reg.len(), 28);
         let names = reg.names();
         assert_eq!(names[0], "e01-s11");
         assert_eq!(names[1], "e02-link-budget");
         assert_eq!(names[25], "e26-cancellation");
+        assert_eq!(names[26], "e27-city-density");
+        assert_eq!(names[27], "e28-city-mobility");
         // Every name carries its E-number prefix, zero-padded, kebab-case.
         for (i, name) in names.iter().enumerate() {
             assert!(

@@ -13,8 +13,9 @@ use mmtag::scenario::{build_reader, build_scene, build_tag, offset_poses};
 use mmtag::storage::{steady_state_cycle, StorageCap};
 use mmtag_antenna::sparams::{ElementPort, SwitchState};
 use mmtag_bench::scenarios::registry;
+use mmtag_mac::city::{CityConfig, CityEngine};
 use mmtag_rf::obs;
-use mmtag_rf::rng::Xoshiro256pp;
+use mmtag_rf::rng::{SeedTree, Xoshiro256pp};
 use mmtag_sim::experiment::linspace;
 use mmtag_sim::scenario::Runner;
 use std::fmt::Write as _;
@@ -54,6 +55,7 @@ fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("sweep") => cmd_sweep(args),
         Some("s11") => cmd_s11(args),
         Some("inventory") => cmd_inventory(args),
+        Some("city") => cmd_city(args),
         Some("locate") => cmd_locate(args),
         Some("energy") => cmd_energy(args),
         Some("compare") => Ok(cmd_compare()),
@@ -77,11 +79,14 @@ COMMANDS:
   sweep      power/rate vs range      --from-ft 2 --to-ft 12 --points 11
   s11        element S11, both switch states (Fig. 6 anchors)
   inventory  timed multi-tag read     --tags 48 --seed 1
+  city       city-scale sharded       --tags 100000 --rounds 10 --seed 1
+             inventory (E27/E28)      --shards 4 --speed-mps 1.5
+                                      --blockers 4
   locate     scan-based positioning   --range-ft 6 --bearing-deg 20
   energy     batteryless budget       --rate-mbps 1000 --solar-cm2 10
                                       --cap-uf 100
   compare    the §1/§3 systems comparison table
-  scenarios  list every registered experiment (E1–E26)
+  scenarios  list every registered experiment (E1–E28)
   run        run a scenario by name   run e02-link-budget
                                       --format table|csv|json
                                       --quick 1 --seed 7
@@ -205,6 +210,39 @@ fn cmd_inventory(args: &Args) -> Result<String, ArgError> {
     let _ = writeln!(out, "  sectors visited : {}", inv.sectors_visited);
     let _ = writeln!(out, "  Aloha slots     : {}", inv.slots);
     let _ = writeln!(out, "  elapsed         : {}", inv.elapsed);
+    Ok(out)
+}
+
+fn cmd_city(args: &Args) -> Result<String, ArgError> {
+    let mut cfg = CityConfig::dense(
+        args.usize_or("tags", 100_000)?,
+        args.usize_or("rounds", 10)?,
+    );
+    cfg.shards = args.usize_or("shards", cfg.shards)?;
+    cfg.speed_mps = args.f64_or("speed-mps", cfg.speed_mps)?;
+    cfg.blockers = args.usize_or("blockers", cfg.blockers)?;
+    let seed = args.u64_or("seed", 1)?;
+    let mut eng = CityEngine::new(cfg, SeedTree::new(seed));
+    let stats = eng.run_rounds(mmtag_rf::par::thread_limit());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "city inventory: {} tags, {} readers, {} shards (seed {seed}):",
+        cfg.tags,
+        cfg.n_readers(),
+        cfg.shards
+    );
+    let _ = writeln!(out, "  rounds          : {}", stats.rounds);
+    let _ = writeln!(
+        out,
+        "  tags read       : {} ({:.1}%)",
+        stats.tags_read,
+        100.0 * stats.tags_read as f64 / cfg.tags as f64
+    );
+    let _ = writeln!(out, "  Aloha slots     : {}", stats.slots);
+    let _ = writeln!(out, "  DES events      : {}", stats.events);
+    let _ = writeln!(out, "  collisions      : {}", stats.collisions);
+    let _ = writeln!(out, "  elapsed (sim)   : {}", stats.elapsed);
     Ok(out)
 }
 
@@ -479,11 +517,34 @@ mod tests {
     // ---- the scenario pipeline commands ----
 
     #[test]
-    fn scenarios_lists_all_26() {
+    fn scenarios_lists_all_28() {
         let out = run_line(&["scenarios"]);
-        assert_eq!(out.lines().count(), 26);
+        assert_eq!(out.lines().count(), 28);
         assert!(out.starts_with("e01-s11"));
         assert!(out.contains("e26-cancellation"));
+        assert!(out.contains("e27-city-density"));
+        assert!(out.contains("e28-city-mobility"));
+    }
+
+    #[test]
+    fn city_inventory_runs_and_is_deterministic() {
+        let line = [
+            "city",
+            "--tags",
+            "400",
+            "--rounds",
+            "6",
+            "--blockers",
+            "0",
+            "--seed",
+            "9",
+        ];
+        let a = run_line(&line);
+        let b = run_line(&line);
+        assert_eq!(a, b, "city output must be deterministic per seed");
+        assert!(a.starts_with("city inventory: 400 tags"));
+        assert!(a.contains("tags read"));
+        assert!(a.contains("DES events"));
     }
 
     #[test]

@@ -142,6 +142,78 @@ impl FramedAloha {
         }
         counts
     }
+
+    /// The PHY half of a round: draws every tag's slot choice (one
+    /// [`Rng::index`] per tag — the reference stream) into the scratch's
+    /// parallel slot arrays (occupancy histogram + last-writer owner)
+    /// and nothing else. Event engines that classify slots *as DES
+    /// events* (the city engine's per-slot timeline) run on this and do
+    /// their own accounting from [`AlohaScratch::slot_count`] /
+    /// [`AlohaScratch::slot_owner`].
+    ///
+    /// # Panics
+    /// Panics on a zero frame size.
+    pub fn fill_round<R: Rng + ?Sized>(
+        &self,
+        n_tags: usize,
+        frame_size: usize,
+        rng: &mut R,
+        scratch: &mut AlohaScratch,
+    ) {
+        assert!(frame_size > 0, "frame must have at least one slot");
+        scratch.slot_count.clear();
+        scratch.slot_count.resize(frame_size, 0);
+        scratch.slot_owner.clear();
+        scratch.slot_owner.resize(frame_size, 0);
+        for tag in 0..n_tags {
+            let slot = rng.index(frame_size);
+            scratch.slot_count[slot] += 1;
+            scratch.slot_owner[slot] = tag as u32;
+        }
+    }
+
+    /// The SoA round kernel for engines that need to know *which* tags
+    /// were read without the reference path's per-round allocations:
+    /// fills the scratch's parallel slot arrays (occupancy histogram +
+    /// last-writer owner) with the same one-[`Rng::index`]-draw-per-tag
+    /// stream as [`FramedAloha::run_round`], then appends the local
+    /// indices of singleton-slot owners to `read` in slot order — exactly
+    /// the reference's read list. The city engine drives its per-slot DES
+    /// events off the filled scratch (see [`AlohaScratch::slot_count`]).
+    ///
+    /// `read` is appended to, not cleared: cross-round accumulation is
+    /// the common case (a drain loop collecting all reads of one frame
+    /// sequence into one buffer).
+    ///
+    /// # Panics
+    /// Panics on a zero frame size.
+    pub fn run_round_reads<R: Rng + ?Sized>(
+        &self,
+        n_tags: usize,
+        frame_size: usize,
+        rng: &mut R,
+        scratch: &mut AlohaScratch,
+        read: &mut Vec<u32>,
+    ) -> RoundCounts {
+        self.fill_round(n_tags, frame_size, rng, scratch);
+        let mut counts = RoundCounts {
+            successes: 0,
+            empty_slots: 0,
+            collision_slots: 0,
+            frame_size,
+        };
+        for (&c, &owner) in scratch.slot_count.iter().zip(&scratch.slot_owner) {
+            match c {
+                0 => counts.empty_slots += 1,
+                1 => {
+                    counts.successes += 1;
+                    read.push(owner);
+                }
+                _ => counts.collision_slots += 1,
+            }
+        }
+        counts
+    }
 }
 
 /// Caller-owned workspace for the batch Aloha round kernel: the per-slot
@@ -152,12 +224,32 @@ impl FramedAloha {
 pub struct AlohaScratch {
     /// Tags-per-slot histogram for the current frame.
     slot_count: Vec<u32>,
+    /// Last tag (local index) to pick each slot — the winner wherever the
+    /// histogram says exactly one tag chose it. Parallel to `slot_count`;
+    /// filled by [`FramedAloha::fill_round`] and its callers.
+    slot_owner: Vec<u32>,
 }
 
 impl AlohaScratch {
     /// An empty workspace; sized lazily by the first round.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The per-slot occupancy histogram of the last round run on this
+    /// scratch (empty before any round). Slot `s` saw `slot_count()[s]`
+    /// tags: 0 = idle, 1 = a successful read, ≥ 2 = a collision. Event
+    /// engines walk this to emit one DES event per slot.
+    pub fn slot_count(&self) -> &[u32] {
+        &self.slot_count
+    }
+
+    /// The per-slot owner array of the last
+    /// [`FramedAloha::run_round_reads`] (parallel to
+    /// [`AlohaScratch::slot_count`]; meaningful only where the count is
+    /// exactly 1).
+    pub fn slot_owner(&self) -> &[u32] {
+        &self.slot_owner
     }
 }
 
@@ -560,6 +652,32 @@ mod tests {
             // Identical stream consumption: the kernels stay interchangeable
             // mid-simulation.
             assert_eq!(a.next_u64(), b.next_u64(), "n={n_tags} L={frame}");
+        }
+    }
+
+    #[test]
+    fn round_reads_kernel_is_bit_identical_to_run_round() {
+        let mut scratch = AlohaScratch::new();
+        for (n_tags, frame) in [(0usize, 16usize), (1, 1), (7, 8), (40, 64), (200, 13)] {
+            let mut a = Xoshiro256pp::seed_from(2000 + n_tags as u64);
+            let mut b = Xoshiro256pp::seed_from(2000 + n_tags as u64);
+            let full = FramedAloha.run_round(n_tags, frame, &mut a);
+            let mut read = Vec::new();
+            let counts =
+                FramedAloha.run_round_reads(n_tags, frame, &mut b, &mut scratch, &mut read);
+            // Same aggregate counts, same read list (slot order), same
+            // stream position afterwards.
+            assert_eq!(counts.successes, full.success_slots());
+            assert_eq!(counts.empty_slots, full.empty_slots);
+            assert_eq!(counts.collision_slots, full.collision_slots);
+            let want: Vec<u32> = full.read.iter().map(|&t| t as u32).collect();
+            assert_eq!(read, want, "n={n_tags} L={frame}");
+            assert_eq!(a.next_u64(), b.next_u64(), "n={n_tags} L={frame}");
+            // The SoA arrays are consistent with the counts.
+            assert_eq!(scratch.slot_count().len(), frame);
+            assert_eq!(scratch.slot_owner().len(), frame);
+            let singles = scratch.slot_count().iter().filter(|&&c| c == 1).count();
+            assert_eq!(singles, counts.successes);
         }
     }
 

@@ -6,7 +6,7 @@
 //! module runs that full timeline on the `mmtag-sim` scheduler and is the
 //! engine behind the warehouse-inventory example and experiment E7.
 
-use crate::aloha::{FramedAloha, QAlgorithm};
+use crate::aloha::{AlohaScratch, FramedAloha, QAlgorithm};
 use crate::scan::ScanSchedule;
 use crate::sdm::SectorScheduler;
 use mmtag_rf::rng::Rng;
@@ -74,6 +74,7 @@ pub fn run_timed_inventory<R: Rng + ?Sized>(
 
     let mut sched: Scheduler<Event> = Scheduler::new();
     let mut result = TimedInventory::default();
+    let mut scratch = AlohaScratch::new();
     sched.schedule_at(Instant::ZERO, Event::EnterSector(0));
 
     while let Some((_, ev)) = sched.pop() {
@@ -94,11 +95,15 @@ pub fn run_timed_inventory<R: Rng + ?Sized>(
                     continue;
                 }
                 let frame = qs[idx].frame_size();
-                let outcome = FramedAloha.run_round(unread[idx], frame, rng);
-                unread[idx] -= outcome.read.len();
-                result.tags_read += outcome.read.len();
+                // Batch counts kernel: same slot-draw stream as the
+                // allocating `run_round` (one draw per unread tag), but
+                // only the histogram is materialized — the event loop
+                // stays allocation-free in steady state.
+                let counts = FramedAloha.run_round_counts(unread[idx], frame, rng, &mut scratch);
+                unread[idx] -= counts.successes;
+                result.tags_read += counts.successes;
                 result.slots += frame;
-                qs[idx].update(&outcome);
+                qs[idx].update_counts(&counts);
                 let round_time = slot.times(frame as u64);
                 if unread[idx] == 0 {
                     sched.schedule_in(round_time, Event::EnterSector(idx + 1));

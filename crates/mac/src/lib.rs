@@ -26,7 +26,11 @@
 //! * [`mimo`] — §9's multi-beam proposal: K simultaneous beams inventory
 //!   sectors in parallel (LPT makespan scheduling),
 //! * [`gen2`] — a Gen2-style inventory protocol with explicit reader and
-//!   tag state machines (Query → RN16 → ACK → EPC handshake).
+//!   tag state machines (Query → RN16 → ACK → EPC handshake),
+//! * [`city`] — the city-scale sharded event engine: a reader grid
+//!   inventorying 10⁵⁺ mobile tags on calendar-queue DES shards with
+//!   struct-of-arrays tag state, bit-identical at any thread or shard
+//!   count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@
 pub mod acquisition;
 pub mod aloha;
 pub mod capture;
+pub mod city;
 pub mod gen2;
 pub mod inventory;
 pub mod mimo;
@@ -41,5 +46,6 @@ pub mod scan;
 pub mod sdm;
 
 pub use aloha::{FramedAloha, QAlgorithm};
+pub use city::{CityConfig, CityEngine, CityStats, TagSoA};
 pub use scan::ScanSchedule;
 pub use sdm::SectorScheduler;

@@ -73,9 +73,28 @@ impl Vec2 {
         self.x.hypot(self.y)
     }
 
+    /// Squared Euclidean length (`x² + y²`) — no square root.
+    ///
+    /// Radius tests in hot paths (spatial-hash coverage and culling
+    /// queries) compare `norm_sq() <= r * r` instead of `norm() <= r`:
+    /// same boundary-inclusive predicate, one `sqrt` cheaper per
+    /// candidate. Note the subtlety this sidesteps: [`Vec2::norm`] uses
+    /// `hypot`, which is *more* accurate than `sqrt(x² + y²)`, so the two
+    /// predicates are only guaranteed to agree where the squared form is
+    /// exact — the equivalence test pins integer-exact boundary cases.
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
     /// Distance to another point.
     pub fn distance_to(self, other: Vec2) -> Distance {
         Distance::from_meters(self.sub(other).norm())
+    }
+
+    /// Squared distance to another point, in m² — the sqrt-free form of
+    /// [`Vec2::distance_to`] for coverage/culling comparisons.
+    pub fn dist_sq(self, other: Vec2) -> f64 {
+        self.sub(other).norm_sq()
     }
 
     /// The absolute bearing of the vector from `self` to `target`
@@ -178,6 +197,46 @@ mod tests {
         assert_eq!(a.dot(b), 1.0);
         assert_eq!(a.cross(b), -7.0);
         assert!((Vec2::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_forms_match_their_sqrt_counterparts() {
+        let a = Vec2::new(1.5, -2.25);
+        let b = Vec2::new(-0.5, 1.75);
+        assert!((a.norm_sq() - a.norm() * a.norm()).abs() < 1e-12);
+        let d = a.distance_to(b).meters();
+        assert!((a.dist_sq(b) - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_radius_test_is_boundary_inclusive() {
+        // Exactly-representable 3-4-5 geometry: the boundary case where
+        // `dist_sq <= r²` and `distance_to <= r` must agree *inclusively*
+        // (a tag sitting exactly on the coverage circle is covered).
+        let reader = Vec2::new(1.0, 2.0);
+        let on_boundary = Vec2::new(4.0, 6.0); // distance exactly 5
+        let r = 5.0;
+        assert_eq!(on_boundary.dist_sq(reader), 25.0);
+        assert!(on_boundary.dist_sq(reader) <= r * r, "boundary is inside");
+        assert!(on_boundary.distance_to(reader).meters() <= r);
+        // Just outside / just inside agree with the sqrt predicate too.
+        let outside = Vec2::new(4.0, 6.001);
+        let inside = Vec2::new(4.0, 5.999);
+        assert_eq!(
+            outside.dist_sq(reader) <= r * r,
+            outside.distance_to(reader).meters() <= r
+        );
+        assert_eq!(
+            inside.dist_sq(reader) <= r * r,
+            inside.distance_to(reader).meters() <= r
+        );
+        // And across a fan of integer Pythagorean triples the predicates
+        // agree exactly on the boundary, where both forms are exact.
+        for (x, y, h) in [(3.0, 4.0, 5.0), (5.0, 12.0, 13.0), (8.0, 15.0, 17.0)] {
+            let p = Vec2::new(x, y);
+            assert_eq!(p.norm_sq(), h * h);
+            assert!(p.norm_sq() <= h * h && p.norm() <= h);
+        }
     }
 
     #[test]

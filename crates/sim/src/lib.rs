@@ -11,6 +11,8 @@
 //! * [`des`] — a deterministic discrete-event scheduler,
 //! * [`geom`] — 2-D geometry: vectors, wall segments, line-of-sight tests
 //!   and image-method specular reflections,
+//! * [`spatial`] — a uniform-grid spatial hash (CSR layout, counting-sort
+//!   rebuild) for coverage and interference-neighborhood disc queries,
 //! * [`mobility`] — position/orientation trajectories for tags and blockers,
 //! * [`rng`] — deterministic per-entity RNG streams (add a tag without
 //!   perturbing anyone else's randomness),
@@ -47,10 +49,12 @@ pub mod par;
 pub mod rng;
 pub mod scenario;
 pub mod scene;
+pub mod spatial;
 pub mod time;
 
-pub use des::Scheduler;
+pub use des::{CalendarQueue, Scheduler};
 pub use geom::{Segment, Vec2};
 pub use rng::SeedTree;
 pub use scene::Scene;
+pub use spatial::SpatialHash;
 pub use time::{Duration, Instant};

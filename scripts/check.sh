@@ -14,10 +14,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 # already run the doctested examples.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-# Registry smoke: list every registered scenario, then run each E1–E26
+# Registry smoke: list every registered scenario, then run each E1–E28
 # entry end to end through the Runner at reduced size.
 cargo run -q --release -p mmtag-bench --bin scenario -- list
 cargo run -q --release -p mmtag-bench --bin scenario -- smoke
+
+# City-scale smoke: one hundred thousand tags through the sharded
+# calendar-queue engine via the CLI — the tentpole path (SoA tag state,
+# spatial hash, shard merge) at full density, not the minimized smoke size.
+cargo run -q --release -p mmtag-cli -- city --tags 100000 --rounds 5 --seed 7
 
 # Run-cache round trip: the same scenario twice into a fresh store. The
 # second run must be served from the cache (the manifest metrics say so)
@@ -41,8 +46,10 @@ rm -rf "$cache_dir"
 # rounds at a pinned 4-thread budget (exercises the pool, the per-thread
 # speedup rows, the core-aware skip logic and the bit-identity asserts),
 # then run the schema gate: --verify fails on a missing/unparsable report,
-# a par{t} ratio measured on fewer than t cores, or any gated kernel row
-# (*_lanes_vs_batch, fft1024_radix4_vs_radix2) below the 0.9 floor.
+# a par{t} ratio measured on fewer than t cores, any gated kernel row
+# (*_lanes_vs_batch, fft1024_radix4_vs_radix2, city_calendar_vs_heap_des)
+# below the 0.9 floor, or missing city throughput rows (*_tags_per_sec,
+# *_events_per_sec).
 MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --quick
 MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --verify
 
