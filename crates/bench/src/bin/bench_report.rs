@@ -488,6 +488,79 @@ fn main() {
     results.push(s);
     results.push(l);
 
+    // ---- serving: daemon + load generator ----
+    //
+    // An in-process `serve` daemon on an ephemeral TCP port, driven by
+    // the deterministic loadgen mix over ONE closed-loop connection so
+    // the expected hit/miss classification matches arrival order
+    // exactly (with concurrent connections, a repeat request can join a
+    // first request's in-flight run and measure miss-path latency).
+    // A fresh cache directory makes the first request per seed a true
+    // simulation; every repeat resolves from the in-memory store. The
+    // `--verify` gate holds the report to `cache_hit_ratio > 0.5` and
+    // `miss_p50 ≥ 10 × hit_p99`. This section must fully shut down
+    // before the traced pass below: executors drain the global obs log
+    // after every job, which would swallow trace spans.
+    let serving = {
+        use mmtag_bench::loadgen::{self, Mix};
+        use mmtag_sim::cache::RunCache;
+        use mmtag_sim::serve::{Client, EngineConfig, Server};
+
+        let cache_dir = std::path::Path::new("target").join("mmtag-serve-bench");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let mut mix = Mix::quick();
+        let n_requests = if quick {
+            mix.trials = 60_000;
+            160
+        } else {
+            mix.trials = 150_000;
+            480
+        };
+        let server = Server::builder(mmtag_bench::scenarios::registry())
+            .tcp("127.0.0.1:0")
+            .cache(RunCache::at(&cache_dir))
+            .config(EngineConfig {
+                executors: 2,
+                job_threads: threads.clamp(1, 2),
+                queue_capacity: 64,
+                memory_capacity: 64,
+            })
+            .start()
+            .expect("serve daemon failed to start");
+        let addr = server.tcp_addr().expect("tcp listener");
+        let requests = loadgen::generate(&mix, n_requests, 0x5EED);
+        let summary = loadgen::closed_loop(&move || Client::connect_tcp(addr), 1, &requests)
+            .expect("loadgen run failed");
+        Client::connect_tcp(addr)
+            .and_then(|mut c| c.roundtrip("{\"id\":0,\"op\":\"shutdown\"}"))
+            .expect("daemon shutdown");
+        server.join();
+        println!(
+            "serving: {} reqs ({} ok, {} rejected), hit p50/p99 {}/{} us, miss p50/p99 {}/{} us, {:.0} jobs/s, hit ratio {:.3}",
+            summary.requests,
+            summary.ok,
+            summary.rejected,
+            summary.hit_p50_us,
+            summary.hit_p99_us,
+            summary.miss_p50_us,
+            summary.miss_p99_us,
+            summary.jobs_per_sec,
+            summary.cache_hit_ratio,
+        );
+        vec![
+            ("hit_p50_us".to_string(), summary.hit_p50_us as f64),
+            ("hit_p99_us".to_string(), summary.hit_p99_us as f64),
+            ("miss_p50_us".to_string(), summary.miss_p50_us as f64),
+            ("miss_p99_us".to_string(), summary.miss_p99_us as f64),
+            ("jobs_per_sec".to_string(), summary.jobs_per_sec),
+            ("cache_hit_ratio".to_string(), summary.cache_hit_ratio),
+            ("cache_entries".to_string(), summary.cache_entries as f64),
+            ("cache_bytes".to_string(), summary.cache_bytes as f64),
+            ("requests".to_string(), summary.requests as f64),
+            ("rejected".to_string(), summary.rejected as f64),
+        ]
+    };
+
     // ---- observability overhead: the BER batch kernel with tracing on ----
     //
     // The ISSUE-4 acceptance bar: full tracing (spans + counters) must cost
@@ -549,6 +622,7 @@ fn main() {
         scaling_efficiency: scaling,
         ns_per_bit,
         throughput,
+        serving,
         spans: trace_report.spans,
     };
     let json = report.to_json();

@@ -1,0 +1,144 @@
+//! `loadgen` — drive an `mmtag serve` daemon with a deterministic
+//! request mix and print hit/miss latency quantiles.
+//!
+//! ```text
+//! loadgen (--socket <path> | --tcp <host:port>) [flags]
+//!   --requests N      request count                (default 160)
+//!   --connections N   concurrent connections       (default 1)
+//!   --open-rate R     open-loop arrivals/sec (omit = closed loop)
+//!   --scenario NAME   registry scenario            (default e05-ber)
+//!   --seed-pool K     distinct seeds in the mix    (default 8)
+//!   --trials N        per-request trials override  (default 20000)
+//!   --points N        per-request points override  (default 8)
+//!   --run-percent P   fraction of run ops          (default 20)
+//!   --seed S          mix root seed                (default 0x5EED)
+//!   --shutdown        send a shutdown op when done
+//! ```
+//!
+//! The mix is a pure function of its flags: the same invocation always
+//! sends the same request log (see [`mmtag_bench::loadgen::generate`]),
+//! which is what makes daemon responses replay-comparable.
+
+use mmtag_bench::loadgen::{closed_loop, generate, open_loop, Mix, ServingSummary};
+use mmtag_sim::serve::Client;
+use std::io;
+use std::process::ExitCode;
+
+struct Flags {
+    socket: Option<String>,
+    tcp: Option<String>,
+    requests: usize,
+    connections: usize,
+    open_rate: Option<f64>,
+    mix: Mix,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_flags() -> Result<Flags, String> {
+    let mut flags = Flags {
+        socket: None,
+        tcp: None,
+        requests: 160,
+        connections: 1,
+        open_rate: None,
+        mix: Mix::quick(),
+        seed: 0x5EED,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("--{flag} needs a value"));
+        match arg.as_str() {
+            "--socket" => flags.socket = Some(value("socket")?),
+            "--tcp" => flags.tcp = Some(value("tcp")?),
+            "--requests" => flags.requests = parse(&value("requests")?)?,
+            "--connections" => flags.connections = parse(&value("connections")?)?,
+            "--open-rate" => flags.open_rate = Some(parse(&value("open-rate")?)?),
+            "--scenario" => flags.mix.scenario = value("scenario")?,
+            "--seed-pool" => flags.mix.seed_pool = parse(&value("seed-pool")?)?,
+            "--trials" => flags.mix.trials = parse(&value("trials")?)?,
+            "--points" => flags.mix.points = parse(&value("points")?)?,
+            "--run-percent" => flags.mix.run_percent = parse(&value("run-percent")?)?,
+            "--seed" => flags.seed = parse(&value("seed")?)?,
+            "--shutdown" => flags.shutdown = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if flags.socket.is_none() && flags.tcp.is_none() {
+        return Err("need --socket <path> or --tcp <host:port>".into());
+    }
+    Ok(flags)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("cannot parse '{raw}'"))
+}
+
+fn print_summary(mode: &str, s: &ServingSummary) {
+    println!(
+        "loadgen ({mode}): {} requests, {} ok, {} rejected",
+        s.requests, s.ok, s.rejected
+    );
+    println!(
+        "  hit   p50 {:>8} us   p99 {:>8} us",
+        s.hit_p50_us, s.hit_p99_us
+    );
+    println!(
+        "  miss  p50 {:>8} us   p99 {:>8} us",
+        s.miss_p50_us, s.miss_p99_us
+    );
+    println!(
+        "  {:.1} jobs/s, cache hit ratio {:.3}, {} cache entries ({} bytes)",
+        s.jobs_per_sec, s.cache_hit_ratio, s.cache_entries, s.cache_bytes
+    );
+}
+
+fn run() -> Result<(), String> {
+    let flags = parse_flags()?;
+    let connect: Box<dyn Fn() -> io::Result<Client> + Sync> = match (&flags.socket, &flags.tcp) {
+        (Some(path), _) => {
+            let path = path.clone();
+            Box::new(move || Client::connect_unix(&path))
+        }
+        (None, Some(addr)) => {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|_| format!("cannot parse tcp address '{addr}'"))?;
+            Box::new(move || Client::connect_tcp(addr))
+        }
+        (None, None) => unreachable!("parse_flags requires a target"),
+    };
+    let requests = generate(&flags.mix, flags.requests, flags.seed);
+    let result = match flags.open_rate {
+        None => closed_loop(&*connect, flags.connections, &requests),
+        Some(rate) => open_loop(&*connect, flags.connections, &requests, rate),
+    };
+    let summary = result.map_err(|e| format!("drive loop failed: {e}"))?;
+    print_summary(
+        if flags.open_rate.is_some() {
+            "open-loop"
+        } else {
+            "closed-loop"
+        },
+        &summary,
+    );
+    if flags.shutdown {
+        let mut client = connect().map_err(|e| format!("shutdown connect failed: {e}"))?;
+        let bye = client
+            .roundtrip("{\"id\":0,\"op\":\"shutdown\"}")
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("  shutdown: {bye}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod antenna_figs;
 pub mod city_figs;
 pub mod eval;
 pub mod extensions;
+pub mod loadgen;
 pub mod network_figs;
 pub mod phy_figs;
 pub mod report;

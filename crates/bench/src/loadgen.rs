@@ -1,0 +1,356 @@
+//! Load generation for the `mmtag serve` daemon.
+//!
+//! A seeded, deterministic request-mix generator plus two drive modes:
+//!
+//! * **closed-loop** — each connection sends its next request as soon as
+//!   the previous response arrives; measures the service's best-case
+//!   sojourn time,
+//! * **open-loop** — requests are *scheduled* at a fixed arrival rate
+//!   regardless of completions (a paced writer thread and a matching
+//!   reader per connection), so queueing delay under overload is
+//!   visible instead of being absorbed by the sender.
+//!
+//! The same [`generate`] output drives the serving section of
+//! `bench_report` and the determinism integration tests: identical
+//! request logs must replay to byte-identical response bodies at any
+//! executor count, so the generator never draws from wall-clock or
+//! OS-entropy sources.
+//!
+//! Latencies are recorded into log₂ histograms (the
+//! [`obs::HistogramStat`] bucket layout) split by **expected** path:
+//! the first request naming a given spec is the miss-path sample, every
+//! repeat is a hit-path sample. Quantiles are bucket lower bounds —
+//! conservative for the `hit_p99 × 10 ≤ miss_p50` gate, which compares
+//! a hit upper region against a miss lower region.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use mmtag_rf::obs;
+use mmtag_rf::rng::{Rng, SeedTree};
+use mmtag_sim::json::{parse_json, Json};
+use mmtag_sim::serve::Client;
+
+/// The shape of a generated request stream.
+#[derive(Clone, Debug)]
+pub struct Mix {
+    /// Registry name every request targets.
+    pub scenario: String,
+    /// Number of distinct seeds (= distinct specs = distinct cache
+    /// entries) the stream cycles through.
+    pub seed_pool: u64,
+    /// `trials` override sent with every request (controls miss cost).
+    pub trials: u64,
+    /// `points` override sent with every request.
+    pub points: u64,
+    /// Fraction of `run` ops (the rest are `query`), in percent.
+    pub run_percent: u64,
+    /// Query positions are drawn uniformly from this closed range —
+    /// keep it inside the scenario's first axis.
+    pub x_range: (f64, f64),
+}
+
+impl Mix {
+    /// The default mix: `e05-ber` shrunk to a cheap-but-measurable miss
+    /// cost, 8 distinct seeds, 20% runs / 80% queries.
+    pub fn quick() -> Mix {
+        Mix {
+            scenario: "e05-ber".to_string(),
+            seed_pool: 8,
+            trials: 20_000,
+            points: 8,
+            run_percent: 20,
+            x_range: (0.0, 14.0),
+        }
+    }
+}
+
+/// One generated request: the wire line plus whether it is the *first*
+/// request naming its spec (the expected miss-path sample).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The JSON request line (no trailing newline).
+    pub line: String,
+    /// `true` for the first request of each distinct seed.
+    pub expect_miss: bool,
+}
+
+/// Generates `n` requests deterministically from `root_seed`. Equal
+/// `(mix, n, root_seed)` always produce the identical request log —
+/// byte for byte — which is what makes replay-based determinism checks
+/// possible.
+pub fn generate(mix: &Mix, n: usize, root_seed: u64) -> Vec<Request> {
+    let tree = SeedTree::new(root_seed);
+    let mut seen = vec![false; mix.seed_pool.max(1) as usize];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut rng = tree.rng_indexed("loadgen", i as u64);
+        let seed = rng.next_u64() % mix.seed_pool.max(1);
+        let expect_miss = !std::mem::replace(&mut seen[seed as usize], true);
+        let id = i as u64 + 1;
+        let is_run = rng.next_u64() % 100 < mix.run_percent;
+        let line = if is_run {
+            format!(
+                "{{\"id\":{id},\"op\":\"run\",\"scenario\":\"{}\",\"seed\":{seed},\"trials\":{},\"points\":{}}}",
+                mix.scenario, mix.trials, mix.points
+            )
+        } else {
+            let (lo, hi) = mix.x_range;
+            // 3 decimal places keeps the line short and the value exact
+            // to re-generate.
+            let x = (lo * 1000.0 + rng.f64() * (hi - lo) * 1000.0).round() / 1000.0;
+            let x = x.clamp(lo, hi);
+            format!(
+                "{{\"id\":{id},\"op\":\"query\",\"scenario\":\"{}\",\"seed\":{seed},\"trials\":{},\"points\":{},\"x\":{x}}}",
+                mix.scenario, mix.trials, mix.points
+            )
+        };
+        out.push(Request { line, expect_miss });
+    }
+    out
+}
+
+/// Aggregate results of one load-generation run; the serving section of
+/// `BENCH_report.json` is written from these numbers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServingSummary {
+    /// Hit-path (repeat-request) latency quantiles, µs.
+    pub hit_p50_us: u64,
+    /// Hit-path p99, µs.
+    pub hit_p99_us: u64,
+    /// Miss-path (first-request-per-spec) latency quantiles, µs.
+    pub miss_p50_us: u64,
+    /// Miss-path p99, µs.
+    pub miss_p99_us: u64,
+    /// Completed requests per wall-clock second over the whole run.
+    pub jobs_per_sec: f64,
+    /// The daemon's authoritative resolution hit ratio (from `status`).
+    pub cache_hit_ratio: f64,
+    /// On-disk cache entries after the run (from `status`).
+    pub cache_entries: u64,
+    /// On-disk cache bytes after the run (from `status`).
+    pub cache_bytes: u64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests that got an `"ok":true` response.
+    pub ok: u64,
+    /// Requests rejected with `queue_full` (open-loop overload).
+    pub rejected: u64,
+}
+
+/// Per-thread latency tallies, merged after the drive loop. Buckets are
+/// [`obs::HistogramStat`]-compatible log₂ buckets over microseconds —
+/// the loadgen deliberately does **not** record into the global obs
+/// log, which the daemon's executors drain concurrently.
+struct Tally {
+    hit_us: [u64; 65],
+    miss_us: [u64; 65],
+    ok: u64,
+    rejected: u64,
+}
+
+impl Tally {
+    fn new() -> Tally {
+        Tally {
+            hit_us: [0; 65],
+            miss_us: [0; 65],
+            ok: 0,
+            rejected: 0,
+        }
+    }
+
+    fn record(&mut self, expect_miss: bool, us: u64, response: &str) {
+        let idx = if us == 0 {
+            0
+        } else {
+            64 - us.leading_zeros() as usize
+        };
+        if expect_miss {
+            self.miss_us[idx] += 1;
+        } else {
+            self.hit_us[idx] += 1;
+        }
+        if response.contains("\"ok\":true") {
+            self.ok += 1;
+        } else if response.contains("queue_full") {
+            self.rejected += 1;
+        }
+    }
+
+    fn merge(&mut self, other: &Tally) {
+        for i in 0..65 {
+            self.hit_us[i] += other.hit_us[i];
+            self.miss_us[i] += other.miss_us[i];
+        }
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+    }
+}
+
+/// Drives `requests` through the daemon closed-loop over
+/// `connect()`-produced connections: requests are dealt round-robin,
+/// each connection sending its next as soon as the previous response
+/// lands. Ends with one `status` round trip for the daemon's
+/// authoritative cache numbers.
+pub fn closed_loop(
+    connect: &(dyn Fn() -> io::Result<Client> + Sync),
+    connections: usize,
+    requests: &[Request],
+) -> io::Result<ServingSummary> {
+    let connections = connections.clamp(1, requests.len().max(1));
+    let started = Instant::now();
+    let mut tally = Tally::new();
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut workers = Vec::new();
+        for c in 0..connections {
+            let mut client = connect()?;
+            workers.push(scope.spawn(move || -> io::Result<Tally> {
+                let mut local = Tally::new();
+                let mut response = String::new();
+                for req in requests.iter().skip(c).step_by(connections) {
+                    response.clear();
+                    let sent = Instant::now();
+                    client.roundtrip_into(&req.line, &mut response)?;
+                    let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    local.record(req.expect_miss, us, &response);
+                }
+                Ok(local)
+            }));
+        }
+        for w in workers {
+            let local = w.join().expect("loadgen worker panicked")?;
+            tally.merge(&local);
+        }
+        Ok(())
+    })?;
+    let wall = started.elapsed().as_secs_f64();
+    summarize(connect, requests.len() as u64, wall, &tally)
+}
+
+/// Drives `requests` open-loop at `rate_per_sec`: request *i* is sent
+/// at `i / rate` regardless of completions (one paced connection per
+/// `connections` slot, FIFO response matching per connection). Under
+/// overload the admission queue fills and rejects — the rejects are
+/// counted, not retried.
+pub fn open_loop(
+    connect: &(dyn Fn() -> io::Result<Client> + Sync),
+    connections: usize,
+    requests: &[Request],
+    rate_per_sec: f64,
+) -> io::Result<ServingSummary> {
+    let connections = connections.clamp(1, requests.len().max(1));
+    let interval = Duration::from_secs_f64(1.0 / rate_per_sec.max(1.0));
+    let started = Instant::now();
+    let mut tally = Tally::new();
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut workers = Vec::new();
+        for c in 0..connections {
+            let mut client = connect()?;
+            let base = started;
+            workers.push(scope.spawn(move || -> io::Result<Tally> {
+                let mut local = Tally::new();
+                let mut response = String::new();
+                for (slot, req) in requests.iter().enumerate().skip(c).step_by(connections) {
+                    let due = base + interval * slot as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    // The schedule clock keeps ticking while we wait for
+                    // the response: latency is measured from the
+                    // *intended* send time, so queueing delay shows up.
+                    response.clear();
+                    client.roundtrip_into(&req.line, &mut response)?;
+                    let us = due.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    local.record(req.expect_miss, us, &response);
+                }
+                Ok(local)
+            }));
+        }
+        for w in workers {
+            let local = w.join().expect("loadgen worker panicked")?;
+            tally.merge(&local);
+        }
+        Ok(())
+    })?;
+    let wall = started.elapsed().as_secs_f64();
+    summarize(connect, requests.len() as u64, wall, &tally)
+}
+
+/// Folds the tallies plus one final `status` round trip into the
+/// summary.
+fn summarize(
+    connect: &dyn Fn() -> io::Result<Client>,
+    requests: u64,
+    wall_secs: f64,
+    tally: &Tally,
+) -> io::Result<ServingSummary> {
+    let hit = obs::HistogramStat::from_counts("loadgen.hit_us", &tally.hit_us);
+    let miss = obs::HistogramStat::from_counts("loadgen.miss_us", &tally.miss_us);
+    let mut status_client = connect()?;
+    let status = status_client.roundtrip("{\"id\":0,\"op\":\"status\"}")?;
+    let dom = parse_json(&status)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {e}")))?;
+    let num = |key: &str| dom.get(key).and_then(Json::as_num).unwrap_or(0.0);
+    Ok(ServingSummary {
+        hit_p50_us: hit.p50(),
+        hit_p99_us: hit.p99(),
+        miss_p50_us: miss.p50(),
+        miss_p99_us: miss.p99(),
+        jobs_per_sec: if wall_secs > 0.0 {
+            requests as f64 / wall_secs
+        } else {
+            0.0
+        },
+        cache_hit_ratio: num("cache_hit_ratio"),
+        cache_entries: num("cache_entries") as u64,
+        cache_bytes: num("cache_bytes") as u64,
+        requests,
+        ok: tally.ok,
+        rejected: tally.rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_marks_first_seed_use_as_miss() {
+        let mix = Mix::quick();
+        let a = generate(&mix, 40, 0xFEED);
+        let b = generate(&mix, 40, 0xFEED);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.line, y.line);
+            assert_eq!(x.expect_miss, y.expect_miss);
+        }
+        let misses = a.iter().filter(|r| r.expect_miss).count() as u64;
+        assert!(misses <= mix.seed_pool);
+        assert!(misses >= 1);
+        // A different root seed perturbs the stream.
+        let c = generate(&mix, 40, 0xBEEF);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.line != y.line));
+        // Every line is one valid flat JSON object naming the scenario.
+        for r in &a {
+            let dom = parse_json(&r.line).expect("request line parses");
+            assert_eq!(
+                dom.get("scenario").and_then(Json::as_str),
+                Some(mix.scenario.as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn tally_quantiles_split_hit_and_miss_paths() {
+        let mut t = Tally::new();
+        for _ in 0..99 {
+            t.record(false, 4, "{\"ok\":true}");
+        }
+        t.record(true, 4096, "{\"ok\":true}");
+        let hit = obs::HistogramStat::from_counts("hit", &t.hit_us);
+        let miss = obs::HistogramStat::from_counts("miss", &t.miss_us);
+        assert_eq!(hit.p99(), 4);
+        assert_eq!(miss.p50(), 4096);
+        assert_eq!(t.ok, 100);
+    }
+}

@@ -52,6 +52,31 @@ const GATED_ROWS: [&str; 2] = ["fft1024_radix4_vs_radix2", "city_calendar_vs_hea
 /// retires per wall-clock second.
 const THROUGHPUT_SUFFIXES: [&str; 2] = ["_tags_per_sec", "_events_per_sec"];
 
+/// Rows the `serving` section must carry: client-observed latency
+/// quantiles for the cache-hit and cache-miss paths (µs, from the obs
+/// log₂ histograms), sustained jobs/s, and the server-reported cache hit
+/// ratio under the default loadgen mix.
+pub const SERVING_REQUIRED: [&str; 6] = [
+    "hit_p50_us",
+    "hit_p99_us",
+    "miss_p50_us",
+    "miss_p99_us",
+    "jobs_per_sec",
+    "cache_hit_ratio",
+];
+
+/// The serving gate: a cache hit (in-memory surface interpolation) must
+/// be at least this many times faster at p99 than the *median* cache
+/// miss (a full simulation). If serving a precomputed surface is within
+/// 10× of recomputing it, the cache-first path has regressed into
+/// pointless machinery.
+pub const SERVE_HIT_FACTOR: f64 = 10.0;
+
+/// Minimum admissible cache hit ratio for the committed report: the
+/// default loadgen mix revisits a small spec pool, so a ratio at or
+/// below 0.5 means the daemon is re-simulating work it already holds.
+pub const SERVE_HIT_RATIO_FLOOR: f64 = 0.5;
+
 /// Everything that goes into `BENCH_report.json`, gathered by
 /// `bench_report` and serialized by [`Report::to_json`].
 #[derive(Clone, Debug, Default)]
@@ -75,6 +100,9 @@ pub struct Report {
     /// Wall-clock throughput rows (`*_tags_per_sec`, `*_events_per_sec`)
     /// from the city-engine benches.
     pub throughput: Vec<(String, f64)>,
+    /// Serving-stack rows from the in-process loadgen pass (see
+    /// [`SERVING_REQUIRED`] for the mandatory keys).
+    pub serving: Vec<(String, f64)>,
     /// Observability span breakdown from the traced pass.
     pub spans: Vec<SpanStat>,
 }
@@ -141,6 +169,7 @@ impl Report {
         num_obj(&mut out, "scaling_efficiency", &self.scaling_efficiency, 3);
         num_obj(&mut out, "ns_per_bit", &self.ns_per_bit, 4);
         num_obj(&mut out, "throughput", &self.throughput, 1);
+        num_obj(&mut out, "serving", &self.serving, 4);
         out.push_str("  \"spans\": {\n");
         for (i, s) in self.spans.iter().enumerate() {
             out.push_str(&format!(
@@ -157,270 +186,11 @@ impl Report {
     }
 }
 
-/// A minimal JSON DOM — just enough structure for [`verify_report`] to
-/// inspect the committed artifact.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number, as `f64`.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion-ordered (duplicate keys keep the last).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object member lookup (`None` for missing keys or non-objects).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The object members, if this is an object.
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(members) => Some(members),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one JSON document into a [`Json`] DOM. Rejects trailing
-/// garbage. Accepts exactly the grammar
-/// [`crate::timing::validate_json`] accepts.
-pub fn parse_json(s: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        b: s.as_bytes(),
-        i: 0,
-    };
-    let v = p.value()?;
-    p.ws();
-    if p.i != s.len() {
-        return Err(p.err("trailing garbage"));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, what: &str) -> String {
-        format!("{what} at byte {}", self.i)
-    }
-
-    fn ws(&mut self) {
-        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.i += 1;
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.ws();
-        match self.b.get(self.i) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b't') => self.literal(b"true").map(|()| Json::Bool(true)),
-            Some(b'f') => self.literal(b"false").map(|()| Json::Bool(false)),
-            Some(b'n') => self.literal(b"null").map(|()| Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
-        if self.b[self.i..].starts_with(lit) {
-            self.i += lit.len();
-            Ok(())
-        } else {
-            Err(self.err("bad literal"))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.i;
-        if self.b.get(self.i) == Some(&b'-') {
-            self.i += 1;
-        }
-        let digits = |p: &mut Self| {
-            let s = p.i;
-            while matches!(p.b.get(p.i), Some(b'0'..=b'9')) {
-                p.i += 1;
-            }
-            p.i > s
-        };
-        if !digits(self) {
-            return Err(self.err("expected digits"));
-        }
-        if self.b.get(self.i) == Some(&b'.') {
-            self.i += 1;
-            if !digits(self) {
-                return Err(self.err("expected fraction digits"));
-            }
-        }
-        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
-            self.i += 1;
-            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
-                self.i += 1;
-            }
-            if !digits(self) {
-                return Err(self.err("expected exponent digits"));
-            }
-        }
-        let text = std::str::from_utf8(&self.b[start..self.i]).expect("digits are ASCII");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("unparsable number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.i += 1; // opening quote
-        let mut out = String::new();
-        loop {
-            match self.b.get(self.i) {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.i += 1;
-                    match self.b.get(self.i) {
-                        Some(&c @ (b'"' | b'\\' | b'/')) => {
-                            out.push(c as char);
-                            self.i += 1;
-                        }
-                        Some(b'b') => {
-                            out.push('\u{8}');
-                            self.i += 1;
-                        }
-                        Some(b'f') => {
-                            out.push('\u{c}');
-                            self.i += 1;
-                        }
-                        Some(b'n') => {
-                            out.push('\n');
-                            self.i += 1;
-                        }
-                        Some(b'r') => {
-                            out.push('\r');
-                            self.i += 1;
-                        }
-                        Some(b't') => {
-                            out.push('\t');
-                            self.i += 1;
-                        }
-                        Some(b'u') => {
-                            self.i += 1;
-                            let mut code = 0u32;
-                            for _ in 0..4 {
-                                let d = match self.b.get(self.i) {
-                                    Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
-                                    Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
-                                    Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
-                                    _ => return Err(self.err("bad \\u escape")),
-                                };
-                                code = code * 16 + d;
-                                self.i += 1;
-                            }
-                            // Lone surrogates degrade to the replacement
-                            // character — the verifier only compares keys,
-                            // which the report writer never escapes.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                }
-                Some(_) => {
-                    // Copy the full UTF-8 sequence starting here.
-                    let s = self.i;
-                    self.i += 1;
-                    while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
-                        self.i += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.b[s..self.i])
-                            .map_err(|_| self.err("invalid UTF-8"))?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.i += 1; // '{'
-        self.ws();
-        let mut members = Vec::new();
-        if self.b.get(self.i) == Some(&b'}') {
-            self.i += 1;
-            return Ok(Json::Obj(members));
-        }
-        loop {
-            self.ws();
-            if self.b.get(self.i) != Some(&b'"') {
-                return Err(self.err("expected object key"));
-            }
-            let key = self.string()?;
-            self.ws();
-            if self.b.get(self.i) != Some(&b':') {
-                return Err(self.err("expected ':'"));
-            }
-            self.i += 1;
-            let val = self.value()?;
-            members.push((key, val));
-            self.ws();
-            match self.b.get(self.i) {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Json::Obj(members));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.i += 1; // '['
-        self.ws();
-        let mut items = Vec::new();
-        if self.b.get(self.i) == Some(&b']') {
-            self.i += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.ws();
-            match self.b.get(self.i) {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-}
+// The JSON DOM the verifier walks lives in `mmtag_sim::json` since the
+// serve layer needs the same parser below the bench crate; re-exported
+// here so existing `mmtag_bench::report::{Json, parse_json}` callers
+// keep working.
+pub use mmtag_sim::json::{parse_json, Json};
 
 /// Extracts the pinned thread count from a `…par{t}_vs_serial` speedup
 /// row name (`None` for rows that aren't parallel-vs-serial).
@@ -448,7 +218,13 @@ fn par_threads(name: &str) -> Option<usize> {
 ///    present, numeric, and at least [`KERNEL_FLOOR`];
 /// 4. `throughput` is present with finite positive numbers and carries
 ///    at least one `*_tags_per_sec` and one `*_events_per_sec` row — the
-///    city engine's wall-clock numbers cannot silently drop out.
+///    city engine's wall-clock numbers cannot silently drop out;
+/// 5. `serving` is present with every [`SERVING_REQUIRED`] row, the
+///    cache-hit p99 beats the cache-miss p50 by at least
+///    [`SERVE_HIT_FACTOR`], the hit ratio exceeds
+///    [`SERVE_HIT_RATIO_FLOOR`] (and is ≤ 1), and `jobs_per_sec` is
+///    positive — a report missing the serving section predates the
+///    daemon and is rejected.
 pub fn verify_report(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let cores = doc
@@ -509,6 +285,43 @@ pub fn verify_report(text: &str) -> Result<(), String> {
                  wall-clock numbers are not being tracked"
             ));
         }
+    }
+    let serving = doc
+        .get("serving")
+        .and_then(Json::as_obj)
+        .ok_or("report lacks \"serving\" (pre-daemon schema?)")?;
+    let serving_row = |key: &str| -> Result<f64, String> {
+        let v = serving
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or(format!("\"serving\" lacks required row \"{key}\""))?;
+        match v.as_num() {
+            Some(x) if x.is_finite() && x >= 0.0 => Ok(x),
+            _ => Err(format!("serving[\"{key}\"] is not a finite number")),
+        }
+    };
+    for key in SERVING_REQUIRED {
+        serving_row(key)?;
+    }
+    let hit_p99 = serving_row("hit_p99_us")?;
+    let miss_p50 = serving_row("miss_p50_us")?;
+    if miss_p50 < SERVE_HIT_FACTOR * hit_p99 {
+        return Err(format!(
+            "serving hit-path p99 ({hit_p99} µs) is not ≥{SERVE_HIT_FACTOR}× faster \
+             than miss-path p50 ({miss_p50} µs) — the cache-first path has regressed"
+        ));
+    }
+    let ratio = serving_row("cache_hit_ratio")?;
+    if ratio <= SERVE_HIT_RATIO_FLOOR || ratio > 1.0 {
+        return Err(format!(
+            "serving cache_hit_ratio = {ratio} is outside \
+             ({SERVE_HIT_RATIO_FLOOR}, 1.0] — the default mix must mostly hit"
+        ));
+    }
+    if serving_row("jobs_per_sec")? <= 0.0 {
+        return Err("serving jobs_per_sec is not positive".into());
     }
 
     let has_reason = |name: &str| skipped.iter().any(|(k, _)| k == name);
@@ -586,6 +399,14 @@ mod tests {
                 ("city_100k_tags_per_sec".into(), 2.5e6),
                 ("city_100k_events_per_sec".into(), 8.1e6),
             ],
+            serving: vec![
+                ("hit_p50_us".into(), 64.0),
+                ("hit_p99_us".into(), 256.0),
+                ("miss_p50_us".into(), 8192.0),
+                ("miss_p99_us".into(), 16384.0),
+                ("jobs_per_sec".into(), 3200.0),
+                ("cache_hit_ratio".into(), 0.9),
+            ],
             spans: vec![],
         }
     }
@@ -595,23 +416,6 @@ mod tests {
         let json = base_report().to_json();
         crate::timing::validate_json(&json).unwrap();
         verify_report(&json).unwrap();
-    }
-
-    #[test]
-    fn parser_builds_the_dom() {
-        let v = parse_json(r#"{"a": [1, -2.5e1, null, true], "b": "x\"y"}"#).unwrap();
-        assert_eq!(
-            v.get("a"),
-            Some(&Json::Arr(vec![
-                Json::Num(1.0),
-                Json::Num(-25.0),
-                Json::Null,
-                Json::Bool(true)
-            ]))
-        );
-        assert_eq!(v.get("b"), Some(&Json::Str("x\"y".into())));
-        assert!(parse_json("{} junk").is_err());
-        assert!(parse_json("{\"a\":}").is_err());
     }
 
     #[test]
@@ -688,6 +492,47 @@ mod tests {
         r.throughput[0].1 = 0.0; // a throughput of zero is a broken bench
         let err = verify_report(&r.to_json()).unwrap_err();
         assert!(err.contains("not a positive number"), "{err}");
+    }
+
+    #[test]
+    fn missing_serving_section_is_rejected() {
+        let mut r = base_report();
+        r.serving.clear();
+        // An empty serving object serializes as {} — still "present", so
+        // the required-row check is what fires.
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("hit_p50_us"), "{err}");
+
+        // A report with no serving key at all (pre-daemon schema).
+        let json = base_report().to_json();
+        let stripped = {
+            let start = json.find("  \"serving\"").unwrap();
+            let end = json[start..].find("},\n").unwrap() + start + 3;
+            format!("{}{}", &json[..start], &json[end..])
+        };
+        let err = verify_report(&stripped).unwrap_err();
+        assert!(err.contains("pre-daemon"), "{err}");
+    }
+
+    #[test]
+    fn slow_hit_path_is_rejected() {
+        let mut r = base_report();
+        // Hit p99 = 4096 µs vs miss p50 = 8192 µs: less than 10× apart.
+        r.serving[1].1 = 4096.0;
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("cache-first path has regressed"), "{err}");
+    }
+
+    #[test]
+    fn low_cache_hit_ratio_is_rejected() {
+        let mut r = base_report();
+        r.serving[5].1 = 0.5; // the floor is exclusive
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("cache_hit_ratio"), "{err}");
+
+        let mut r = base_report();
+        r.serving[5].1 = 1.2; // a ratio above 1 is a broken counter
+        assert!(verify_report(&r.to_json()).is_err());
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub enum ArgError {
         /// The I/O error text.
         message: String,
     },
+    /// The `serve` daemon could not start or was misconfigured.
+    Serve {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -63,6 +68,7 @@ impl std::fmt::Display for ArgError {
             ArgError::TraceWrite { path, message } => {
                 write!(f, "cannot write trace file '{path}': {message}")
             }
+            ArgError::Serve { message } => write!(f, "serve: {message}"),
         }
     }
 }

@@ -61,8 +61,83 @@ fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("compare") => Ok(cmd_compare()),
         Some("scenarios") => Ok(cmd_scenarios()),
         Some("run") => cmd_run(args),
+        Some("serve") => cmd_serve(args),
         _ => Ok(help()),
     }
+}
+
+/// `mmtag serve`: the simulation-as-a-service daemon. Blocks until some
+/// client sends `{"op":"shutdown"}`, then returns a shutdown summary.
+fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    use mmtag_sim::serve::{EngineConfig, Server};
+    if args.options.contains_key("trace") {
+        // Executors drain the global obs log after every job to keep a
+        // long-lived daemon bounded, which would swallow an enclosing
+        // trace capture's spans mid-flight.
+        return Err(ArgError::Serve {
+            message: "--trace is not supported on serve (executors drain the obs log per job)"
+                .into(),
+        });
+    }
+    let config = EngineConfig {
+        executors: args.usize_or("executors", 2)?.max(1),
+        job_threads: args.usize_or("job-threads", 2)?.max(1),
+        queue_capacity: args.usize_or("queue-cap", 64)?.max(1),
+        memory_capacity: args.usize_or("memory-cap", 256)?.max(1),
+    };
+    let mut builder = Server::builder(registry()).config(config);
+    if !args.options.contains_key("no-cache") {
+        builder = builder.cache(mmtag_sim::cache::RunCache::at_default_dir());
+    }
+    let socket = args.options.get("socket");
+    let tcp = args.options.get("tcp");
+    if socket.is_none() && tcp.is_none() {
+        return Err(ArgError::Serve {
+            message: "need a listener: --socket <path> and/or --tcp <host:port>".into(),
+        });
+    }
+    #[cfg(unix)]
+    if let Some(path) = socket {
+        builder = builder.unix(path);
+    }
+    #[cfg(not(unix))]
+    if socket.is_some() {
+        return Err(ArgError::Serve {
+            message: "--socket requires Unix-domain sockets; use --tcp on this platform".into(),
+        });
+    }
+    if let Some(addr) = tcp {
+        builder = builder.tcp(addr);
+    }
+    let server = builder.start().map_err(|e| ArgError::Serve {
+        message: e.to_string(),
+    })?;
+    // The command's stdout only prints after shutdown, so announce the
+    // listeners on stderr now — scripts wait on this (or on the socket
+    // file appearing).
+    if let Some(path) = socket {
+        eprintln!("mmtag serve: listening on {path}");
+    }
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("mmtag serve: listening on tcp {addr}");
+    }
+    let engine = mmtag_sim::serve::Server::engine(&server).clone();
+    server.join();
+    let s = engine.stats();
+    Ok(format!(
+        "serve: shut down cleanly — {} requests ({} runs, {} queries), \
+         {} memory hits, {} disk hits, {} simulated, {} deduplicated, {} rejected, \
+         hit ratio {:.3}\n",
+        s.requests,
+        s.runs,
+        s.queries,
+        s.memory_hits,
+        s.disk_hits,
+        s.sim_runs,
+        s.dedup_joined,
+        s.rejected,
+        s.cache_hit_ratio(),
+    ))
 }
 
 /// The help text.
@@ -93,6 +168,11 @@ COMMANDS:
                                       --no-cache  recompute even when the
                                       run cache (MMTAG_CACHE_DIR, default
                                       target/mmtag-run-cache) has the spec
+  serve      simulation daemon        --socket /tmp/mmtag.sock
+             (line-delimited JSON     --tcp 127.0.0.1:7117
+             over unix/tcp sockets;   --executors 2 --job-threads 2
+             stops on a shutdown op)  --queue-cap 64 --memory-cap 256
+                                      --no-cache  run without the disk cache
   help       this text
 
 GLOBAL FLAGS:

@@ -341,6 +341,69 @@ pub struct HistogramStat {
     pub buckets: Vec<HistBucket>,
 }
 
+impl HistogramStat {
+    /// Builds a stat from a raw 65-slot log₂ bucket array (the layout
+    /// [`observe`] aggregates into): slot 0 counts zeros, slot `i ≥ 1`
+    /// counts values in `2^(i−1) ..= 2^i − 1`. Lets code that keeps its
+    /// own atomic bucket counters (e.g. a long-running server) reuse the
+    /// quantile machinery without routing through the event log.
+    pub fn from_counts(name: &str, counts: &[u64; 65]) -> HistogramStat {
+        let count: u64 = counts.iter().sum();
+        HistogramStat {
+            name: name.to_string(),
+            count,
+            sum: 0,
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &count)| HistBucket {
+                    lo: if i == 0 { 0 } else { 1u64 << (i - 1) },
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Exact, order-independent quantile over the bucketed samples:
+    /// returns the lower bound `lo` of the bucket holding the sample of
+    /// rank `⌈q·count⌉` (clamped to `1..=count`), i.e. a conservative
+    /// (rounded-down-to-bucket) estimate of the q-quantile. Because the
+    /// buckets are aggregates, the result is independent of observation
+    /// order and of how samples were sharded across threads. Returns 0
+    /// for an empty histogram; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.lo;
+            }
+        }
+        self.buckets.last().map(|b| b.lo).unwrap_or(0)
+    }
+
+    /// Median bucket bound — `quantile(0.5)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile bucket bound — `quantile(0.95)`.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile bucket bound — `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 /// Everything the observability layer recorded over some window:
 /// aggregates (sorted by name, so equal recordings compare equal) plus the
 /// raw events for trace export.
@@ -784,6 +847,99 @@ mod tests {
         assert_eq!(bucket_index(3), 2);
         assert_eq!(bucket_index(4), 3);
         assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    /// Builds a HistogramStat the same way `aggregate` does, from raw
+    /// sample values, without touching the global recorder.
+    fn hist_of(samples: &[u64]) -> HistogramStat {
+        let mut counts = [0u64; 65];
+        for &v in samples {
+            counts[bucket_index(v) as usize] += 1;
+        }
+        let mut h = HistogramStat::from_counts("test.q", &counts);
+        h.sum = samples.iter().sum();
+        h
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = HistogramStat::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantile_bucket_boundaries() {
+        // Samples 0,1,2,3 land in buckets lo=0 (x1), lo=1 (x1), lo=2 (x2).
+        let h = hist_of(&[0, 1, 2, 3]);
+        assert_eq!(h.count, 4);
+        // rank = ceil(q·4), clamped to 1..=4; the bucket holding that
+        // rank answers. q=0 clamps up to rank 1 → the zero bucket.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.25), 0); // rank 1 → bucket lo=0
+        assert_eq!(h.quantile(0.26), 1); // rank 2 → bucket lo=1
+        assert_eq!(h.quantile(0.50), 1); // rank 2 → bucket lo=1
+        assert_eq!(h.quantile(0.51), 2); // rank 3 → bucket lo=2
+        assert_eq!(h.quantile(0.75), 2); // rank 3 → bucket lo=2
+        assert_eq!(h.quantile(1.0), 2); // rank 4 → bucket lo=2
+                                        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 2);
+    }
+
+    #[test]
+    fn quantile_returns_bucket_lower_bound() {
+        // 100 samples of value 1000 → one bucket, lo = 512 (2^9), since
+        // 1000 ∈ 512..=1023. Every quantile answers that bound.
+        let h = hist_of(&[1000; 100]);
+        assert_eq!(h.buckets.len(), 1);
+        assert_eq!(h.buckets[0].lo, 512);
+        assert_eq!(h.p50(), 512);
+        assert_eq!(h.p95(), 512);
+        assert_eq!(h.p99(), 512);
+    }
+
+    #[test]
+    fn quantile_is_order_independent() {
+        let a = hist_of(&[5, 90, 3, 70000, 12, 12, 900]);
+        let b = hist_of(&[12, 900, 70000, 3, 12, 5, 90]);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_tail_ranks() {
+        // 99 fast samples (value 1) and one slow outlier (value 4096):
+        // p50/p95 sit in the fast bucket, p99 rank 99 still fast, but
+        // quantile(1.0) = rank 100 reaches the outlier bucket lo=4096.
+        let mut samples = vec![1u64; 99];
+        samples.push(4096);
+        let h = hist_of(&samples);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p95(), 1);
+        assert_eq!(h.p99(), 1);
+        assert_eq!(h.quantile(1.0), 4096);
+    }
+
+    #[test]
+    fn from_counts_matches_aggregate_shape() {
+        let _g = lock();
+        set_level(Level::Counters);
+        reset();
+        for v in [0u64, 1, 2, 3, 1000] {
+            observe("test.fc", v);
+        }
+        let report = drain();
+        set_level(Level::Off);
+        let via_events = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.fc")
+            .unwrap();
+        let mut direct = hist_of(&[0, 1, 2, 3, 1000]);
+        direct.name = "test.fc".to_string();
+        assert_eq!(via_events, &direct);
     }
 
     #[test]

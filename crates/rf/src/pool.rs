@@ -111,6 +111,38 @@ pub fn worker_count() -> usize {
     pool().state.lock().unwrap().workers
 }
 
+/// Spawns pool workers until at least `n` exist, without publishing any
+/// work. Idempotent; never shrinks the pool.
+///
+/// Only threads *inside* [`run`] participate in jobs: a pool slot is
+/// something a worker claims from a published job node, not a property a
+/// thread holds. A service thread that never calls [`run`] — a socket
+/// acceptor parked in `accept`, a connection handler blocked in `read` —
+/// is therefore invisible to the pool and can never be counted as a
+/// worker or steal a slot from a running job. Long-running daemons call
+/// this at startup so the first real job doesn't pay worker-spawn
+/// latency, and so their compute budget (`n` pool workers + the one
+/// executor thread that calls [`run`]) is explicit and separate from
+/// their I/O thread count.
+pub fn ensure_workers(n: usize) {
+    let p = pool();
+    let mut st = p.state.lock().unwrap();
+    spawn_up_to(&mut st, p, n);
+}
+
+/// Spawns workers (they never exit) until `target` exist. Caller holds
+/// the state lock.
+fn spawn_up_to(st: &mut State, p: &'static Pool, target: usize) {
+    while st.workers < target {
+        st.workers += 1;
+        let id = st.workers;
+        std::thread::Builder::new()
+            .name(format!("mmtag-pool-{id}"))
+            .spawn(move || worker_loop(p))
+            .expect("spawning a pool worker");
+    }
+}
+
 fn worker_loop(p: &'static Pool) {
     let mut st = p.state.lock().unwrap();
     loop {
@@ -181,14 +213,7 @@ pub fn run(extra_workers: usize, work: &(dyn Fn() + Sync)) {
     });
     {
         let mut st = p.state.lock().unwrap();
-        while st.workers < extra_workers {
-            st.workers += 1;
-            let id = st.workers;
-            std::thread::Builder::new()
-                .name(format!("mmtag-pool-{id}"))
-                .spawn(move || worker_loop(p))
-                .expect("spawning a pool worker");
-        }
+        spawn_up_to(&mut st, p, extra_workers);
         st.jobs.push(node.get());
         if extra_workers == 1 {
             p.work_ready.notify_one();
@@ -295,6 +320,59 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 4 * 32);
+    }
+
+    #[test]
+    fn ensure_workers_pre_spawns_without_work() {
+        ensure_workers(2);
+        assert!(worker_count() >= 2);
+        let before = worker_count();
+        ensure_workers(1); // never shrinks
+        assert_eq!(worker_count(), before);
+        // The pre-spawned workers are the ones jobs use — no regrowth
+        // when a job asks for what ensure_workers already provided.
+        let next = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        run(2, &|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= 100 {
+                break;
+            }
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 100 * 101 / 2);
+        assert_eq!(worker_count(), before);
+    }
+
+    #[test]
+    fn blocked_service_thread_holds_no_pool_slot() {
+        // A thread parked outside `run` — like a daemon's acceptor
+        // blocked in `accept`/`read` — must be invisible to the pool:
+        // it neither joins jobs nor consumes a slot other participants
+        // could have claimed.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let service = std::thread::spawn(move || {
+            // Blocks like a socket read until the test is done.
+            release_rx.recv().unwrap();
+        });
+        let before = worker_count();
+        // Jobs submitted while the service thread is parked: every unit
+        // completes and the pool does not grow on its account.
+        for _ in 0..5 {
+            let next = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            run(2, &|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= 64 {
+                    break;
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(done.load(Ordering::Relaxed), 64);
+        }
+        assert!(worker_count() >= before);
+        release_tx.send(()).unwrap();
+        service.join().unwrap();
     }
 
     #[test]

@@ -67,6 +67,20 @@ pub struct RunCache {
     dir: PathBuf,
 }
 
+/// What a [`RunCache::stats`] directory scan found: how many entries the
+/// store holds, how many bytes they occupy, and how many are *stale* —
+/// written under an older [`FORMAT_VERSION`] and therefore unreachable
+/// by any lookup (only [`RunCache::prune_stale`] will ever touch them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `.run` entries addressed by the current format version.
+    pub entries: usize,
+    /// Total size in bytes of all `.run` entries (any version).
+    pub bytes: u64,
+    /// `.run` entries from older format versions: dead weight on disk.
+    pub stale: usize,
+}
+
 impl RunCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn at(dir: impl Into<PathBuf>) -> Self {
@@ -122,6 +136,55 @@ impl RunCache {
             f.sync_all()?;
         }
         fs::rename(&tmp, &path)
+    }
+
+    /// Scans the cache directory and reports entry/byte/stale counts. A
+    /// missing directory is an empty cache. Non-`.run` files (including
+    /// in-flight `.tmp*` writes) are ignored.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        let current = format!("-v{FORMAT_VERSION}.run");
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".run") {
+                continue;
+            }
+            if name.ends_with(&current) {
+                stats.entries += 1;
+            } else {
+                stats.stale += 1;
+            }
+            if let Ok(meta) = entry.metadata() {
+                stats.bytes += meta.len();
+            }
+        }
+        stats
+    }
+
+    /// Removes entries written under older [`FORMAT_VERSION`]s — they can
+    /// never be addressed again, so they are pure disk waste. Returns how
+    /// many were removed; a missing directory removes nothing.
+    pub fn prune_stale(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let current = format!("-v{FORMAT_VERSION}.run");
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".run") && !name.ends_with(&current) {
+                fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
     }
 }
 
@@ -374,6 +437,86 @@ mod tests {
         assert!(cache.load(&spec()).is_none());
         cache.store(&spec(), &tables()).unwrap();
         assert!(cache.load(&spec()).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_key_leave_a_valid_entry() {
+        // Two threads race store() on the same key. Each writes its own
+        // temp file, then both rename onto the final path: last writer
+        // wins, and at no interleaving does a reader see a half-entry.
+        // The writers store *different* tables (standing in for two code
+        // versions) so the test can tell whose bytes survived.
+        let cache = temp_cache("race");
+        let spec = spec();
+        let mut t_a = Table::new("racer", &["v"]);
+        t_a.push_row(&[1.0]);
+        let mut t_b = Table::new("racer", &["v"]);
+        t_b.push_row(&[2.0]);
+        let (a, b) = (vec![t_a], vec![t_b]);
+        for round in 0..20 {
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    barrier.wait();
+                    cache.store(&spec, &a).unwrap();
+                });
+                s.spawn(|| {
+                    barrier.wait();
+                    cache.store(&spec, &b).unwrap();
+                });
+            });
+            let got = cache
+                .load(&spec)
+                .unwrap_or_else(|| panic!("round {round}: racing stores must leave a hit"));
+            let v = got[0].cell(0, 0);
+            assert!(v == 1.0 || v == 2.0, "round {round}: got {v}");
+        }
+        // No temp files may survive the races.
+        let leftovers: Vec<_> = fs::read_dir(cache.dir())
+            .unwrap()
+            .flatten()
+            .filter(|e| !e.file_name().to_string_lossy().ends_with(".run"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        // Corruption-as-miss still holds on the surviving entry.
+        fs::write(cache.entry_path(&spec), "mangled").unwrap();
+        assert!(cache.load(&spec).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_and_prune_stale_track_version_skew() {
+        let cache = temp_cache("stats");
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.prune_stale().unwrap(), 0);
+
+        cache.store(&spec(), &tables()).unwrap();
+        let other = spec().with_seed(7);
+        cache.store(&other, &tables()).unwrap();
+        let entry_bytes = fs::metadata(cache.entry_path(&spec())).unwrap().len()
+            + fs::metadata(cache.entry_path(&other)).unwrap().len();
+        let fresh = cache.stats();
+        assert_eq!((fresh.entries, fresh.stale), (2, 0));
+        assert_eq!(fresh.bytes, entry_bytes);
+
+        // Plant two old-version entries and a non-entry file.
+        let old_a = cache.dir().join("0123456789abcdef-s1-t10-v0.run");
+        let old_b = cache.dir().join("fedcba9876543210-s2-t20-v0.run");
+        fs::write(&old_a, "old format").unwrap();
+        fs::write(&old_b, "old format").unwrap();
+        fs::write(cache.dir().join("README.txt"), "not an entry").unwrap();
+        let mixed = cache.stats();
+        assert_eq!((mixed.entries, mixed.stale), (2, 2));
+        assert!(mixed.bytes > entry_bytes);
+
+        // Prune removes exactly the stale entries; live ones still hit.
+        assert_eq!(cache.prune_stale().unwrap(), 2);
+        assert!(!old_a.exists() && !old_b.exists());
+        let pruned = cache.stats();
+        assert_eq!((pruned.entries, pruned.stale), (2, 0));
+        assert!(cache.load(&spec()).is_some());
+        assert!(cache.dir().join("README.txt").exists());
         let _ = fs::remove_dir_all(cache.dir());
     }
 }

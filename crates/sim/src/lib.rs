@@ -32,7 +32,13 @@
 //!   `ScenarioSpec`s, a `Runner` executing them through the deterministic
 //!   parallel engine, structured `RunRecord` artifacts (tables + manifest,
 //!   JSON/CSV writers) and the name → scenario `Registry` every
-//!   experiment entry point resolves through.
+//!   experiment entry point resolves through,
+//! * [`json`] — the minimal JSON DOM parser every reader in the
+//!   workspace shares (bench-report verifier, serve clients),
+//! * [`serve`] — simulation-as-a-service: a line-delimited JSON protocol
+//!   over TCP/Unix sockets with a bounded priority admission queue,
+//!   single-flight deduplication, cache-first execution and interpolated
+//!   surface queries over cached sweep grids.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,12 +49,14 @@ pub mod cache;
 pub mod des;
 pub mod experiment;
 pub mod geom;
+pub mod json;
 pub mod metrics;
 pub mod mobility;
 pub mod par;
 pub mod rng;
 pub mod scenario;
 pub mod scene;
+pub mod serve;
 pub mod spatial;
 pub mod time;
 

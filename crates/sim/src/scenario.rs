@@ -498,7 +498,13 @@ pub struct RunContext<'a> {
 }
 
 /// A runnable experiment: a typed spec plus the code that interprets it.
-pub trait Scenario {
+///
+/// `Send + Sync` is a supertrait so registries of scenarios can be shared
+/// across threads — the serve daemon resolves requests against one
+/// [`Registry`] from many executor threads. Scenario state is a spec plus
+/// interpreting code (typically a fn pointer), so the bound costs
+/// implementors nothing.
+pub trait Scenario: Send + Sync {
     /// The spec this instance will run.
     fn spec(&self) -> &ScenarioSpec;
 
@@ -824,11 +830,20 @@ impl Runner {
         if !served_from_cache {
             if let Some(cache) = &self.cache {
                 let _span = obs::span("runner.cache.store");
-                if let Err(e) = cache.store(spec, &tables) {
-                    obs::warn(&format!(
+                match cache.store(spec, &tables) {
+                    Ok(()) => {
+                        // A store already paid for a full simulation, so a
+                        // directory scan is in the noise — surface the
+                        // store's size in this run's manifest metrics.
+                        let stats = cache.stats();
+                        obs::counter_add("runner.cache.entries", stats.entries as u64);
+                        obs::counter_add("runner.cache.bytes", stats.bytes);
+                        obs::counter_add("runner.cache.stale", stats.stale as u64);
+                    }
+                    Err(e) => obs::warn(&format!(
                         "mmtag: run cache store failed ({}): {e}",
                         cache.dir().display()
-                    ));
+                    )),
                 }
             }
         }

@@ -42,6 +42,28 @@ MMTAG_CACHE_DIR="$cache_dir" cargo run -q --release -p mmtag-bench --bin scenari
 grep -q '"runner.cache.hit": 1' "$cache_dir/hit.json"
 rm -rf "$cache_dir"
 
+# Serve smoke: start the daemon on a Unix socket with a fresh cache,
+# drive it with a short deterministic loadgen mix, assert the mix was
+# served mostly from cache (ratio >= 0.5 — each repeated seed must hit
+# the memory store or the disk RunCache), then shut the daemon down via
+# the protocol and wait for a clean exit.
+serve_dir="$(mktemp -d)"
+MMTAG_CACHE_DIR="$serve_dir/cache" cargo run -q --release -p mmtag-cli -- \
+    serve --socket "$serve_dir/mmtag.sock" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$serve_dir/mmtag.sock" ] && break
+    sleep 0.1
+done
+[ -S "$serve_dir/mmtag.sock" ]
+cargo run -q --release -p mmtag-bench --bin loadgen -- \
+    --socket "$serve_dir/mmtag.sock" --requests 40 --trials 2000 --shutdown \
+    > "$serve_dir/loadgen.txt"
+cat "$serve_dir/loadgen.txt"
+grep -q 'cache hit ratio \(0\.[5-9]\|1\.\)' "$serve_dir/loadgen.txt"
+wait "$serve_pid"
+rm -rf "$serve_dir"
+
 # Perf-trajectory gate: regenerate BENCH_report.json with cheap timing
 # rounds at a pinned 4-thread budget (exercises the pool, the per-thread
 # speedup rows, the core-aware skip logic and the bit-identity asserts),
@@ -64,4 +86,4 @@ rf_t1=$(date +%s)
 echo "rf crate release build (clean): $((rf_t1 - rf_t0))s"
 rm -rf target/rf-build-timing
 
-echo "check.sh: fmt + build + tests + clippy + scenario smoke + cache round-trip + bench report all green"
+echo "check.sh: fmt + build + tests + clippy + scenario smoke + cache round-trip + serve smoke + bench report all green"

@@ -387,3 +387,78 @@ fn city_event_loop_is_allocation_free_in_steady_state() {
         stats.events
     );
 }
+
+#[test]
+fn serve_cache_hit_query_path_is_allocation_free_in_steady_state() {
+    use mmtag_sim::experiment::Table;
+    use mmtag_sim::scenario::{AxisKind, Registry, RunContext, Scenario, ScenarioSpec};
+    use mmtag_sim::serve::{Engine, EngineConfig};
+    use std::sync::Arc;
+
+    // The serve contract (DESIGN.md §13): once a run is pinned in the
+    // in-memory store, answering a point query touches no heap — the
+    // request scanner borrows from the line, the request-tuple index
+    // resolves without building a spec, the surface is prebuilt, and
+    // the response is written into a reused buffer.
+    struct Line(ScenarioSpec);
+    impl Scenario for Line {
+        fn spec(&self) -> &ScenarioSpec {
+            &self.0
+        }
+        fn run(&self, ctx: &RunContext) -> Vec<Table> {
+            let mut t = Table::new("line", &["x", "y"]);
+            for x in ctx.spec.values("x") {
+                t.push_row(&[x, 2.0 * x]);
+            }
+            vec![t]
+        }
+        fn with_spec(&self, spec: ScenarioSpec) -> Box<dyn Scenario> {
+            Box::new(Line(spec))
+        }
+    }
+
+    let spec = ScenarioSpec::paper_link("t99-line", "serve alloc-guard scenario").with_axis(
+        "x",
+        AxisKind::Linspace {
+            start: 0.0,
+            stop: 8.0,
+            points: 9,
+        },
+    );
+    let mut registry = Registry::new();
+    registry.register(Box::new(Line(spec)));
+    // Inline mode: the calling thread executes its own (single, warm-up)
+    // job, so the whole measurement stays on this thread's counter.
+    let engine = Engine::new(
+        Arc::new(registry),
+        None,
+        EngineConfig {
+            executors: 0,
+            job_threads: 1,
+            queue_capacity: 4,
+            memory_capacity: 4,
+        },
+    );
+    let query = r#"{"id":7,"op":"query","scenario":"t99-line","x":3.25}"#;
+    let mut out = String::new();
+    // Warm-up: the first query simulates, stores, and builds the
+    // surface; a second hit settles the response buffer's capacity.
+    engine.handle_line(query, &mut out);
+    out.clear();
+    engine.handle_line(query, &mut out);
+    let expected = out.clone();
+    assert!(expected.contains("\"values\":[6.5]"), "{expected}");
+
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..64 {
+            out.clear();
+            engine.handle_line(query, &mut out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm cache-hit query path allocated {allocs} times over 64 requests"
+    );
+    assert_eq!(out, expected, "steady-state responses must not drift");
+    assert_eq!(engine.stats().sim_runs, 1, "only the warm-up simulated");
+}
