@@ -561,6 +561,74 @@ fn main() {
         ]
     };
 
+    // ---- rate region: E29 kernel cost + single-tag AWGN anchor ----
+    //
+    // Two rows with different jobs: the *anchor* proves the estimator is
+    // still on its analytic pin (one tag, K = ∞ everywhere — no
+    // randomness left, so the Monte-Carlo primary rate must equal
+    // log2(1 + ρ|1 + a·ĉ|²) to fp accumulation error; `--verify` holds
+    // the gap under RATE_ANCHOR_TOL), and `ns_per_trial` tracks what one
+    // trial of the canonical two-tag 4-PSK E29 cell costs.
+    let rate_region = {
+        use mmtag_channel::cascade::{HopModel, MultiTagCascade};
+        use mmtag_phy::constellation::TagConstellation;
+        use mmtag_sim::rate_region::{
+            awgn_primary_rate_anchor, rate_region_grid_par_with, sum_rate_chunk, RateRegionConfig,
+            RateScratch, RATE_CHUNK_TRIALS,
+        };
+
+        let anchor_cfg = RateRegionConfig {
+            cascade: MultiTagCascade::new(
+                10.0,
+                HopModel::new(2.6, f64::INFINITY),
+                HopModel::new(2.4, f64::INFINITY),
+                HopModel::new(2.0, f64::INFINITY),
+            )
+            .with_tag(9.0, 2.0),
+            constellation: TagConstellation::psk(2, 0.5),
+            snr_db: 10.0,
+            symbol_ratio: 10.0,
+        };
+        let anchor_tree = tree.subtree("rate-anchor");
+        let mc = rate_region_grid_par_with(threads, &anchor_cfg, &[1.0], 256, &anchor_tree)[0]
+            .primary_rate;
+        let closed = awgn_primary_rate_anchor(&anchor_cfg);
+        let err = (mc - closed).abs();
+
+        let cfg = RateRegionConfig {
+            cascade: MultiTagCascade::ring(
+                2,
+                10.0,
+                2.0,
+                HopModel::new(2.6, 5.0),
+                HopModel::new(2.4, 5.0),
+                HopModel::new(2.0, 5.0),
+            ),
+            constellation: TagConstellation::psk(4, 0.5),
+            snr_db: 10.0,
+            symbol_ratio: 10.0,
+        };
+        let rate_tree = tree.subtree("rate-bench");
+        let mut scratch = RateScratch::new();
+        let trials = if quick { 64 } else { RATE_CHUNK_TRIALS };
+        let r = bench("rate_region_chunk", &mut || {
+            let c = sum_rate_chunk(&cfg, &rate_tree, 0, trials, &mut scratch);
+            c.primary.iter().sum::<f64>() + c.backscatter.iter().sum::<f64>()
+        });
+        let ns_per_trial = r.ns_per_iter / trials as f64;
+        results.push(r);
+        println!(
+            "rate_region: {ns_per_trial:.0} ns/trial, anchor MC {mc:.9} vs closed form \
+             {closed:.9} (err {err:.2e})"
+        );
+        vec![
+            ("ns_per_trial".to_string(), ns_per_trial),
+            ("single_tag_awgn_primary".to_string(), mc),
+            ("single_tag_awgn_closed_form".to_string(), closed),
+            ("single_tag_awgn_anchor_err".to_string(), err),
+        ]
+    };
+
     // ---- observability overhead: the BER batch kernel with tracing on ----
     //
     // The ISSUE-4 acceptance bar: full tracing (spans + counters) must cost
@@ -623,6 +691,7 @@ fn main() {
         ns_per_bit,
         throughput,
         serving,
+        rate_region,
         spans: trace_report.spans,
     };
     let json = report.to_json();

@@ -42,6 +42,7 @@ pub mod extensions;
 pub mod loadgen;
 pub mod network_figs;
 pub mod phy_figs;
+pub mod rate_figs;
 pub mod report;
 pub mod scenarios;
 pub mod system_tables;

@@ -77,6 +77,24 @@ pub const SERVE_HIT_FACTOR: f64 = 10.0;
 /// below 0.5 means the daemon is re-simulating work it already holds.
 pub const SERVE_HIT_RATIO_FLOOR: f64 = 0.5;
 
+/// Rows the `rate_region` section must carry: the per-trial cost of the
+/// E29 sweep kernel and the single-tag AWGN anchor — the Monte-Carlo
+/// primary rate of the degenerate (one tag, K = ∞) scene next to its
+/// closed form `log2(1 + ρ|1 + a·ĉ|²)` and the absolute error between
+/// them.
+pub const RATE_REGION_REQUIRED: [&str; 4] = [
+    "ns_per_trial",
+    "single_tag_awgn_primary",
+    "single_tag_awgn_closed_form",
+    "single_tag_awgn_anchor_err",
+];
+
+/// The rate-region gate: with every K-factor infinite the scene has no
+/// randomness left, so the Monte-Carlo estimate must agree with the
+/// closed form to floating-point accumulation error — anything larger
+/// means the estimator itself drifted.
+pub const RATE_ANCHOR_TOL: f64 = 1e-6;
+
 /// Everything that goes into `BENCH_report.json`, gathered by
 /// `bench_report` and serialized by [`Report::to_json`].
 #[derive(Clone, Debug, Default)]
@@ -103,6 +121,9 @@ pub struct Report {
     /// Serving-stack rows from the in-process loadgen pass (see
     /// [`SERVING_REQUIRED`] for the mandatory keys).
     pub serving: Vec<(String, f64)>,
+    /// Rate-region sweep rows: kernel cost and the single-tag AWGN anchor
+    /// (see [`RATE_REGION_REQUIRED`] for the mandatory keys).
+    pub rate_region: Vec<(String, f64)>,
     /// Observability span breakdown from the traced pass.
     pub spans: Vec<SpanStat>,
 }
@@ -170,6 +191,7 @@ impl Report {
         num_obj(&mut out, "ns_per_bit", &self.ns_per_bit, 4);
         num_obj(&mut out, "throughput", &self.throughput, 1);
         num_obj(&mut out, "serving", &self.serving, 4);
+        num_obj(&mut out, "rate_region", &self.rate_region, 9);
         out.push_str("  \"spans\": {\n");
         for (i, s) in self.spans.iter().enumerate() {
             out.push_str(&format!(
@@ -224,7 +246,11 @@ fn par_threads(name: &str) -> Option<usize> {
 ///    [`SERVE_HIT_FACTOR`], the hit ratio exceeds
 ///    [`SERVE_HIT_RATIO_FLOOR`] (and is ≤ 1), and `jobs_per_sec` is
 ///    positive — a report missing the serving section predates the
-///    daemon and is rejected.
+///    daemon and is rejected;
+/// 6. `rate_region` is present with every [`RATE_REGION_REQUIRED`] row,
+///    `ns_per_trial` is positive, and the single-tag AWGN anchor error is
+///    within [`RATE_ANCHOR_TOL`] of the closed form — the E29 estimator
+///    cannot silently drift off its analytic pin.
 pub fn verify_report(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let cores = doc
@@ -323,6 +349,35 @@ pub fn verify_report(text: &str) -> Result<(), String> {
     if serving_row("jobs_per_sec")? <= 0.0 {
         return Err("serving jobs_per_sec is not positive".into());
     }
+    let rate_region = doc
+        .get("rate_region")
+        .and_then(Json::as_obj)
+        .ok_or("report lacks \"rate_region\" (pre-E29 schema?)")?;
+    let rate_row = |key: &str| -> Result<f64, String> {
+        let v = rate_region
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or(format!("\"rate_region\" lacks required row \"{key}\""))?;
+        match v.as_num() {
+            Some(x) if x.is_finite() && x >= 0.0 => Ok(x),
+            _ => Err(format!("rate_region[\"{key}\"] is not a finite number")),
+        }
+    };
+    for key in RATE_REGION_REQUIRED {
+        rate_row(key)?;
+    }
+    if rate_row("ns_per_trial")? <= 0.0 {
+        return Err("rate_region ns_per_trial is not positive".into());
+    }
+    let anchor_err = rate_row("single_tag_awgn_anchor_err")?;
+    if anchor_err > RATE_ANCHOR_TOL {
+        return Err(format!(
+            "rate_region single_tag_awgn_anchor_err = {anchor_err} exceeds \
+             {RATE_ANCHOR_TOL} — the E29 estimator drifted off its closed-form pin"
+        ));
+    }
 
     let has_reason = |name: &str| skipped.iter().any(|(k, _)| k == name);
     for (name, v) in speedups {
@@ -406,6 +461,12 @@ mod tests {
                 ("miss_p99_us".into(), 16384.0),
                 ("jobs_per_sec".into(), 3200.0),
                 ("cache_hit_ratio".into(), 0.9),
+            ],
+            rate_region: vec![
+                ("ns_per_trial".into(), 21_000.0),
+                ("single_tag_awgn_primary".into(), 3.9),
+                ("single_tag_awgn_closed_form".into(), 3.9),
+                ("single_tag_awgn_anchor_err".into(), 0.0),
             ],
             spans: vec![],
         }
@@ -533,6 +594,42 @@ mod tests {
         let mut r = base_report();
         r.serving[5].1 = 1.2; // a ratio above 1 is a broken counter
         assert!(verify_report(&r.to_json()).is_err());
+    }
+
+    #[test]
+    fn missing_rate_region_section_is_rejected() {
+        let mut r = base_report();
+        r.rate_region.clear();
+        // An empty rate_region object serializes as {} — still "present",
+        // so the required-row check is what fires.
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("ns_per_trial"), "{err}");
+
+        // A report with no rate_region key at all (pre-E29 schema).
+        let json = base_report().to_json();
+        let stripped = {
+            let start = json.find("  \"rate_region\"").unwrap();
+            let end = json[start..].find("},\n").unwrap() + start + 3;
+            format!("{}{}", &json[..start], &json[end..])
+        };
+        let err = verify_report(&stripped).unwrap_err();
+        assert!(err.contains("pre-E29"), "{err}");
+    }
+
+    #[test]
+    fn drifted_rate_anchor_is_rejected() {
+        let mut r = base_report();
+        r.rate_region[3].1 = 1e-3; // way past fp accumulation error
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("closed-form pin"), "{err}");
+    }
+
+    #[test]
+    fn zero_rate_kernel_cost_is_rejected() {
+        let mut r = base_report();
+        r.rate_region[0].1 = 0.0;
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("ns_per_trial is not positive"), "{err}");
     }
 
     #[test]

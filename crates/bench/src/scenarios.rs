@@ -17,7 +17,7 @@ use mmtag_sim::scenario::{Registry, RunContext, RunRecord, Runner, Scenario, Sce
 pub type FigBody = fn(&RunContext) -> Vec<Table>;
 
 /// A registry-ready experiment: a typed spec paired with the function
-/// that interprets it. All 28 experiments in this crate are instances.
+/// that interprets it. All 31 experiments in this crate are instances.
 pub struct FigScenario {
     spec: ScenarioSpec,
     body: FigBody,
@@ -59,7 +59,7 @@ impl Scenario for FigScenario {
     }
 }
 
-/// Builds the full registry: every experiment E1–E28 under its canonical
+/// Builds the full registry: every experiment E1–E31 under its canonical
 /// name, with the exact default parameters the figure binaries publish.
 pub fn registry() -> Registry {
     let mut reg = Registry::new();
@@ -131,6 +131,9 @@ pub fn registry() -> Registry {
     );
     add(crate::city_figs::e27_spec(7), crate::city_figs::e27_body);
     add(crate::city_figs::e28_spec(7), crate::city_figs::e28_body);
+    add(crate::rate_figs::e29_spec(7), crate::rate_figs::e29_body);
+    add(crate::rate_figs::e30_spec(7), crate::rate_figs::e30_body);
+    add(crate::rate_figs::e31_spec(7), crate::rate_figs::e31_body);
 
     reg
 }
@@ -154,15 +157,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_28_experiments_in_order() {
+    fn registry_has_all_31_experiments_in_order() {
         let reg = registry();
-        assert_eq!(reg.len(), 28);
+        assert_eq!(reg.len(), 31);
         let names = reg.names();
         assert_eq!(names[0], "e01-s11");
         assert_eq!(names[1], "e02-link-budget");
         assert_eq!(names[25], "e26-cancellation");
         assert_eq!(names[26], "e27-city-density");
         assert_eq!(names[27], "e28-city-mobility");
+        assert_eq!(names[28], "e29-rate-region");
+        assert_eq!(names[29], "e30-rate-vs-tags");
+        assert_eq!(names[30], "e31-rate-vs-states");
         // Every name carries its E-number prefix, zero-padded, kebab-case.
         for (i, name) in names.iter().enumerate() {
             assert!(

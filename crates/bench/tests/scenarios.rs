@@ -7,7 +7,7 @@ use mmtag_sim::scenario::Runner;
 #[test]
 fn every_scenario_smokes_and_is_thread_count_invariant() {
     let reg = registry();
-    assert_eq!(reg.len(), 28);
+    assert_eq!(reg.len(), 31);
     let serial = Runner::with_threads(1);
     let parallel = Runner::with_threads(8);
     for s in reg.iter() {

@@ -16,6 +16,8 @@
 //!   describes ("when the LOS path is blocked, the tag and the reader
 //!   chooses an NLOS path"),
 //! * [`fading`] — Rician small-scale fading for robustness studies,
+//! * [`cascade`] — the multi-tag Ricean cascade (direct + per-tag
+//!   forward×backward hops) behind the E29–E31 rate-region scenarios,
 //! * [`delay`] — delay spread and coherence bandwidth: the ISI check a
 //!   Gbps-wide OOK symbol needs.
 
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod atmosphere;
+pub mod cascade;
 pub mod delay;
 pub mod fading;
 pub mod fspl;

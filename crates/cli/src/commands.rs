@@ -161,7 +161,7 @@ COMMANDS:
   energy     batteryless budget       --rate-mbps 1000 --solar-cm2 10
                                       --cap-uf 100
   compare    the §1/§3 systems comparison table
-  scenarios  list every registered experiment (E1–E28)
+  scenarios  list every registered experiment (E1–E31)
   run        run a scenario by name   run e02-link-budget
                                       --format table|csv|json
                                       --quick 1 --seed 7
@@ -597,13 +597,16 @@ mod tests {
     // ---- the scenario pipeline commands ----
 
     #[test]
-    fn scenarios_lists_all_28() {
+    fn scenarios_lists_all_31() {
         let out = run_line(&["scenarios"]);
-        assert_eq!(out.lines().count(), 28);
+        assert_eq!(out.lines().count(), 31);
         assert!(out.starts_with("e01-s11"));
         assert!(out.contains("e26-cancellation"));
         assert!(out.contains("e27-city-density"));
         assert!(out.contains("e28-city-mobility"));
+        assert!(out.contains("e29-rate-region"));
+        assert!(out.contains("e30-rate-vs-tags"));
+        assert!(out.contains("e31-rate-vs-states"));
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! M-state tag reflection constellations.
+//!
+//! A backscatter tag modulates by switching its load among M reflection
+//! states; electrically each state is a complex reflection coefficient.
+//! Following the RIScatter template (SNIPPETS.md, DESIGN.md §14) we model
+//! the state set as a standard PSK or square-QAM alphabet normalized by its
+//! **peak** amplitude (norm-∞, `qammod ./ max(abs(·))` in the reference
+//! configs) and scaled by an amplitude *scatter ratio* α ∈ (0, 1] — a
+//! passive reflector can at best re-radiate what hits it, so every state
+//! must fit inside the unit disc and α sets how much of it the tag uses.
+
+use mmtag_rf::Complex;
+
+/// An M-state tag reflection alphabet: unit-peak PSK or square-QAM points
+/// scaled by the amplitude scatter ratio α, so `max_i |c_i| = α ≤ 1`.
+///
+/// ```
+/// use mmtag_phy::constellation::TagConstellation;
+///
+/// // A 4-state PSK reflector using half the incident amplitude, the
+/// // RIScatter default (scatterRatio = 0.5).
+/// let c = TagConstellation::psk(4, 0.5);
+/// assert_eq!(c.order(), 4);
+/// assert!((c.points()[0].abs() - 0.5).abs() < 1e-12);
+/// // Peak-normalized: every state fits in the α-disc.
+/// assert!(c.points().iter().all(|p| p.abs() <= 0.5 + 1e-12));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TagConstellation {
+    points: Vec<Complex>,
+    scatter_ratio: f64,
+}
+
+impl TagConstellation {
+    /// M-ary PSK states `α·exp(j2πk/M)`, k = 0..M.
+    ///
+    /// # Panics
+    /// Panics if `m < 2` or `scatter_ratio` is outside `(0, 1]`.
+    pub fn psk(m: usize, scatter_ratio: f64) -> Self {
+        assert!(m >= 2, "a constellation needs at least 2 states");
+        Self::check_ratio(scatter_ratio);
+        let points = (0..m)
+            .map(|k| {
+                Complex::from_phase(2.0 * std::f64::consts::PI * (k as f64) / (m as f64))
+                    .scale(scatter_ratio)
+            })
+            .collect();
+        TagConstellation {
+            points,
+            scatter_ratio,
+        }
+    }
+
+    /// Square M-QAM states on the `{±1, ±3, …}` lattice, peak-normalized
+    /// (norm-∞: divided by the largest state magnitude, as in the RIScatter
+    /// configs) then scaled by α. `m` must be an even power of two ≥ 4
+    /// (4, 16, 64, …) so the lattice is square.
+    ///
+    /// # Panics
+    /// Panics if `m` is not an even power of two ≥ 4, or if
+    /// `scatter_ratio` is outside `(0, 1]`.
+    pub fn qam(m: usize, scatter_ratio: f64) -> Self {
+        let side = (m as f64).sqrt().round() as usize;
+        assert!(
+            m >= 4 && side * side == m && side.is_power_of_two(),
+            "square QAM needs m ∈ {{4, 16, 64, …}}"
+        );
+        Self::check_ratio(scatter_ratio);
+        let mut points = Vec::with_capacity(m);
+        for i in 0..side {
+            for q in 0..side {
+                let re = (2 * i) as f64 - (side - 1) as f64;
+                let im = (2 * q) as f64 - (side - 1) as f64;
+                points.push(Complex::new(re, im));
+            }
+        }
+        let peak = points.iter().map(|p| p.abs()).fold(0.0, f64::max);
+        for p in &mut points {
+            *p = p.scale(scatter_ratio / peak);
+        }
+        TagConstellation {
+            points,
+            scatter_ratio,
+        }
+    }
+
+    fn check_ratio(scatter_ratio: f64) {
+        assert!(
+            scatter_ratio.is_finite() && scatter_ratio > 0.0 && scatter_ratio <= 1.0,
+            "scatter ratio must lie in (0, 1]"
+        );
+    }
+
+    /// Number of states M.
+    pub fn order(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The amplitude scatter ratio α (the peak state magnitude).
+    pub fn scatter_ratio(&self) -> f64 {
+        self.scatter_ratio
+    }
+
+    /// The reflection states, in modulation-index order.
+    pub fn points(&self) -> &[Complex] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psk_states_are_equispaced_on_the_alpha_circle() {
+        let c = TagConstellation::psk(8, 0.7);
+        assert_eq!(c.order(), 8);
+        for (k, p) in c.points().iter().enumerate() {
+            assert!((p.abs() - 0.7).abs() < 1e-12);
+            let expect = 2.0 * std::f64::consts::PI * (k as f64) / 8.0;
+            let mut diff = (p.arg() - expect).rem_euclid(2.0 * std::f64::consts::PI);
+            if diff > std::f64::consts::PI {
+                diff -= 2.0 * std::f64::consts::PI;
+            }
+            assert!(diff.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qam_is_peak_normalized() {
+        for m in [4, 16, 64] {
+            let c = TagConstellation::qam(m, 1.0);
+            assert_eq!(c.order(), m);
+            let peak = c.points().iter().map(|p| p.abs()).fold(0.0, f64::max);
+            assert!((peak - 1.0).abs() < 1e-12, "peak {peak} for m={m}");
+            // Corner states touch the unit circle; inner ones stay inside.
+            assert!(c.points().iter().all(|p| p.abs() <= 1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn qam4_matches_qpsk_up_to_rotation() {
+        // 4-QAM peak-normalized is {(±1 ± j)/√2} — the same points as
+        // π/4-rotated QPSK.
+        let qam = TagConstellation::qam(4, 1.0);
+        let r = 1.0 / 2.0_f64.sqrt();
+        for p in qam.points() {
+            assert!((p.re.abs() - r).abs() < 1e-12 && (p.im.abs() - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 states")]
+    fn psk_needs_two_states() {
+        let _ = TagConstellation::psk(1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "square QAM")]
+    fn qam_rejects_non_square_orders() {
+        let _ = TagConstellation::qam(8, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter ratio")]
+    fn scatter_ratio_above_one_panics() {
+        let _ = TagConstellation::psk(4, 1.5);
+    }
+}

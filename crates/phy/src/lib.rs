@@ -33,6 +33,7 @@ pub mod ber;
 pub mod bpsk;
 pub mod cancellation;
 pub mod coding;
+pub mod constellation;
 pub mod frame;
 pub mod modulation;
 pub mod pulse;

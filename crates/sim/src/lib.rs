@@ -19,6 +19,9 @@
 //! * [`par`] — deterministic parallel Monte-Carlo on `std::thread::scope`:
 //!   chunked work, per-chunk RNG streams, bit-identical at any thread
 //!   count (`MMTAG_THREADS` overrides the worker budget),
+//! * [`rate_region`] — the multi-tag primary-vs-backscatter rate-region
+//!   sweep (E29–E31): one flat (weight × trial-chunk) grid over the
+//!   cascade channel and tag constellations (DESIGN.md §14),
 //! * [`obs`] — the observability layer (re-exported from `mmtag_rf::obs`):
 //!   span timers, counters and histograms whose recording never perturbs
 //!   simulated results; the [`scenario`] `Runner` attaches its aggregate
@@ -53,6 +56,7 @@ pub mod json;
 pub mod metrics;
 pub mod mobility;
 pub mod par;
+pub mod rate_region;
 pub mod rng;
 pub mod scenario;
 pub mod scene;

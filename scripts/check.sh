@@ -14,7 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # already run the doctested examples.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-# Registry smoke: list every registered scenario, then run each E1–E28
+# Registry smoke: list every registered scenario, then run each E1–E31
 # entry end to end through the Runner at reduced size.
 cargo run -q --release -p mmtag-bench --bin scenario -- list
 cargo run -q --release -p mmtag-bench --bin scenario -- smoke
@@ -23,6 +23,18 @@ cargo run -q --release -p mmtag-bench --bin scenario -- smoke
 # calendar-queue engine via the CLI — the tentpole path (SoA tag state,
 # spatial hash, shard merge) at full density, not the minimized smoke size.
 cargo run -q --release -p mmtag-cli -- city --tags 100000 --rounds 5 --seed 7
+
+# Rate-region smoke (E29, small grid): the multi-tag sweep end to end —
+# cascade channel, tag constellations, the flat (weight × chunk) grid —
+# plus a RunCache round trip of its table: the second run must replay
+# byte-identically from the cache.
+rate_dir="$(mktemp -d)"
+MMTAG_CACHE_DIR="$rate_dir" cargo run -q --release -p mmtag-bench --bin scenario -- \
+    run e29-rate-region --quick --csv > "$rate_dir/first.csv"
+MMTAG_CACHE_DIR="$rate_dir" cargo run -q --release -p mmtag-bench --bin scenario -- \
+    run e29-rate-region --quick --csv > "$rate_dir/second.csv"
+cmp "$rate_dir/first.csv" "$rate_dir/second.csv"
+rm -rf "$rate_dir"
 
 # Run-cache round trip: the same scenario twice into a fresh store. The
 # second run must be served from the cache (the manifest metrics say so)
@@ -86,4 +98,4 @@ rf_t1=$(date +%s)
 echo "rf crate release build (clean): $((rf_t1 - rf_t0))s"
 rm -rf target/rf-build-timing
 
-echo "check.sh: fmt + build + tests + clippy + scenario smoke + cache round-trip + serve smoke + bench report all green"
+echo "check.sh: fmt + build + tests + clippy + scenario smoke + rate-region smoke + cache round-trip + serve smoke + bench report all green"

@@ -133,6 +133,48 @@ fn outage_trial_loop_is_allocation_free_in_steady_state() {
 }
 
 #[test]
+fn rate_region_chunk_is_allocation_free_in_steady_state() {
+    use mmtag_channel::cascade::{HopModel, MultiTagCascade};
+    use mmtag_phy::constellation::TagConstellation;
+    use mmtag_rf::rng::SeedTree;
+    use mmtag_sim::rate_region::{sum_rate_chunk, RateRegionConfig, RateScratch};
+
+    const TRIALS: usize = 32;
+    let cfg = RateRegionConfig {
+        cascade: MultiTagCascade::ring(
+            2,
+            10.0,
+            2.0,
+            HopModel::new(2.6, 5.0),
+            HopModel::new(2.4, 5.0),
+            HopModel::new(2.0, 5.0),
+        ),
+        constellation: TagConstellation::psk(4, 0.5),
+        snr_db: 10.0,
+        symbol_ratio: 10.0,
+    };
+    let tree = SeedTree::new(0x7A7E).subtree("alloc-rate");
+    let mut scratch = RateScratch::new();
+
+    // Warm-up: first chunk grows the stream set, draw buffers and the
+    // per-tuple equivalent-channel table.
+    let warm = sum_rate_chunk(&cfg, &tree, 0, TRIALS, &mut scratch);
+
+    let (allocs, trials) = allocations_during(|| {
+        let mut total = 0u64;
+        for ci in 0..16u64 {
+            total += sum_rate_chunk(&cfg, &tree, ci, TRIALS, &mut scratch).trials;
+        }
+        total
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm rate-region chunk loop allocated {allocs} times over 16 chunks"
+    );
+    assert_eq!(trials, 16 * warm.trials, "steady-state loop did no work");
+}
+
+#[test]
 fn radix4_fft_and_welch_are_allocation_free_after_planning() {
     use mmtag_rf::complex::Complex;
     use mmtag_rf::fft::{FftPlan, WelchPlan};
