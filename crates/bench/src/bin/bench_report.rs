@@ -490,24 +490,63 @@ fn main() {
 
     // ---- serving: daemon + load generator ----
     //
-    // An in-process `serve` daemon on an ephemeral TCP port, driven by
-    // the deterministic loadgen mix over ONE closed-loop connection so
-    // the expected hit/miss classification matches arrival order
-    // exactly (with concurrent connections, a repeat request can join a
-    // first request's in-flight run and measure miss-path latency).
-    // A fresh cache directory makes the first request per seed a true
-    // simulation; every repeat resolves from the in-memory store. The
-    // `--verify` gate holds the report to `cache_hit_ratio > 0.5` and
-    // `miss_p50 ≥ 10 × hit_p99`. This section must fully shut down
-    // before the traced pass below: executors drain the global obs log
-    // after every job, which would swallow trace spans.
+    // Four passes, all fully shut down before the traced pass below
+    // (executors drain the global obs log after every job, which would
+    // swallow trace spans):
+    //
+    // 1. the *point mix* pass: an in-process daemon on an ephemeral TCP
+    //    port, driven by the deterministic loadgen mix over ONE
+    //    closed-loop connection so the expected hit/miss classification
+    //    matches arrival order exactly. A fresh cache directory makes
+    //    the first request per seed a true simulation; every repeat
+    //    resolves from the in-memory store. `--verify` holds the report
+    //    to `cache_hit_ratio > 0.5` and `miss_p50 ≥ 10 × hit_p99`;
+    // 2. the *sweep-heavy* pass: the same daemon, driven by
+    //    `Mix::sweep_heavy()` — this is where `sweep_jobs_per_sec` and
+    //    `points_per_sec` come from (campaign seed bases sit beyond the
+    //    point pool, so sweep points are genuinely cold);
+    // 3. the *executors-scaling* pass (cores ≥ 2 only): the same point
+    //    mix replayed against fresh daemons at 1 and 2 executors,
+    //    `serving_scaling_efficiency` = (jobs/s ratio) ÷ 2. On fewer
+    //    cores the row is null + skipped, like the par{t} rows;
+    // 4. the *sweep-fanout* pass (cores ≥ 2 only): one cache-cold
+    //    64-point sweep request vs the same 64 points as individual
+    //    `run` requests, equal thread budget (sweep: 1 executor × 2
+    //    job threads; pointwise: 2 executors × 1 thread over 2
+    //    connections). Gated at ≥ 2× in `speedups`.
     let serving = {
         use mmtag_bench::loadgen::{self, Mix};
         use mmtag_sim::cache::RunCache;
         use mmtag_sim::serve::{Client, EngineConfig, Server};
+        use std::time::Instant;
 
-        let cache_dir = std::path::Path::new("target").join("mmtag-serve-bench");
-        let _ = std::fs::remove_dir_all(&cache_dir);
+        let fresh_cache = |tag: &str| {
+            let dir = std::path::Path::new("target").join(format!("mmtag-serve-bench-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        };
+        let start_server = |cache_dir: &std::path::Path, executors: usize, job_threads: usize| {
+            Server::builder(mmtag_bench::scenarios::registry())
+                .tcp("127.0.0.1:0")
+                .cache(RunCache::at(cache_dir))
+                .config(EngineConfig {
+                    executors,
+                    job_threads,
+                    queue_capacity: 64,
+                    memory_capacity: 64,
+                })
+                .start()
+                .expect("serve daemon failed to start")
+        };
+        let stop_server = |server: Server, addr: std::net::SocketAddr| {
+            Client::connect_tcp(addr)
+                .and_then(|mut c| c.roundtrip("{\"id\":0,\"op\":\"shutdown\"}"))
+                .expect("daemon shutdown");
+            server.join();
+        };
+
+        // Pass 1: point mix (hit/miss latency, jobs/s, hit ratio).
+        let cache_dir = fresh_cache("mix");
         let mut mix = Mix::quick();
         let n_requests = if quick {
             mix.trials = 60_000;
@@ -516,25 +555,27 @@ fn main() {
             mix.trials = 150_000;
             480
         };
-        let server = Server::builder(mmtag_bench::scenarios::registry())
-            .tcp("127.0.0.1:0")
-            .cache(RunCache::at(&cache_dir))
-            .config(EngineConfig {
-                executors: 2,
-                job_threads: threads.clamp(1, 2),
-                queue_capacity: 64,
-                memory_capacity: 64,
-            })
-            .start()
-            .expect("serve daemon failed to start");
+        let server = start_server(&cache_dir, 2, threads.clamp(1, 2));
         let addr = server.tcp_addr().expect("tcp listener");
         let requests = loadgen::generate(&mix, n_requests, 0x5EED);
         let summary = loadgen::closed_loop(&move || Client::connect_tcp(addr), 1, &requests)
             .expect("loadgen run failed");
-        Client::connect_tcp(addr)
-            .and_then(|mut c| c.roundtrip("{\"id\":0,\"op\":\"shutdown\"}"))
-            .expect("daemon shutdown");
-        server.join();
+
+        // Pass 2: sweep-heavy mix on the same (warm) daemon — sweep
+        // campaigns use seed bases beyond the point pool, so their grid
+        // points still exercise the cold fan-out path.
+        let mut sweep_mix = Mix::sweep_heavy();
+        sweep_mix.trials = mix.trials;
+        let n_sweep = if quick { 48 } else { 144 };
+        let sweep_requests = loadgen::generate(&sweep_mix, n_sweep, 0x5EED);
+        let sweep_summary =
+            loadgen::closed_loop(&move || Client::connect_tcp(addr), 1, &sweep_requests)
+                .expect("sweep-heavy loadgen run failed");
+        stop_server(server, addr);
+        assert!(
+            sweep_summary.sweep_jobs > 0,
+            "sweep-heavy mix must retire sweep jobs"
+        );
         println!(
             "serving: {} reqs ({} ok, {} rejected), hit p50/p99 {}/{} us, miss p50/p99 {}/{} us, {:.0} jobs/s, hit ratio {:.3}",
             summary.requests,
@@ -547,17 +588,130 @@ fn main() {
             summary.jobs_per_sec,
             summary.cache_hit_ratio,
         );
+        println!(
+            "serving (sweep-heavy): {} sweeps ({} points), {:.1} sweep jobs/s, {:.1} points/s",
+            sweep_summary.sweep_jobs,
+            sweep_summary.sweep_points,
+            sweep_summary.sweep_jobs_per_sec,
+            sweep_summary.points_per_sec,
+        );
+
+        // Pass 3: executors scaling — honest null on a host that cannot
+        // physically run two executors in parallel.
+        let scaling_efficiency = if cores < 2 {
+            skipped.push((
+                "serving_scaling_efficiency".into(),
+                format!("cores={cores} < 2"),
+            ));
+            None
+        } else {
+            let mut jobs = [0.0f64; 2];
+            for (i, executors) in [1usize, 2].into_iter().enumerate() {
+                let dir = fresh_cache(&format!("scale-e{executors}"));
+                let server = start_server(&dir, executors, 1);
+                let addr = server.tcp_addr().expect("tcp listener");
+                let s = loadgen::closed_loop(&move || Client::connect_tcp(addr), 2, &requests)
+                    .expect("scaling loadgen run failed");
+                jobs[i] = s.jobs_per_sec;
+                stop_server(server, addr);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let eff = (jobs[1] / jobs[0]) / 2.0;
+            println!(
+                "serving scaling: 2 executors vs 1 -> {:.2}x jobs/s (efficiency {eff:.3})",
+                jobs[1] / jobs[0]
+            );
+            Some(eff)
+        };
+
+        // Pass 4: one 64-point cache-cold sweep vs 64 pointwise runs.
+        // Small trial counts keep each point under one Monte-Carlo
+        // chunk, so the pointwise path cannot parallelize *inside* a
+        // job — the grid is the only axis with parallelism to harvest,
+        // which is precisely the sweep op's claim.
+        const FANOUT_POINTS: u64 = 64;
+        let fanout = if cores < 2 {
+            skipped.push((
+                "sweep_fanout_vs_pointwise".into(),
+                format!("cores={cores} < 2"),
+            ));
+            None
+        } else {
+            let fanout_trials = 2_000;
+            let dir = fresh_cache("fanout-sweep");
+            let server = start_server(&dir, 1, 2);
+            let addr = server.tcp_addr().expect("tcp listener");
+            let mut client = Client::connect_tcp(addr).expect("fanout sweep connect");
+            let req = format!(
+                "{{\"id\":1,\"op\":\"sweep\",\"scenario\":\"e05-ber\",\"seeds\":{FANOUT_POINTS},\"seed\":0,\"trials\":{fanout_trials},\"points\":8}}"
+            );
+            let mut resp = String::new();
+            let t0 = Instant::now();
+            let n = client.sweep_into(&req, &mut resp).expect("fanout sweep");
+            let sweep_secs = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                n, FANOUT_POINTS as usize,
+                "fanout sweep must stream every point"
+            );
+            drop(client);
+            stop_server(server, addr);
+            let _ = std::fs::remove_dir_all(&dir);
+
+            let dir = fresh_cache("fanout-point");
+            let server = start_server(&dir, 2, 1);
+            let addr = server.tcp_addr().expect("tcp listener");
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for lane in 0..2u64 {
+                    scope.spawn(move || {
+                        let mut client = Client::connect_tcp(addr).expect("fanout run connect");
+                        let mut resp = String::new();
+                        for p in (lane..FANOUT_POINTS).step_by(2) {
+                            let req = format!(
+                                "{{\"id\":{p},\"op\":\"run\",\"scenario\":\"e05-ber\",\"seed\":{p},\"trials\":{fanout_trials},\"points\":8}}"
+                            );
+                            client.roundtrip_into(&req, &mut resp).expect("fanout run");
+                            assert!(resp.contains("\"ok\":true"), "fanout run failed: {resp}");
+                        }
+                    });
+                }
+            });
+            let point_secs = t0.elapsed().as_secs_f64();
+            stop_server(server, addr);
+            let _ = std::fs::remove_dir_all(&dir);
+            let ratio = point_secs / sweep_secs;
+            println!(
+                "serving fanout: {FANOUT_POINTS}-point sweep {:.1} pts/s vs pointwise {:.1} pts/s -> {ratio:.2}x",
+                FANOUT_POINTS as f64 / sweep_secs,
+                FANOUT_POINTS as f64 / point_secs,
+            );
+            Some(ratio)
+        };
+        speedups.push(("sweep_fanout_vs_pointwise".into(), fanout));
+
         vec![
-            ("hit_p50_us".to_string(), summary.hit_p50_us as f64),
-            ("hit_p99_us".to_string(), summary.hit_p99_us as f64),
-            ("miss_p50_us".to_string(), summary.miss_p50_us as f64),
-            ("miss_p99_us".to_string(), summary.miss_p99_us as f64),
-            ("jobs_per_sec".to_string(), summary.jobs_per_sec),
-            ("cache_hit_ratio".to_string(), summary.cache_hit_ratio),
-            ("cache_entries".to_string(), summary.cache_entries as f64),
-            ("cache_bytes".to_string(), summary.cache_bytes as f64),
-            ("requests".to_string(), summary.requests as f64),
-            ("rejected".to_string(), summary.rejected as f64),
+            ("hit_p50_us".to_string(), Some(summary.hit_p50_us as f64)),
+            ("hit_p99_us".to_string(), Some(summary.hit_p99_us as f64)),
+            ("miss_p50_us".to_string(), Some(summary.miss_p50_us as f64)),
+            ("miss_p99_us".to_string(), Some(summary.miss_p99_us as f64)),
+            ("jobs_per_sec".to_string(), Some(summary.jobs_per_sec)),
+            ("cache_hit_ratio".to_string(), Some(summary.cache_hit_ratio)),
+            (
+                "sweep_jobs_per_sec".to_string(),
+                Some(sweep_summary.sweep_jobs_per_sec),
+            ),
+            (
+                "points_per_sec".to_string(),
+                Some(sweep_summary.points_per_sec),
+            ),
+            ("serving_scaling_efficiency".to_string(), scaling_efficiency),
+            (
+                "cache_entries".to_string(),
+                Some(summary.cache_entries as f64),
+            ),
+            ("cache_bytes".to_string(), Some(summary.cache_bytes as f64)),
+            ("requests".to_string(), Some(summary.requests as f64)),
+            ("rejected".to_string(), Some(summary.rejected as f64)),
         ]
     };
 

@@ -2,7 +2,7 @@
 //! request mix and print hit/miss latency quantiles.
 //!
 //! ```text
-//! loadgen (--socket <path> | --tcp <host:port>) [flags]
+//! loadgen (--socket <path> | --tcp <host:port> | --executors N) [flags]
 //!   --requests N      request count                (default 160)
 //!   --connections N   concurrent connections       (default 1)
 //!   --open-rate R     open-loop arrivals/sec (omit = closed loop)
@@ -11,7 +11,14 @@
 //!   --trials N        per-request trials override  (default 20000)
 //!   --points N        per-request points override  (default 8)
 //!   --run-percent P   fraction of run ops          (default 20)
+//!   --sweep-percent P fraction of sweep ops        (default 0)
+//!   --sweep-points K  grid size per sweep request  (default 16)
 //!   --seed S          mix root seed                (default 0x5EED)
+//!   --one-sweep K     send ONE K-point sweep and print the raw
+//!                     response stream (smoke tests), then exit
+//!   --executors N     self-contained scaling mode: start in-process
+//!                     daemons at 1 and N executors on fresh caches,
+//!                     drive the same mix at both, print the ratio
 //!   --shutdown        send a shutdown op when done
 //! ```
 //!
@@ -20,7 +27,8 @@
 //! which is what makes daemon responses replay-comparable.
 
 use mmtag_bench::loadgen::{closed_loop, generate, open_loop, Mix, ServingSummary};
-use mmtag_sim::serve::Client;
+use mmtag_sim::cache::RunCache;
+use mmtag_sim::serve::{Client, EngineConfig, Server};
 use std::io;
 use std::process::ExitCode;
 
@@ -32,6 +40,8 @@ struct Flags {
     open_rate: Option<f64>,
     mix: Mix,
     seed: u64,
+    one_sweep: Option<u64>,
+    executors: Option<usize>,
     shutdown: bool,
 }
 
@@ -44,6 +54,8 @@ fn parse_flags() -> Result<Flags, String> {
         open_rate: None,
         mix: Mix::quick(),
         seed: 0x5EED,
+        one_sweep: None,
+        executors: None,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -60,13 +72,17 @@ fn parse_flags() -> Result<Flags, String> {
             "--trials" => flags.mix.trials = parse(&value("trials")?)?,
             "--points" => flags.mix.points = parse(&value("points")?)?,
             "--run-percent" => flags.mix.run_percent = parse(&value("run-percent")?)?,
+            "--sweep-percent" => flags.mix.sweep_percent = parse(&value("sweep-percent")?)?,
+            "--sweep-points" => flags.mix.sweep_points = parse(&value("sweep-points")?)?,
             "--seed" => flags.seed = parse(&value("seed")?)?,
+            "--one-sweep" => flags.one_sweep = Some(parse(&value("one-sweep")?)?),
+            "--executors" => flags.executors = Some(parse(&value("executors")?)?),
             "--shutdown" => flags.shutdown = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if flags.socket.is_none() && flags.tcp.is_none() {
-        return Err("need --socket <path> or --tcp <host:port>".into());
+    if flags.socket.is_none() && flags.tcp.is_none() && flags.executors.is_none() {
+        return Err("need --socket <path>, --tcp <host:port>, or --executors N".into());
     }
     Ok(flags)
 }
@@ -92,10 +108,84 @@ fn print_summary(mode: &str, s: &ServingSummary) {
         "  {:.1} jobs/s, cache hit ratio {:.3}, {} cache entries ({} bytes)",
         s.jobs_per_sec, s.cache_hit_ratio, s.cache_entries, s.cache_bytes
     );
+    if s.sweep_jobs > 0 {
+        println!(
+            "  sweeps: {} jobs ({} points), {:.1} sweep jobs/s, {:.1} points/s",
+            s.sweep_jobs, s.sweep_points, s.sweep_jobs_per_sec, s.points_per_sec
+        );
+    }
+}
+
+/// `--executors N`: starts in-process daemons at 1 and `n` executors
+/// (fresh cache each, same request log), drives both closed-loop, and
+/// prints the jobs/s ratio — the multi-core serving scaling check.
+fn executors_scaling(flags: &Flags, n: usize) -> Result<(), String> {
+    let n = n.max(1);
+    let requests = generate(&flags.mix, flags.requests, flags.seed);
+    let connections = flags.connections.max(n);
+    let mut jobs_per_sec = Vec::new();
+    for executors in [1, n] {
+        let cache_dir = std::env::temp_dir().join(format!(
+            "mmtag-loadgen-scale-{}-e{executors}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let server = Server::builder(mmtag_bench::scenarios::registry())
+            .tcp("127.0.0.1:0")
+            .cache(RunCache::at(&cache_dir))
+            .config(EngineConfig {
+                executors,
+                job_threads: 1,
+                queue_capacity: requests.len().max(64),
+                memory_capacity: 256,
+            })
+            .start()
+            .map_err(|e| format!("server start failed: {e}"))?;
+        let addr = server.tcp_addr().expect("tcp listener configured");
+        let summary = closed_loop(&move || Client::connect_tcp(addr), connections, &requests)
+            .map_err(|e| format!("drive loop failed: {e}"))?;
+        print_summary(&format!("executors={executors}"), &summary);
+        jobs_per_sec.push(summary.jobs_per_sec);
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+    let ratio = if jobs_per_sec[0] > 0.0 {
+        jobs_per_sec[1] / jobs_per_sec[0]
+    } else {
+        0.0
+    };
+    println!("loadgen scaling: {n} executors vs 1 -> {ratio:.2}x jobs/s");
+    Ok(())
+}
+
+/// `--one-sweep K`: sends a single K-point sweep and echoes the raw
+/// response stream — check.sh smoke tests count the point lines and
+/// byte-compare summaries across cache-cold/cache-hot runs.
+fn one_sweep(
+    connect: &dyn Fn() -> io::Result<Client>,
+    flags: &Flags,
+    seeds: u64,
+) -> Result<(), String> {
+    let mut client = connect().map_err(|e| format!("connect failed: {e}"))?;
+    let request = format!(
+        "{{\"id\":1,\"op\":\"sweep\",\"scenario\":\"{}\",\"seeds\":{seeds},\"seed\":{},\"trials\":{},\"points\":{}}}",
+        flags.mix.scenario, flags.seed, flags.mix.trials, flags.mix.points
+    );
+    let mut response = String::new();
+    let points = client
+        .sweep_into(&request, &mut response)
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    println!("{response}");
+    eprintln!("loadgen: one-sweep streamed {points} point lines");
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
     let flags = parse_flags()?;
+    if let Some(n) = flags.executors {
+        return executors_scaling(&flags, n);
+    }
     let connect: Box<dyn Fn() -> io::Result<Client> + Sync> = match (&flags.socket, &flags.tcp) {
         (Some(path), _) => {
             let path = path.clone();
@@ -109,20 +199,24 @@ fn run() -> Result<(), String> {
         }
         (None, None) => unreachable!("parse_flags requires a target"),
     };
-    let requests = generate(&flags.mix, flags.requests, flags.seed);
-    let result = match flags.open_rate {
-        None => closed_loop(&*connect, flags.connections, &requests),
-        Some(rate) => open_loop(&*connect, flags.connections, &requests, rate),
-    };
-    let summary = result.map_err(|e| format!("drive loop failed: {e}"))?;
-    print_summary(
-        if flags.open_rate.is_some() {
-            "open-loop"
-        } else {
-            "closed-loop"
-        },
-        &summary,
-    );
+    if let Some(seeds) = flags.one_sweep {
+        one_sweep(&*connect, &flags, seeds)?;
+    } else {
+        let requests = generate(&flags.mix, flags.requests, flags.seed);
+        let result = match flags.open_rate {
+            None => closed_loop(&*connect, flags.connections, &requests),
+            Some(rate) => open_loop(&*connect, flags.connections, &requests, rate),
+        };
+        let summary = result.map_err(|e| format!("drive loop failed: {e}"))?;
+        print_summary(
+            if flags.open_rate.is_some() {
+                "open-loop"
+            } else {
+                "closed-loop"
+            },
+            &summary,
+        );
+    }
     if flags.shutdown {
         let mut client = connect().map_err(|e| format!("shutdown connect failed: {e}"))?;
         let bye = client

@@ -45,6 +45,11 @@ pub struct Mix {
     pub points: u64,
     /// Fraction of `run` ops (the rest are `query`), in percent.
     pub run_percent: u64,
+    /// Fraction of requests that are `sweep` ops, in percent (taken off
+    /// the top; the remainder splits run/query by `run_percent`).
+    pub sweep_percent: u64,
+    /// Grid size (`seeds`) each generated sweep request carries.
+    pub sweep_points: u64,
     /// Query positions are drawn uniformly from this closed range —
     /// keep it inside the scenario's first axis.
     pub x_range: (f64, f64),
@@ -52,7 +57,7 @@ pub struct Mix {
 
 impl Mix {
     /// The default mix: `e05-ber` shrunk to a cheap-but-measurable miss
-    /// cost, 8 distinct seeds, 20% runs / 80% queries.
+    /// cost, 8 distinct seeds, 20% runs / 80% queries, no sweeps.
     pub fn quick() -> Mix {
         Mix {
             scenario: "e05-ber".to_string(),
@@ -60,7 +65,18 @@ impl Mix {
             trials: 20_000,
             points: 8,
             run_percent: 20,
+            sweep_percent: 0,
+            sweep_points: 16,
             x_range: (0.0, 14.0),
+        }
+    }
+
+    /// A sweep-heavy mix: half the requests are grid sweeps, cycling
+    /// through `seed_pool` distinct campaigns.
+    pub fn sweep_heavy() -> Mix {
+        Mix {
+            sweep_percent: 50,
+            ..Mix::quick()
         }
     }
 }
@@ -71,8 +87,12 @@ impl Mix {
 pub struct Request {
     /// The JSON request line (no trailing newline).
     pub line: String,
-    /// `true` for the first request of each distinct seed.
+    /// `true` for the first request of each distinct seed (or sweep
+    /// campaign).
     pub expect_miss: bool,
+    /// `true` for `sweep` ops — the driver must read a response
+    /// *stream*, not a single line.
+    pub sweep: bool,
 }
 
 /// Generates `n` requests deterministically from `root_seed`. Equal
@@ -81,14 +101,43 @@ pub struct Request {
 /// possible.
 pub fn generate(mix: &Mix, n: usize, root_seed: u64) -> Vec<Request> {
     let tree = SeedTree::new(root_seed);
-    let mut seen = vec![false; mix.seed_pool.max(1) as usize];
+    let pool = mix.seed_pool.max(1);
+    let mut seen = vec![false; pool as usize];
+    let mut seen_campaign = vec![false; pool as usize];
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let mut rng = tree.rng_indexed("loadgen", i as u64);
-        let seed = rng.next_u64() % mix.seed_pool.max(1);
-        let expect_miss = !std::mem::replace(&mut seen[seed as usize], true);
+        let drawn = rng.next_u64() % pool;
+        // Requests 0 and 1 pin seed 0 — any run of length >= 2 then
+        // contains at least one guaranteed miss (the first use) and one
+        // guaranteed hit (its immediate repeat), so short runs can't
+        // come out all-miss and make hit-ratio checks flaky.
+        let seed = if i <= 1 { 0 } else { drawn };
         let id = i as u64 + 1;
-        let is_run = rng.next_u64() % 100 < mix.run_percent;
+        let op_draw = rng.next_u64() % 100;
+        // Sweeps come off the top so requests 0/1 stay point-shaped
+        // (the guaranteed miss/hit pair must exercise the point path).
+        let is_sweep = i > 1 && op_draw < mix.sweep_percent;
+        if is_sweep {
+            // Campaign bases live above the point-seed pool so sweep
+            // grids never collide with point-request seeds, and are
+            // spaced `sweep_points` apart so campaigns don't overlap
+            // each other; repeating a campaign is the sweep hit path.
+            let campaign = drawn;
+            let base = pool + campaign * mix.sweep_points.max(1);
+            let expect_miss = !std::mem::replace(&mut seen_campaign[campaign as usize], true);
+            out.push(Request {
+                line: format!(
+                    "{{\"id\":{id},\"op\":\"sweep\",\"scenario\":\"{}\",\"seeds\":{},\"seed\":{base},\"trials\":{},\"points\":{}}}",
+                    mix.scenario, mix.sweep_points.max(1), mix.trials, mix.points
+                ),
+                expect_miss,
+                sweep: true,
+            });
+            continue;
+        }
+        let expect_miss = !std::mem::replace(&mut seen[seed as usize], true);
+        let is_run = op_draw % (100 - mix.sweep_percent).max(1) < mix.run_percent;
         let line = if is_run {
             format!(
                 "{{\"id\":{id},\"op\":\"run\",\"scenario\":\"{}\",\"seed\":{seed},\"trials\":{},\"points\":{}}}",
@@ -105,7 +154,11 @@ pub fn generate(mix: &Mix, n: usize, root_seed: u64) -> Vec<Request> {
                 mix.scenario, mix.trials, mix.points
             )
         };
-        out.push(Request { line, expect_miss });
+        out.push(Request {
+            line,
+            expect_miss,
+            sweep: false,
+        });
     }
     out
 }
@@ -124,6 +177,11 @@ pub struct ServingSummary {
     pub miss_p99_us: u64,
     /// Completed requests per wall-clock second over the whole run.
     pub jobs_per_sec: f64,
+    /// Completed `sweep` requests per wall-clock second.
+    pub sweep_jobs_per_sec: f64,
+    /// Resolved grid points per wall-clock second: every point request
+    /// counts 1, every sweep counts its streamed point lines.
+    pub points_per_sec: f64,
     /// The daemon's authoritative resolution hit ratio (from `status`).
     pub cache_hit_ratio: f64,
     /// On-disk cache entries after the run (from `status`).
@@ -132,6 +190,10 @@ pub struct ServingSummary {
     pub cache_bytes: u64,
     /// Requests completed.
     pub requests: u64,
+    /// `sweep` requests completed.
+    pub sweep_jobs: u64,
+    /// Point lines streamed back by completed sweeps.
+    pub sweep_points: u64,
     /// Requests that got an `"ok":true` response.
     pub ok: u64,
     /// Requests rejected with `queue_full` (open-loop overload).
@@ -147,6 +209,8 @@ struct Tally {
     miss_us: [u64; 65],
     ok: u64,
     rejected: u64,
+    sweeps: u64,
+    sweep_points: u64,
 }
 
 impl Tally {
@@ -156,10 +220,12 @@ impl Tally {
             miss_us: [0; 65],
             ok: 0,
             rejected: 0,
+            sweeps: 0,
+            sweep_points: 0,
         }
     }
 
-    fn record(&mut self, expect_miss: bool, us: u64, response: &str) {
+    fn bucket(&mut self, expect_miss: bool, us: u64) {
         let idx = if us == 0 {
             0
         } else {
@@ -170,7 +236,25 @@ impl Tally {
         } else {
             self.hit_us[idx] += 1;
         }
+    }
+
+    fn record(&mut self, expect_miss: bool, us: u64, response: &str) {
+        self.bucket(expect_miss, us);
         if response.contains("\"ok\":true") {
+            self.ok += 1;
+        } else if response.contains("queue_full") {
+            self.rejected += 1;
+        }
+    }
+
+    /// Records one completed sweep stream: the request's verdict is its
+    /// *terminating* line (the summary, or a whole-request error).
+    fn record_sweep(&mut self, expect_miss: bool, us: u64, points: usize, response: &str) {
+        self.bucket(expect_miss, us);
+        self.sweeps += 1;
+        self.sweep_points += points as u64;
+        let last = response.rsplit('\n').next().unwrap_or("");
+        if last.contains("\"ok\":true") {
             self.ok += 1;
         } else if response.contains("queue_full") {
             self.rejected += 1;
@@ -184,6 +268,8 @@ impl Tally {
         }
         self.ok += other.ok;
         self.rejected += other.rejected;
+        self.sweeps += other.sweeps;
+        self.sweep_points += other.sweep_points;
     }
 }
 
@@ -210,9 +296,15 @@ pub fn closed_loop(
                 for req in requests.iter().skip(c).step_by(connections) {
                     response.clear();
                     let sent = Instant::now();
-                    client.roundtrip_into(&req.line, &mut response)?;
-                    let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                    local.record(req.expect_miss, us, &response);
+                    if req.sweep {
+                        let points = client.sweep_into(&req.line, &mut response)?;
+                        let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        local.record_sweep(req.expect_miss, us, points, &response);
+                    } else {
+                        client.roundtrip_into(&req.line, &mut response)?;
+                        let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        local.record(req.expect_miss, us, &response);
+                    }
                 }
                 Ok(local)
             }));
@@ -259,9 +351,15 @@ pub fn open_loop(
                     // the response: latency is measured from the
                     // *intended* send time, so queueing delay shows up.
                     response.clear();
-                    client.roundtrip_into(&req.line, &mut response)?;
-                    let us = due.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                    local.record(req.expect_miss, us, &response);
+                    if req.sweep {
+                        let points = client.sweep_into(&req.line, &mut response)?;
+                        let us = due.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        local.record_sweep(req.expect_miss, us, points, &response);
+                    } else {
+                        client.roundtrip_into(&req.line, &mut response)?;
+                        let us = due.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        local.record(req.expect_miss, us, &response);
+                    }
                 }
                 Ok(local)
             }));
@@ -291,20 +389,30 @@ fn summarize(
     let dom = parse_json(&status)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {e}")))?;
     let num = |key: &str| dom.get(key).and_then(Json::as_num).unwrap_or(0.0);
+    let per_sec = |count: u64| {
+        if wall_secs > 0.0 {
+            count as f64 / wall_secs
+        } else {
+            0.0
+        }
+    };
+    // Points resolved: every point request is one, every sweep its
+    // streamed point-line count.
+    let points = requests - tally.sweeps + tally.sweep_points;
     Ok(ServingSummary {
         hit_p50_us: hit.p50(),
         hit_p99_us: hit.p99(),
         miss_p50_us: miss.p50(),
         miss_p99_us: miss.p99(),
-        jobs_per_sec: if wall_secs > 0.0 {
-            requests as f64 / wall_secs
-        } else {
-            0.0
-        },
+        jobs_per_sec: per_sec(requests),
+        sweep_jobs_per_sec: per_sec(tally.sweeps),
+        points_per_sec: per_sec(points),
         cache_hit_ratio: num("cache_hit_ratio"),
         cache_entries: num("cache_entries") as u64,
         cache_bytes: num("cache_bytes") as u64,
         requests,
+        sweep_jobs: tally.sweeps,
+        sweep_points: tally.sweep_points,
         ok: tally.ok,
         rejected: tally.rejected,
     })
@@ -337,6 +445,61 @@ mod tests {
                 dom.get("scenario").and_then(Json::as_str),
                 Some(mix.scenario.as_str())
             );
+        }
+    }
+
+    #[test]
+    fn short_runs_still_contain_a_guaranteed_miss_and_hit() {
+        // Satellite fix: even `--requests 2` (below the seed-pool size)
+        // must produce one guaranteed miss and one guaranteed hit, so
+        // hit-ratio checks on small smoke runs can't be flaky.
+        let mix = Mix::quick();
+        for n in 2..8 {
+            let reqs = generate(&mix, n, 0x5EED);
+            assert!(
+                reqs[0].expect_miss,
+                "n={n}: request 0 is the first seed use"
+            );
+            assert!(
+                !reqs[1].expect_miss,
+                "n={n}: request 1 repeats request 0's seed"
+            );
+            assert!(reqs[0].line.contains("\"seed\":0"), "{}", reqs[0].line);
+            assert!(reqs[1].line.contains("\"seed\":0"), "{}", reqs[1].line);
+        }
+    }
+
+    #[test]
+    fn sweep_heavy_mix_interleaves_campaigns_disjoint_from_point_seeds() {
+        let mix = Mix::sweep_heavy();
+        let reqs = generate(&mix, 64, 0xFEED);
+        let sweeps: Vec<_> = reqs.iter().filter(|r| r.sweep).collect();
+        assert!(!sweeps.is_empty(), "half the mix should be sweeps");
+        assert!(reqs.iter().any(|r| !r.sweep), "point ops survive");
+        assert!(
+            !reqs[0].sweep && !reqs[1].sweep,
+            "miss/hit pair stays point-shaped"
+        );
+        let mut seen_base = std::collections::HashSet::new();
+        for r in &sweeps {
+            let dom = parse_json(&r.line).expect("sweep line parses");
+            assert_eq!(dom.get("op").and_then(Json::as_str), Some("sweep"));
+            assert_eq!(
+                dom.get("seeds").and_then(Json::as_num),
+                Some(mix.sweep_points as f64)
+            );
+            // Campaign bases sit above the point-seed pool so grids
+            // never collide with point requests.
+            let base = dom.get("seed").and_then(Json::as_num).unwrap() as u64;
+            assert!(base >= mix.seed_pool, "campaign base {base} under pool");
+            assert_eq!((base - mix.seed_pool) % mix.sweep_points, 0);
+            // First use of a campaign is the miss sample; repeats hit.
+            assert_eq!(r.expect_miss, seen_base.insert(base), "{}", r.line);
+        }
+        // Replays are byte-identical.
+        let again = generate(&mix, 64, 0xFEED);
+        for (a, b) in reqs.iter().zip(&again) {
+            assert_eq!(a.line, b.line);
         }
     }
 

@@ -54,16 +54,45 @@ const THROUGHPUT_SUFFIXES: [&str; 2] = ["_tags_per_sec", "_events_per_sec"];
 
 /// Rows the `serving` section must carry: client-observed latency
 /// quantiles for the cache-hit and cache-miss paths (µs, from the obs
-/// log₂ histograms), sustained jobs/s, and the server-reported cache hit
-/// ratio under the default loadgen mix.
-pub const SERVING_REQUIRED: [&str; 6] = [
+/// log₂ histograms), sustained jobs/s, the server-reported cache hit
+/// ratio under the default loadgen mix, and the sweep-heavy-mix
+/// throughput pair (`sweep` jobs retired per second and grid points
+/// streamed per second).
+pub const SERVING_REQUIRED: [&str; 8] = [
     "hit_p50_us",
     "hit_p99_us",
     "miss_p50_us",
     "miss_p99_us",
     "jobs_per_sec",
     "cache_hit_ratio",
+    "sweep_jobs_per_sec",
+    "points_per_sec",
 ];
+
+/// The multi-executor serving row: jobs/s at `N` executors over jobs/s
+/// at 1, divided by `N`. Core-aware like the `par{t}` speedup rows — on
+/// a host with fewer than 2 cores it must be `null` with a reason in
+/// `skipped`, because two time-sliced executors measure the scheduler,
+/// not the serving stack.
+pub const SERVE_SCALING_ROW: &str = "serving_scaling_efficiency";
+
+/// Minimum admissible [`SERVE_SCALING_ROW`]: efficiency 0.5 is the
+/// break-even where `N` executors merely tie one, so a published number
+/// at or below ~0.55 means adding executors bought nothing — the report
+/// may not present that as multi-core serving throughput.
+pub const SERVE_SCALING_FLOOR: f64 = 0.55;
+
+/// The sweep-fanout gate row (lives in `speedups`): points/s of one
+/// cache-cold ≥64-point `sweep` request over points/s of the same grid
+/// issued as individual `run` requests at equal thread budget.
+pub const SWEEP_FANOUT_ROW: &str = "sweep_fanout_vs_pointwise";
+
+/// Minimum admissible [`SWEEP_FANOUT_ROW`]: the sweep op exists to
+/// amortize admission, canonicalization, and cache I/O across the grid
+/// and to fan points outward — if one sweep request is not at least
+/// twice as fast as the pointwise protocol it replaced, the op is
+/// machinery without a win. Core-aware: `null` + reason on 1-core hosts.
+pub const SWEEP_FANOUT_FLOOR: f64 = 2.0;
 
 /// The serving gate: a cache hit (in-memory surface interpolation) must
 /// be at least this many times faster at p99 than the *median* cache
@@ -118,9 +147,11 @@ pub struct Report {
     /// Wall-clock throughput rows (`*_tags_per_sec`, `*_events_per_sec`)
     /// from the city-engine benches.
     pub throughput: Vec<(String, f64)>,
-    /// Serving-stack rows from the in-process loadgen pass (see
-    /// [`SERVING_REQUIRED`] for the mandatory keys).
-    pub serving: Vec<(String, f64)>,
+    /// Serving-stack rows from the in-process loadgen passes (see
+    /// [`SERVING_REQUIRED`] for the mandatory keys). `None` rows are
+    /// core-aware skips ([`SERVE_SCALING_ROW`] on 1-core hosts) and
+    /// serialize as JSON `null` with their reason in [`Report::skipped`].
+    pub serving: Vec<(String, Option<f64>)>,
     /// Rate-region sweep rows: kernel cost and the single-tag AWGN anchor
     /// (see [`RATE_REGION_REQUIRED`] for the mandatory keys).
     pub rate_region: Vec<(String, f64)>,
@@ -139,6 +170,22 @@ impl Report {
             out.push_str(&format!("  \"{name}\": {{\n"));
             for (i, (k, v)) in rows.iter().enumerate() {
                 let v = format!("{v:.prec$}");
+                out.push_str(&format!(
+                    "    \"{}\": {}{}\n",
+                    esc(k),
+                    v,
+                    if i + 1 < rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  },\n");
+        }
+        fn num_obj_opt(out: &mut String, name: &str, rows: &[(String, Option<f64>)], prec: usize) {
+            out.push_str(&format!("  \"{name}\": {{\n"));
+            for (i, (k, v)) in rows.iter().enumerate() {
+                let v = match v {
+                    Some(v) => format!("{v:.prec$}"),
+                    None => "null".to_string(),
+                };
                 out.push_str(&format!(
                     "    \"{}\": {}{}\n",
                     esc(k),
@@ -190,7 +237,7 @@ impl Report {
         num_obj(&mut out, "scaling_efficiency", &self.scaling_efficiency, 3);
         num_obj(&mut out, "ns_per_bit", &self.ns_per_bit, 4);
         num_obj(&mut out, "throughput", &self.throughput, 1);
-        num_obj(&mut out, "serving", &self.serving, 4);
+        num_obj_opt(&mut out, "serving", &self.serving, 4);
         num_obj(&mut out, "rate_region", &self.rate_region, 9);
         out.push_str("  \"spans\": {\n");
         for (i, s) in self.spans.iter().enumerate() {
@@ -241,12 +288,17 @@ fn par_threads(name: &str) -> Option<usize> {
 /// 4. `throughput` is present with finite positive numbers and carries
 ///    at least one `*_tags_per_sec` and one `*_events_per_sec` row — the
 ///    city engine's wall-clock numbers cannot silently drop out;
-/// 5. `serving` is present with every [`SERVING_REQUIRED`] row, the
-///    cache-hit p99 beats the cache-miss p50 by at least
+/// 5. `serving` is present with every [`SERVING_REQUIRED`] row numeric,
+///    the cache-hit p99 beats the cache-miss p50 by at least
 ///    [`SERVE_HIT_FACTOR`], the hit ratio exceeds
-///    [`SERVE_HIT_RATIO_FLOOR`] (and is ≤ 1), and `jobs_per_sec` is
-///    positive — a report missing the serving section predates the
-///    daemon and is rejected;
+///    [`SERVE_HIT_RATIO_FLOOR`] (and is ≤ 1), and `jobs_per_sec` and
+///    `points_per_sec` are positive — a report missing the serving
+///    section predates the daemon and is rejected. The
+///    [`SERVE_SCALING_ROW`] must be present and core-aware: numeric only
+///    when measured on ≥ 2 cores and then at least
+///    [`SERVE_SCALING_FLOOR`], otherwise `null` with a reason in
+///    `skipped`. The [`SWEEP_FANOUT_ROW`] in `speedups` follows the same
+///    shape with its own [`SWEEP_FANOUT_FLOOR`];
 /// 6. `rate_region` is present with every [`RATE_REGION_REQUIRED`] row,
 ///    `ns_per_trial` is positive, and the single-tag AWGN anchor error is
 ///    within [`RATE_ANCHOR_TOL`] of the closed form — the E29 estimator
@@ -349,6 +401,47 @@ pub fn verify_report(text: &str) -> Result<(), String> {
     if serving_row("jobs_per_sec")? <= 0.0 {
         return Err("serving jobs_per_sec is not positive".into());
     }
+    if serving_row("points_per_sec")? <= 0.0 {
+        return Err("serving points_per_sec is not positive".into());
+    }
+    let scaling_row = serving
+        .iter()
+        .rev()
+        .find(|(k, _)| k == SERVE_SCALING_ROW)
+        .map(|(_, v)| v)
+        .ok_or(format!(
+            "\"serving\" lacks the \"{SERVE_SCALING_ROW}\" row — multi-executor \
+             throughput is not being tracked"
+        ))?;
+    match scaling_row {
+        Json::Null => {
+            if !skipped.iter().any(|(k, _)| k == SERVE_SCALING_ROW) {
+                return Err(format!(
+                    "serving \"{SERVE_SCALING_ROW}\" is null with no entry in \"skipped\""
+                ));
+            }
+        }
+        Json::Num(eff) => {
+            if cores < 2 {
+                return Err(format!(
+                    "serving \"{SERVE_SCALING_ROW}\" claims a multi-executor measurement \
+                     on {cores} core(s) — time-sliced, not parallel; must be skipped \
+                     (null + reason)"
+                ));
+            }
+            if !eff.is_finite() || *eff < SERVE_SCALING_FLOOR {
+                return Err(format!(
+                    "serving \"{SERVE_SCALING_ROW}\" = {eff} is below the \
+                     {SERVE_SCALING_FLOOR} floor — extra executors bought nothing"
+                ));
+            }
+        }
+        _ => {
+            return Err(format!(
+                "serving \"{SERVE_SCALING_ROW}\" is neither a number nor null"
+            ))
+        }
+    }
     let rate_region = doc
         .get("rate_region")
         .and_then(Json::as_obj)
@@ -399,6 +492,22 @@ pub fn verify_report(text: &str) -> Result<(), String> {
                         ));
                     }
                 }
+                if name == SWEEP_FANOUT_ROW {
+                    if cores < 2 {
+                        return Err(format!(
+                            "speedup \"{SWEEP_FANOUT_ROW}\" claims a fanout measurement \
+                             on {cores} core(s) — time-sliced, not parallel; must be \
+                             skipped (null + reason)"
+                        ));
+                    }
+                    if *ratio < SWEEP_FANOUT_FLOOR {
+                        return Err(format!(
+                            "gated sweep speedup \"{SWEEP_FANOUT_ROW}\" = {ratio:.3} is \
+                             below the {SWEEP_FANOUT_FLOOR} floor — one sweep request \
+                             must beat the pointwise protocol it replaced"
+                        ));
+                    }
+                }
                 if (name.ends_with(GATED_SUFFIX) || GATED_ROWS.contains(&name.as_str()))
                     && *ratio < KERNEL_FLOOR
                 {
@@ -415,6 +524,12 @@ pub fn verify_report(text: &str) -> Result<(), String> {
         if !speedups.iter().any(|(k, _)| k == row) {
             return Err(format!("gated kernel speedup \"{row}\" is missing"));
         }
+    }
+    if !speedups.iter().any(|(k, _)| k == SWEEP_FANOUT_ROW) {
+        return Err(format!(
+            "gated sweep speedup \"{SWEEP_FANOUT_ROW}\" is missing — the sweep-vs-pointwise \
+             trajectory is not being tracked"
+        ));
     }
     if !speedups.iter().any(|(k, _)| k.ends_with(GATED_SUFFIX)) {
         return Err(format!(
@@ -443,11 +558,16 @@ mod tests {
                 ("city_calendar_vs_heap_des".into(), Some(1.08)),
                 ("ber_point_100kbit_par1_vs_serial".into(), Some(0.99)),
                 ("ber_point_100kbit_par4_vs_serial".into(), None),
+                ("sweep_fanout_vs_pointwise".into(), None),
             ],
-            skipped: vec![(
-                "ber_point_100kbit_par4_vs_serial".into(),
-                "cores=1 < threads=4".into(),
-            )],
+            skipped: vec![
+                (
+                    "ber_point_100kbit_par4_vs_serial".into(),
+                    "cores=1 < threads=4".into(),
+                ),
+                ("sweep_fanout_vs_pointwise".into(), "cores=1 < 2".into()),
+                ("serving_scaling_efficiency".into(), "cores=1 < 2".into()),
+            ],
             scaling_efficiency: vec![("ber_point_100kbit_par1".into(), 0.99)],
             ns_per_bit: vec![("ber_kernel_lanes".into(), 53.2)],
             throughput: vec![
@@ -455,12 +575,15 @@ mod tests {
                 ("city_100k_events_per_sec".into(), 8.1e6),
             ],
             serving: vec![
-                ("hit_p50_us".into(), 64.0),
-                ("hit_p99_us".into(), 256.0),
-                ("miss_p50_us".into(), 8192.0),
-                ("miss_p99_us".into(), 16384.0),
-                ("jobs_per_sec".into(), 3200.0),
-                ("cache_hit_ratio".into(), 0.9),
+                ("hit_p50_us".into(), Some(64.0)),
+                ("hit_p99_us".into(), Some(256.0)),
+                ("miss_p50_us".into(), Some(8192.0)),
+                ("miss_p99_us".into(), Some(16384.0)),
+                ("jobs_per_sec".into(), Some(3200.0)),
+                ("cache_hit_ratio".into(), Some(0.9)),
+                ("sweep_jobs_per_sec".into(), Some(40.0)),
+                ("points_per_sec".into(), Some(820.0)),
+                ("serving_scaling_efficiency".into(), None),
             ],
             rate_region: vec![
                 ("ns_per_trial".into(), 21_000.0),
@@ -579,7 +702,7 @@ mod tests {
     fn slow_hit_path_is_rejected() {
         let mut r = base_report();
         // Hit p99 = 4096 µs vs miss p50 = 8192 µs: less than 10× apart.
-        r.serving[1].1 = 4096.0;
+        r.serving[1].1 = Some(4096.0);
         let err = verify_report(&r.to_json()).unwrap_err();
         assert!(err.contains("cache-first path has regressed"), "{err}");
     }
@@ -587,13 +710,87 @@ mod tests {
     #[test]
     fn low_cache_hit_ratio_is_rejected() {
         let mut r = base_report();
-        r.serving[5].1 = 0.5; // the floor is exclusive
+        r.serving[5].1 = Some(0.5); // the floor is exclusive
         let err = verify_report(&r.to_json()).unwrap_err();
         assert!(err.contains("cache_hit_ratio"), "{err}");
 
         let mut r = base_report();
-        r.serving[5].1 = 1.2; // a ratio above 1 is a broken counter
+        r.serving[5].1 = Some(1.2); // a ratio above 1 is a broken counter
         assert!(verify_report(&r.to_json()).is_err());
+    }
+
+    /// A report from a multi-core host: the same fixture with the
+    /// core-aware rows measured instead of skipped.
+    fn multicore_report() -> Report {
+        let mut r = base_report();
+        r.available_cores = 4;
+        r.speedups[4].1 = Some(2.9); // par4 ran for real
+        r.speedups[5].1 = Some(3.1); // sweep fanout measured
+        r.skipped.clear();
+        r.serving[8].1 = Some(0.8); // scaling efficiency measured
+        r
+    }
+
+    #[test]
+    fn multicore_report_with_measured_sweep_rows_verifies() {
+        verify_report(&multicore_report().to_json()).unwrap();
+    }
+
+    #[test]
+    fn missing_sweep_serving_rows_are_rejected() {
+        let mut r = base_report();
+        r.serving.remove(7); // drop points_per_sec
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("points_per_sec"), "{err}");
+
+        let mut r = base_report();
+        r.serving.remove(8); // drop the scaling row entirely
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("serving_scaling_efficiency"), "{err}");
+    }
+
+    #[test]
+    fn scaling_efficiency_on_one_core_must_be_skipped() {
+        let mut r = base_report();
+        r.serving[8].1 = Some(0.9); // numeric on a 1-core host: a lie
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("time-sliced"), "{err}");
+
+        let mut r = base_report();
+        // Null is fine, but only with a reason in `skipped`.
+        r.skipped.retain(|(k, _)| k != "serving_scaling_efficiency");
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("no entry in \"skipped\""), "{err}");
+    }
+
+    #[test]
+    fn scaling_efficiency_below_floor_is_rejected() {
+        let mut r = multicore_report();
+        r.serving[8].1 = Some(0.5); // 2 executors tying 1: not a win
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("extra executors bought nothing"), "{err}");
+    }
+
+    #[test]
+    fn sweep_fanout_gate_holds_the_two_x_floor() {
+        let mut r = multicore_report();
+        r.speedups[5].1 = Some(1.4); // below the 2× bar
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("sweep_fanout_vs_pointwise"), "{err}");
+        assert!(err.contains("below the 2 floor"), "{err}");
+
+        let mut r = multicore_report();
+        r.speedups.remove(5);
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("sweep-vs-pointwise trajectory"), "{err}");
+    }
+
+    #[test]
+    fn sweep_fanout_on_one_core_must_be_skipped() {
+        let mut r = base_report();
+        r.speedups[5].1 = Some(2.5); // numeric fanout on a 1-core host
+        let err = verify_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("time-sliced"), "{err}");
     }
 
     #[test]

@@ -41,6 +41,8 @@ fn replayed_request_log_is_byte_identical_across_worker_counts() {
         trials: 50,
         points: 6,
         run_percent: 30,
+        sweep_percent: 0,
+        sweep_points: 4,
         x_range: (2.0, 12.0),
     };
     let lines: Vec<String> = generate(&mix, 60, 0xD1FF)
@@ -79,6 +81,85 @@ fn replayed_request_log_is_byte_identical_across_worker_counts() {
         "{}",
         transcripts[0]
     );
+}
+
+/// The sweep acceptance differential: a seeded sweep-heavy request log
+/// replayed at 1 and 4 executors must yield byte-identical `sweep`
+/// summary lines and identical streamed point-line *sets* once stably
+/// sorted by point index (the protocol permits completion-order
+/// streaming; each line carries its `point` for exactly this
+/// normalization).
+#[test]
+fn sweep_responses_are_deterministic_across_executor_counts() {
+    fn point_index(line: &str) -> u64 {
+        let at = line.find("\"point\":").expect("point line") + 8;
+        line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+    let mix = Mix {
+        scenario: "e02-link-budget".to_string(),
+        seed_pool: 4,
+        trials: 50,
+        points: 6,
+        run_percent: 30,
+        sweep_percent: 40,
+        sweep_points: 5,
+        x_range: (2.0, 12.0),
+    };
+    let requests = generate(&mix, 40, 0xA11CE);
+    assert!(requests.iter().any(|r| r.sweep), "mix must contain sweeps");
+    // (summary lines, per-sweep point lines sorted by index) per count.
+    let mut replays: Vec<(Vec<String>, Vec<Vec<String>>)> = Vec::new();
+    for workers in [1usize, 4] {
+        let cache = temp_dir(&format!("sweep-diff-{workers}"));
+        let server = Server::builder(mmtag_bench::scenarios::registry())
+            .tcp("127.0.0.1:0")
+            .cache(mmtag_sim::cache::RunCache::at(&cache))
+            .config(EngineConfig {
+                executors: workers,
+                job_threads: workers,
+                queue_capacity: 32,
+                memory_capacity: 32,
+            })
+            .start()
+            .unwrap();
+        let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+        let mut summaries = Vec::new();
+        let mut point_sets = Vec::new();
+        let mut resp = String::new();
+        for r in &requests {
+            if r.sweep {
+                client.sweep_into(&r.line, &mut resp).unwrap();
+                let mut lines: Vec<String> = resp.lines().map(str::to_string).collect();
+                summaries.push(lines.pop().expect("summary line"));
+                lines.sort_by_key(|l| point_index(l));
+                point_sets.push(lines);
+            } else {
+                client.roundtrip_into(&r.line, &mut resp).unwrap();
+                assert!(resp.contains("\"ok\":true"), "{resp}");
+            }
+        }
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&cache);
+        replays.push((summaries, point_sets));
+    }
+    assert_eq!(
+        replays[0].0, replays[1].0,
+        "sweep summary lines diverged between 1 and 4 executors"
+    );
+    assert_eq!(
+        replays[0].1, replays[1].1,
+        "sorted sweep point-line sets diverged between 1 and 4 executors"
+    );
+    for summary in &replays[0].0 {
+        assert!(summary.contains("\"ok\":true"), "{summary}");
+        assert!(summary.contains("\"failed\":0"), "{summary}");
+    }
 }
 
 /// A scenario that sleeps so tests can hold the executor busy, and

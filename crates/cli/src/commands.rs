@@ -87,7 +87,15 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     };
     let mut builder = Server::builder(registry()).config(config);
     if !args.options.contains_key("no-cache") {
-        builder = builder.cache(mmtag_sim::cache::RunCache::at_default_dir());
+        // Lifecycle budgets: 0 (the default) means unbounded. Enforcement
+        // is amortized on the store path; the hit path never scans.
+        let max_bytes = args.u64_or("cache-max-bytes", 0)?;
+        let max_age_secs = args.u64_or("cache-max-age", 0)?;
+        let policy = mmtag_sim::cache::CachePolicy {
+            max_bytes: (max_bytes > 0).then_some(max_bytes),
+            max_age: (max_age_secs > 0).then(|| std::time::Duration::from_secs(max_age_secs)),
+        };
+        builder = builder.cache(mmtag_sim::cache::RunCache::at_default_dir().with_policy(policy));
     }
     let socket = args.options.get("socket");
     let tcp = args.options.get("tcp");
@@ -125,12 +133,14 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     server.join();
     let s = engine.stats();
     Ok(format!(
-        "serve: shut down cleanly — {} requests ({} runs, {} queries), \
-         {} memory hits, {} disk hits, {} simulated, {} deduplicated, {} rejected, \
-         hit ratio {:.3}\n",
+        "serve: shut down cleanly — {} requests ({} runs, {} queries, \
+         {} sweeps / {} points), {} memory hits, {} disk hits, {} simulated, \
+         {} deduplicated, {} rejected, hit ratio {:.3}\n",
         s.requests,
         s.runs,
         s.queries,
+        s.sweeps,
+        s.sweep_points,
         s.memory_hits,
         s.disk_hits,
         s.sim_runs,
@@ -173,6 +183,9 @@ COMMANDS:
              over unix/tcp sockets;   --executors 2 --job-threads 2
              stops on a shutdown op)  --queue-cap 64 --memory-cap 256
                                       --no-cache  run without the disk cache
+                                      --cache-max-bytes N  evict LRU past N
+                                      --cache-max-age SECS expire old entries
+                                      (0 = unbounded; amortized on store)
   help       this text
 
 GLOBAL FLAGS:

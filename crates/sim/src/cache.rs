@@ -52,6 +52,9 @@ use crate::scenario::ScenarioSpec;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
 
 /// Bumped whenever the entry format changes; part of the entry key, so
 /// old-format entries simply stop being addressed.
@@ -60,11 +63,57 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Magic first line of every entry.
 const MAGIC: &str = "mmtag-run-cache";
 
+/// How many [`RunCache::store`] calls pass between amortized
+/// [`RunCache::enforce_policy`] sweeps. Enforcement scans the whole
+/// directory, so running it on every store would turn an O(1) append
+/// into an O(entries) one; every Nth store keeps the overshoot bounded
+/// at N entries past budget while the common store stays one rename.
+const ENFORCE_EVERY: u64 = 16;
+
+/// Size/age budgets for a [`RunCache`]. The default is unbounded — the
+/// cache behaves exactly as before the lifecycle layer existed.
+///
+/// Enforcement is **store-side only**: [`RunCache::load`] never scans the
+/// directory or touches policy state, so the hit path stays as cheap
+/// (and as allocation-free, where callers arrange that) as ever. Budget
+/// overshoot between amortized sweeps is bounded by `ENFORCE_EVERY`
+/// entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Evict least-recently-written entries (LRU by mtime) until the
+    /// directory's `.run` bytes fit under this budget. `None` = no limit.
+    pub max_bytes: Option<u64>,
+    /// Evict entries whose mtime is older than this. `None` = no limit.
+    pub max_age: Option<Duration>,
+}
+
+impl CachePolicy {
+    /// True when neither budget is set — enforcement is a no-op and the
+    /// store path skips the bookkeeping entirely.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_age.is_none()
+    }
+}
+
+/// Cumulative lifecycle bookkeeping, shared across clones of one
+/// [`RunCache`] so a daemon's status endpoint sees every evictor pass.
+#[derive(Debug, Default)]
+struct Lifecycle {
+    /// Stores since the last amortized enforcement sweep.
+    stores: AtomicU64,
+    /// Entries removed by enforcement (eviction + format GC), ever.
+    evicted: AtomicU64,
+    /// Bytes those removals reclaimed, ever.
+    evicted_bytes: AtomicU64,
+}
+
 /// A directory of memoized scenario runs. Cheap to construct; all I/O
 /// happens per lookup/store.
 #[derive(Clone, Debug)]
 pub struct RunCache {
     dir: PathBuf,
+    policy: CachePolicy,
+    lifecycle: Arc<Lifecycle>,
 }
 
 /// What a [`RunCache::stats`] directory scan found: how many entries the
@@ -84,7 +133,32 @@ pub struct CacheStats {
 impl RunCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        RunCache { dir: dir.into() }
+        RunCache {
+            dir: dir.into(),
+            policy: CachePolicy::default(),
+            lifecycle: Arc::new(Lifecycle::default()),
+        }
+    }
+
+    /// The same cache with size/age budgets attached; subsequent stores
+    /// enforce them incrementally (every `ENFORCE_EVERY`th store).
+    pub fn with_policy(mut self, policy: CachePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The lifecycle policy this cache enforces.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Cumulative `(entries, bytes)` removed by policy enforcement over
+    /// this cache's lifetime (shared across clones).
+    pub fn evicted(&self) -> (u64, u64) {
+        (
+            self.lifecycle.evicted.load(Ordering::Relaxed),
+            self.lifecycle.evicted_bytes.load(Ordering::Relaxed),
+        )
     }
 
     /// The default store: `MMTAG_CACHE_DIR` if set, else
@@ -135,7 +209,84 @@ impl RunCache {
             f.write_all(write_entry(spec, tables).as_bytes())?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, &path)?;
+        // Amortized lifecycle enforcement: every Nth store sweeps the
+        // directory. An enforcement I/O error must not fail the store —
+        // the entry itself landed — so it is deliberately swallowed.
+        if !self.policy.is_unbounded()
+            && self.lifecycle.stores.fetch_add(1, Ordering::Relaxed) % ENFORCE_EVERY
+                == ENFORCE_EVERY - 1
+        {
+            let _ = self.enforce_policy();
+        }
+        Ok(())
+    }
+
+    /// One full lifecycle sweep: format-version GC (stale-version entries
+    /// can never be addressed again), then age expiry, then LRU-by-mtime
+    /// eviction until the surviving `.run` bytes fit under `max_bytes`.
+    /// Returns `(entries removed, bytes reclaimed)` and accumulates both
+    /// into the shared [`RunCache::evicted`] counters. A missing
+    /// directory is an empty cache: `(0, 0)`.
+    pub fn enforce_policy(&self) -> std::io::Result<(usize, u64)> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
+            Err(e) => return Err(e),
+        };
+        let current = format!("-v{FORMAT_VERSION}.run");
+        let now = SystemTime::now();
+        let mut removed = 0usize;
+        let mut reclaimed = 0u64;
+        // Survivors of GC + age expiry, as (mtime, bytes, path).
+        let mut live: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        let mut live_bytes = 0u64;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".run") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let bytes = meta.len();
+            let mtime = meta.modified().unwrap_or(now);
+            let stale_version = !name.ends_with(&current);
+            let expired = self
+                .policy
+                .max_age
+                .is_some_and(|max| now.duration_since(mtime).is_ok_and(|age| age > max));
+            if stale_version || expired {
+                fs::remove_file(entry.path())?;
+                removed += 1;
+                reclaimed += bytes;
+            } else {
+                live_bytes += bytes;
+                live.push((mtime, bytes, entry.path()));
+            }
+        }
+        if let Some(max) = self.policy.max_bytes {
+            if live_bytes > max {
+                // Oldest mtime first; ties broken by path so concurrent
+                // sweeps pick the same victims.
+                live.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
+                for (_, bytes, path) in &live {
+                    if live_bytes <= max {
+                        break;
+                    }
+                    fs::remove_file(path)?;
+                    removed += 1;
+                    reclaimed += *bytes;
+                    live_bytes -= *bytes;
+                }
+            }
+        }
+        self.lifecycle
+            .evicted
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        self.lifecycle
+            .evicted_bytes
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        Ok((removed, reclaimed))
     }
 
     /// Scans the cache directory and reports entry/byte/stale counts. A
@@ -166,13 +317,15 @@ impl RunCache {
     }
 
     /// Removes entries written under older [`FORMAT_VERSION`]s — they can
-    /// never be addressed again, so they are pure disk waste. Returns how
-    /// many were removed; a missing directory removes nothing.
-    pub fn prune_stale(&self) -> std::io::Result<usize> {
+    /// never be addressed again, so they are pure disk waste. Returns
+    /// `(entries removed, bytes reclaimed)`; a missing directory removes
+    /// nothing.
+    pub fn prune_stale(&self) -> std::io::Result<(usize, u64)> {
         let mut removed = 0;
+        let mut bytes = 0u64;
         let entries = match fs::read_dir(&self.dir) {
             Ok(e) => e,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
             Err(e) => return Err(e),
         };
         let current = format!("-v{FORMAT_VERSION}.run");
@@ -180,11 +333,14 @@ impl RunCache {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             if name.ends_with(".run") && !name.ends_with(&current) {
+                if let Ok(meta) = entry.metadata() {
+                    bytes += meta.len();
+                }
                 fs::remove_file(entry.path())?;
                 removed += 1;
             }
         }
-        Ok(removed)
+        Ok((removed, bytes))
     }
 }
 
@@ -489,7 +645,7 @@ mod tests {
     fn stats_and_prune_stale_track_version_skew() {
         let cache = temp_cache("stats");
         assert_eq!(cache.stats(), CacheStats::default());
-        assert_eq!(cache.prune_stale().unwrap(), 0);
+        assert_eq!(cache.prune_stale().unwrap(), (0, 0));
 
         cache.store(&spec(), &tables()).unwrap();
         let other = spec().with_seed(7);
@@ -510,13 +666,133 @@ mod tests {
         assert_eq!((mixed.entries, mixed.stale), (2, 2));
         assert!(mixed.bytes > entry_bytes);
 
-        // Prune removes exactly the stale entries; live ones still hit.
-        assert_eq!(cache.prune_stale().unwrap(), 2);
+        // Prune removes exactly the stale entries (and reports their
+        // bytes); live ones still hit.
+        let stale_bytes = fs::metadata(&old_a).unwrap().len() + fs::metadata(&old_b).unwrap().len();
+        assert_eq!(cache.prune_stale().unwrap(), (2, stale_bytes));
         assert!(!old_a.exists() && !old_b.exists());
         let pruned = cache.stats();
         assert_eq!((pruned.entries, pruned.stale), (2, 0));
         assert!(cache.load(&spec()).is_some());
         assert!(cache.dir().join("README.txt").exists());
         let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn size_budget_evicts_lru_and_survivors_replay_byte_identically() {
+        let cache = temp_cache("evict");
+        // Store a sequence of distinct entries, oldest first, with
+        // forced mtime spacing so LRU order is unambiguous even on
+        // coarse-mtime filesystems.
+        let specs: Vec<ScenarioSpec> = (0..6).map(|s| spec().with_seed(s)).collect();
+        for (i, s) in specs.iter().enumerate() {
+            cache.store(s, &tables()).unwrap();
+            let mtime = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000 + i as u64 * 60);
+            set_mtime(&cache.entry_path(s), mtime);
+        }
+        let per_entry = fs::metadata(cache.entry_path(&specs[0])).unwrap().len();
+        let total = per_entry * specs.len() as u64;
+        // Budget for four entries: the two oldest are the LRU victims.
+        let bounded = cache.clone().with_policy(CachePolicy {
+            max_bytes: Some(total - 2 * per_entry),
+            max_age: None,
+        });
+        let (removed, bytes) = bounded.enforce_policy().unwrap();
+        assert_eq!((removed, bytes), (2, 2 * per_entry));
+        assert_eq!(bounded.evicted(), (2, 2 * per_entry));
+        assert!(cache.load(&specs[0]).is_none(), "oldest must be evicted");
+        assert!(
+            cache.load(&specs[1]).is_none(),
+            "2nd-oldest must be evicted"
+        );
+        // Survivors replay byte-identically through the serializers.
+        let reference = tables();
+        for s in &specs[2..] {
+            let replayed = cache.load(s).expect("survivor must still hit");
+            for (a, b) in reference.iter().zip(&replayed) {
+                assert_eq!(a.render(), b.render());
+                assert_eq!(a.to_csv(), b.to_csv());
+            }
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn age_budget_expires_old_entries_only() {
+        let cache = temp_cache("age");
+        let old = spec().with_seed(1);
+        let fresh = spec().with_seed(2);
+        cache.store(&old, &tables()).unwrap();
+        cache.store(&fresh, &tables()).unwrap();
+        let ancient = SystemTime::now() - Duration::from_secs(3600);
+        set_mtime(&cache.entry_path(&old), ancient);
+        let bounded = cache.clone().with_policy(CachePolicy {
+            max_bytes: None,
+            max_age: Some(Duration::from_secs(60)),
+        });
+        let (removed, bytes) = bounded.enforce_policy().unwrap();
+        assert_eq!(removed, 1);
+        assert!(bytes > 0);
+        assert!(cache.load(&old).is_none());
+        assert!(cache.load(&fresh).is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn enforce_policy_garbage_collects_stale_format_versions() {
+        let cache = temp_cache("gc");
+        cache.store(&spec(), &tables()).unwrap();
+        // A stale FORMAT_VERSION entry: unreachable by any lookup, so
+        // enforcement removes it even though it is neither old nor over
+        // the size budget.
+        let stale = cache.dir().join("0123456789abcdef-s1-t10-v0.run");
+        fs::write(&stale, "old format").unwrap();
+        let bounded = cache.clone().with_policy(CachePolicy {
+            max_bytes: Some(u64::MAX),
+            max_age: None,
+        });
+        let (removed, bytes) = bounded.enforce_policy().unwrap();
+        assert_eq!((removed, bytes), (1, 10));
+        assert!(!stale.exists());
+        assert!(cache.load(&spec()).is_some(), "current entry untouched");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn store_enforces_amortized_and_unbounded_policy_never_scans() {
+        // With a one-entry byte budget, ENFORCE_EVERY stores trigger a
+        // sweep that trims the directory back near the budget.
+        let cache = temp_cache("amortized").with_policy(CachePolicy {
+            max_bytes: Some(1),
+            max_age: None,
+        });
+        for s in 0..(ENFORCE_EVERY + 1) {
+            cache.store(&spec().with_seed(s), &tables()).unwrap();
+        }
+        let (evicted, evicted_bytes) = cache.evicted();
+        assert!(evicted >= 1, "amortized sweep must have run");
+        assert!(evicted_bytes > 0);
+        assert!(
+            cache.stats().entries <= ENFORCE_EVERY as usize + 1,
+            "directory stays bounded near the budget"
+        );
+        // An unbounded cache never counts stores or evicts.
+        let unbounded = temp_cache("unbounded");
+        for s in 0..(ENFORCE_EVERY + 1) {
+            unbounded.store(&spec().with_seed(s), &tables()).unwrap();
+        }
+        assert_eq!(unbounded.evicted(), (0, 0));
+        assert_eq!(unbounded.stats().entries, ENFORCE_EVERY as usize + 1);
+        let _ = fs::remove_dir_all(cache.dir());
+        let _ = fs::remove_dir_all(unbounded.dir());
+    }
+
+    /// Sets a file's mtime without any external crate: truncating append
+    /// is not enough, so rewrite via `filetime`-free `File::set_times`
+    /// (stable since 1.75).
+    fn set_mtime(path: &Path, mtime: SystemTime) {
+        let f = fs::File::options().append(true).open(path).unwrap();
+        let times = fs::FileTimes::new().set_modified(mtime);
+        f.set_times(times).unwrap();
     }
 }

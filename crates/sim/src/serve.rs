@@ -7,11 +7,13 @@
 //! into a long-lived service:
 //!
 //! * **protocol** — one JSON object per line, over TCP or a Unix socket.
-//!   Requests carry an `op` (`run`, `query`, `status`, `prune`,
+//!   Requests carry an `op` (`run`, `query`, `sweep`, `status`, `prune`,
 //!   `shutdown`); responses echo the request `id` and either `"ok":true`
 //!   with the payload or `"ok":false` with a machine-readable `error`
-//!   code. Writers are hand-rolled with a fixed key order; the in-house
-//!   [`crate::json`] parser reads replies on the client side.
+//!   code. Every op answers with exactly one line except `sweep`, which
+//!   *streams*: one `sweep_point` line per grid point followed by a
+//!   summary line. Writers are hand-rolled with a fixed key order; the
+//!   in-house [`crate::json`] parser reads replies on the client side.
 //! * **bounded admission** — jobs pass through an [`AdmissionQueue`]
 //!   with a hard capacity and per-job priorities. At capacity the submit
 //!   fails *immediately* and the client sees `"error":"queue_full"`;
@@ -28,11 +30,14 @@
 //!
 //! # Determinism
 //!
-//! `run` and `query` response bodies are pure functions of the request:
-//! they contain no wall-clock times, thread counts, or hit/miss markers.
-//! Replaying a request log therefore produces byte-identical response
-//! bodies regardless of executor count or arrival interleaving (`status`
-//! and `prune` report live load and are excluded from the contract).
+//! `run`, `query` and `sweep` response bodies are pure functions of the
+//! request: they contain no wall-clock times, thread counts, or
+//! hit/miss markers. Replaying a request log therefore produces
+//! byte-identical response bodies regardless of executor count or
+//! arrival interleaving (`status` and `prune` report live load and are
+//! excluded from the contract). Sweep point lines additionally stream
+//! in point order and carry their `point` index, so streamed sets stay
+//! byte-comparable under any stable sort by index.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -657,6 +662,12 @@ impl Flight {
 // Engine
 // ---------------------------------------------------------------------------
 
+/// Hard per-request cap on `sweep` grid size. A sweep expands on the
+/// handler thread into per-point flights and (worst case) one queued
+/// job per point, so the cap bounds what one request line can pin in
+/// memory; larger campaigns split into multiple requests.
+pub const MAX_SWEEP_SEEDS: u64 = 4096;
+
 /// Sizing knobs for an [`Engine`] / [`Server`].
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -694,6 +705,11 @@ pub struct StatsSnapshot {
     pub runs: u64,
     /// `query` ops handled.
     pub queries: u64,
+    /// `sweep` ops handled (each expands to many points).
+    pub sweeps: u64,
+    /// Grid points expanded from `sweep` ops; each also lands in one of
+    /// the resolution counters below.
+    pub sweep_points: u64,
     /// Resolutions served from the in-memory store.
     pub memory_hits: u64,
     /// Resolutions served by replaying an on-disk cache entry.
@@ -723,6 +739,8 @@ struct Stats {
     requests: AtomicU64,
     runs: AtomicU64,
     queries: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_points: AtomicU64,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     sim_runs: AtomicU64,
@@ -766,6 +784,16 @@ struct Job {
     flight: Arc<Flight>,
 }
 
+/// What one admission-queue slot holds. A whole sweep is one item: N
+/// uncached grid points cost one slot, one submit, one rejection
+/// decision — admission is per *request*, not per point.
+enum WorkItem {
+    /// One `run`-shaped job.
+    Single(Job),
+    /// The uncached points of one `sweep` request (leader flights only).
+    Sweep(Vec<Job>),
+}
+
 /// The protocol brain: resolves one request line to one response line.
 /// Transport-agnostic — [`Server`] feeds it from sockets, tests and
 /// allocation guards call [`Engine::handle_line`] directly.
@@ -774,7 +802,7 @@ pub struct Engine {
     name_idx: HashMap<String, u32>,
     cache: Option<RunCache>,
     config: EngineConfig,
-    queue: AdmissionQueue<Job>,
+    queue: AdmissionQueue<WorkItem>,
     store: Mutex<MemoryStore>,
     inflight: Mutex<HashMap<u64, Arc<Flight>>>,
     stats: Stats,
@@ -808,8 +836,11 @@ impl Engine {
     /// closed *and* empty. Public so in-process tests can pair an
     /// engine with a hand-spawned executor, no sockets involved.
     pub fn run_executor(&self) {
-        while let Some(job) = self.queue.pop() {
-            self.execute(job);
+        while let Some(item) = self.queue.pop() {
+            match item {
+                WorkItem::Single(job) => self.execute(job),
+                WorkItem::Sweep(jobs) => self.execute_sweep(jobs),
+            }
         }
     }
 
@@ -827,6 +858,8 @@ impl Engine {
             requests: load(&self.stats.requests),
             runs: load(&self.stats.runs),
             queries: load(&self.stats.queries),
+            sweeps: load(&self.stats.sweeps),
+            sweep_points: load(&self.stats.sweep_points),
             memory_hits: load(&self.stats.memory_hits),
             disk_hits: load(&self.stats.disk_hits),
             sim_runs: load(&self.stats.sim_runs),
@@ -835,14 +868,32 @@ impl Engine {
         }
     }
 
-    /// Handles one request line, appending exactly one response line
-    /// (with trailing `\n`) to `out`. Returns `false` when the request
-    /// was a `shutdown` — the transport should stop serving.
+    /// Handles one request line, appending the complete response —
+    /// exactly one line for every op except `sweep`, which appends one
+    /// `sweep_point` line per grid point plus a summary line — to `out`.
+    /// Returns `false` when the request was a `shutdown` — the transport
+    /// should stop serving.
     ///
     /// On the cache-hit path (in-memory store) this performs no heap
     /// allocation beyond growing `out`, so a reused buffer makes repeat
     /// queries allocation-free in steady state.
     pub fn handle_line(&self, line: &str, out: &mut String) -> bool {
+        self.handle_line_streaming(line, out, &mut |_| true)
+    }
+
+    /// Like [`Engine::handle_line`], but with partial-result streaming:
+    /// `emit` is called after every *complete* response line lands in
+    /// `out` except the last (which the caller writes as before). A
+    /// streaming transport writes `out` and clears it inside `emit`; a
+    /// buffering caller passes `&mut |_| true` and gets every line
+    /// accumulated. `emit` returning `false` (client gone) abandons the
+    /// remaining lines of the current request.
+    pub fn handle_line_streaming(
+        &self,
+        line: &str,
+        out: &mut String,
+        emit: &mut dyn FnMut(&mut String) -> bool,
+    ) -> bool {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         let id = match field_parse::<u64>(line, "id") {
             Ok(id) => id.unwrap_or(0),
@@ -861,6 +912,7 @@ impl Engine {
         match op {
             "run" => self.op_run(line, id, out),
             "query" => self.op_query(line, id, out),
+            "sweep" => self.op_sweep(line, id, out, emit),
             "status" => self.op_status(id, out),
             "prune" => self.op_prune(id, out),
             "shutdown" => {
@@ -898,6 +950,193 @@ impl Engine {
                     run.scenario, run.spec_hash, run.tables_json
                 );
             }
+        }
+    }
+
+    /// One request, a whole grid: expands the base spec to `seeds`
+    /// consecutive per-seed points, resolves each cache-first, and fans
+    /// every uncached point across the pool as ONE admission-queue item
+    /// — a sweep costs one queue slot, one spec minimization pass, and
+    /// one rejection decision instead of N of each. Single-flight dedup
+    /// stays point-granular: each point's flight is keyed by its spec
+    /// hash in the same map `run` uses, so overlapping sweeps (and
+    /// point `run`s racing a sweep) share work.
+    ///
+    /// Responses stream: one `sweep_point` line per point, in point
+    /// order (each line carries its `point` index, so any stable sort
+    /// by index makes replays byte-comparable), then one summary line
+    /// that — like `run` bodies — is a pure function of the request.
+    fn op_sweep(
+        &self,
+        line: &str,
+        id: u64,
+        out: &mut String,
+        emit: &mut dyn FnMut(&mut String) -> bool,
+    ) {
+        self.stats.sweeps.fetch_add(1, Ordering::Relaxed);
+        let parsed = (|| {
+            let name = field_str(line, "scenario")
+                .map_err(|()| "bad_request")?
+                .ok_or("bad_request")?;
+            let seeds = field_parse::<u64>(line, "seeds")
+                .map_err(|()| "bad_request")?
+                .ok_or("bad_request")?;
+            if seeds == 0 || seeds > MAX_SWEEP_SEEDS {
+                return Err("bad_request");
+            }
+            let seed = field_parse::<u64>(line, "seed").map_err(|()| "bad_request")?;
+            let trials = field_parse::<u64>(line, "trials").map_err(|()| "bad_request")?;
+            let points = field_parse::<u64>(line, "points").map_err(|()| "bad_request")?;
+            let priority = field_parse::<i64>(line, "priority")
+                .map_err(|()| "bad_request")?
+                .unwrap_or(0);
+            let idx = *self.name_idx.get(name).ok_or("unknown_scenario")?;
+            Ok((name, idx, seeds, seed, trials, points, priority))
+        })();
+        let (name, idx, seeds, seed, trials, points, priority) = match parsed {
+            Ok(p) => p,
+            Err(code) => return write_err(out, id, code),
+        };
+        self.stats.sweep_points.fetch_add(seeds, Ordering::Relaxed);
+        // ONE minimization/canonicalization pass for the whole grid;
+        // per-point specs differ only in seed.
+        let base = self
+            .registry
+            .get(name)
+            .expect("name_idx built from registry");
+        let mut spec = base.spec().clone();
+        if points.is_some() || trials.is_some() {
+            spec = spec.minimized(
+                points.map_or(usize::MAX, |p| p as usize),
+                trials.map_or(spec.trials, |t| t as usize),
+            );
+        }
+        let base_seed = seed.unwrap_or(spec.seed);
+        // Resolve every point cache-first; collect the flights.
+        enum Point {
+            Ready(Arc<StoredRun>),
+            Wait(Arc<Flight>),
+        }
+        let mut states: Vec<Point> = Vec::with_capacity(seeds as usize);
+        let mut leaders: Vec<Job> = Vec::new();
+        for p in 0..seeds {
+            let pseed = base_seed.wrapping_add(p);
+            let params = ReqKey {
+                scenario: idx,
+                seed: Some(pseed),
+                trials,
+                points,
+            };
+            if let Some(run) = self.store.lock().unwrap().get_by_params(&params) {
+                self.stats.memory_hits.fetch_add(1, Ordering::Relaxed);
+                states.push(Point::Ready(run));
+                continue;
+            }
+            let pspec = spec.clone().with_seed(pseed);
+            let key = pspec.hash();
+            {
+                let mut store = self.store.lock().unwrap();
+                if let Some(run) = store.get_by_key(key) {
+                    store.index_params(params, key);
+                    self.stats.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    states.push(Point::Ready(run));
+                    continue;
+                }
+            }
+            let (flight, leader) = {
+                let mut inflight = self.inflight.lock().unwrap();
+                match inflight.get(&key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(Flight::new());
+                        inflight.insert(key, Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                leaders.push(Job {
+                    key,
+                    params,
+                    scenario: base.with_spec(pspec),
+                    flight: Arc::clone(&flight),
+                });
+            } else {
+                self.stats.dedup_joined.fetch_add(1, Ordering::Relaxed);
+            }
+            states.push(Point::Wait(flight));
+        }
+        // All uncached points ride one admission-queue slot.
+        if !leaders.is_empty() {
+            if self.config.executors == 0 {
+                self.execute_sweep(leaders);
+            } else {
+                match self.queue.submit(WorkItem::Sweep(leaders), priority) {
+                    Ok(()) => {}
+                    Err(SubmitError::Full(item)) => {
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.fail_item(item, "queue_full");
+                    }
+                    Err(SubmitError::Closed(item)) => {
+                        self.fail_item(item, "shutting_down");
+                    }
+                }
+            }
+        }
+        // Stream one line per point as its flight completes. Point
+        // order, not completion order: a point's line is emitted the
+        // moment its own flight resolves, so early points flow while
+        // late ones still compute.
+        let mut failed = 0u64;
+        for (p, state) in states.iter().enumerate() {
+            let result = match state {
+                Point::Ready(run) => Ok(Arc::clone(run)),
+                Point::Wait(flight) => flight.wait(),
+            };
+            match result {
+                Ok(run) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"id\":{id},\"ok\":true,\"op\":\"sweep_point\",\"point\":{p},\
+                         \"seed\":{},\"scenario\":\"{}\",\"spec_hash\":\"{}\",\"tables\":{}}}",
+                        base_seed.wrapping_add(p as u64),
+                        run.scenario,
+                        run.spec_hash,
+                        run.tables_json
+                    );
+                }
+                Err(code) => {
+                    failed += 1;
+                    let _ = writeln!(
+                        out,
+                        "{{\"id\":{id},\"ok\":false,\"op\":\"sweep_point\",\"point\":{p},\
+                         \"error\":\"{code}\"}}"
+                    );
+                }
+            }
+            if !emit(out) {
+                return; // client gone; drop the rest of the stream
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{{\"id\":{id},\"ok\":{},\"op\":\"sweep\",\"scenario\":\"{name}\",\
+             \"points\":{seeds},\"failed\":{failed}}}",
+            failed == 0
+        );
+    }
+
+    /// Fails every flight a refused work item carried (and removes them
+    /// from the single-flight map so retries get a fresh leader).
+    fn fail_item(&self, item: WorkItem, code: &'static str) {
+        let jobs = match item {
+            WorkItem::Single(job) => vec![job],
+            WorkItem::Sweep(jobs) => jobs,
+        };
+        let mut inflight = self.inflight.lock().unwrap();
+        for job in jobs {
+            inflight.remove(&job.key);
+            job.flight.complete(Err(code));
         }
     }
 
@@ -974,19 +1213,24 @@ impl Engine {
     fn op_status(&self, id: u64, out: &mut String) {
         let s = self.stats();
         let cache_stats = self.cache.as_ref().map(RunCache::stats).unwrap_or_default();
+        let (evicted, evicted_bytes) = self.cache.as_ref().map(RunCache::evicted).unwrap_or((0, 0));
         let hist = obs::HistogramStat::from_counts("serve.job_us", &self.job_us.snapshot());
         let _ = writeln!(
             out,
             "{{\"id\":{id},\"ok\":true,\"op\":\"status\",\"scenarios\":{},\"queue_depth\":{},\
-             \"requests\":{},\"runs\":{},\"queries\":{},\"memory_hits\":{},\"disk_hits\":{},\
+             \"requests\":{},\"runs\":{},\"queries\":{},\"sweeps\":{},\"sweep_points\":{},\
+             \"memory_hits\":{},\"disk_hits\":{},\
              \"sim_runs\":{},\"dedup_joined\":{},\"rejected\":{},\"cache_hit_ratio\":{},\
              \"cache_entries\":{},\"cache_bytes\":{},\"cache_stale\":{},\
+             \"cache_evicted\":{},\"cache_evicted_bytes\":{},\
              \"job_p50_us\":{},\"job_p99_us\":{}}}",
             self.registry.len(),
             self.queue.depth(),
             s.requests,
             s.runs,
             s.queries,
+            s.sweeps,
+            s.sweep_points,
             s.memory_hits,
             s.disk_hits,
             s.sim_runs,
@@ -996,6 +1240,8 @@ impl Engine {
             cache_stats.entries,
             cache_stats.bytes,
             cache_stats.stale,
+            evicted,
+            evicted_bytes,
             hist.p50(),
             hist.p99(),
         );
@@ -1005,10 +1251,11 @@ impl Engine {
         match &self.cache {
             None => write_err(out, id, "no_cache"),
             Some(cache) => match cache.prune_stale() {
-                Ok(removed) => {
+                Ok((removed, bytes)) => {
                     let _ = writeln!(
                         out,
-                        "{{\"id\":{id},\"ok\":true,\"op\":\"prune\",\"removed\":{removed}}}"
+                        "{{\"id\":{id},\"ok\":true,\"op\":\"prune\",\
+                         \"removed\":{removed},\"bytes\":{bytes}}}"
                     );
                 }
                 Err(_) => write_err(out, id, "prune_failed"),
@@ -1091,16 +1338,14 @@ impl Engine {
         if self.config.executors == 0 {
             self.execute(job);
         } else {
-            match self.queue.submit(job, priority) {
+            match self.queue.submit(WorkItem::Single(job), priority) {
                 Ok(()) => {}
-                Err(SubmitError::Full(job)) => {
-                    self.inflight.lock().unwrap().remove(&key);
+                Err(SubmitError::Full(item)) => {
                     self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    job.flight.complete(Err("queue_full"));
+                    self.fail_item(item, "queue_full");
                 }
-                Err(SubmitError::Closed(job)) => {
-                    self.inflight.lock().unwrap().remove(&key);
-                    job.flight.complete(Err("shutting_down"));
+                Err(SubmitError::Closed(item)) => {
+                    self.fail_item(item, "shutting_down");
                 }
             }
         }
@@ -1111,6 +1356,37 @@ impl Engine {
     /// mode) and publishes the result to its flight.
     fn execute(&self, job: Job) {
         let started = Instant::now();
+        self.execute_point(&job, self.config.job_threads);
+        self.job_us
+            .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        // Discard this job's obs events so a long-lived daemon's global
+        // event log stays bounded. Consequence: an in-process server
+        // cannot run under an enclosing trace capture — the bench
+        // harness runs its serving pass before the traced pass.
+        obs::drain();
+    }
+
+    /// Runs one admitted sweep: the uncached points fan across the pool
+    /// as one flat point grid (the same `par_map` scheduler the flat
+    /// (point × chunk) sweep grid uses), each point on a *serial*
+    /// Runner — `threads <= 1` bypasses the pool, so the workers are
+    /// spent on point-level parallelism instead of nested dispatch.
+    /// Every point completes its own flight the moment it finishes, so
+    /// the requesting handler streams early points while late ones
+    /// still compute.
+    fn execute_sweep(&self, jobs: Vec<Job>) {
+        let started = Instant::now();
+        crate::par::par_map_with(self.config.job_threads, &jobs, |_, job| {
+            self.execute_point(job, 1);
+        });
+        self.job_us
+            .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        obs::drain();
+    }
+
+    /// Runs one point with a `threads`-wide [`Runner`] and publishes
+    /// the result to its flight.
+    fn execute_point(&self, job: &Job, threads: usize) {
         // Classify before running: the runner's own hit/miss counters
         // land in the manifest, but concurrent jobs share one obs log,
         // so the daemon keeps its own unambiguous tally.
@@ -1118,13 +1394,11 @@ impl Engine {
             .cache
             .as_ref()
             .is_some_and(|c| c.entry_path(job.scenario.spec()).exists());
-        let mut runner = Runner::with_threads(self.config.job_threads);
+        let mut runner = Runner::with_threads(threads);
         if let Some(cache) = &self.cache {
             runner = runner.with_cache(cache.clone());
         }
         let result = catch_unwind(AssertUnwindSafe(|| runner.run(&*job.scenario)));
-        self.job_us
-            .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
         match result {
             Ok(record) => {
                 if disk_hit {
@@ -1145,11 +1419,6 @@ impl Engine {
                 job.flight.complete(Err("run_failed"));
             }
         }
-        // Discard this job's obs events so a long-lived daemon's global
-        // event log stays bounded. Consequence: an in-process server
-        // cannot run under an enclosing trace capture — the bench
-        // harness runs its serving pass before the traced pass.
-        obs::drain();
     }
 }
 
@@ -1450,6 +1719,7 @@ fn conn_loop(shared: &Arc<Shared>, stream: AnyStream) {
             continue;
         }
         out.clear();
+        let mut io_ok = true;
         let keep_serving = if shared.shutting_down.load(Ordering::SeqCst) {
             let id = field_parse::<u64>(trimmed, "id")
                 .ok()
@@ -1458,9 +1728,26 @@ fn conn_loop(shared: &Arc<Shared>, stream: AnyStream) {
             write_err(&mut out, id, "shutting_down");
             true
         } else {
-            shared.engine.handle_line(trimmed, &mut out)
+            // Stream partial results (sweep point lines) as they
+            // complete instead of buffering a whole grid's tables.
+            let stream = reader.get_mut();
+            shared
+                .engine
+                .handle_line_streaming(trimmed, &mut out, &mut |buf: &mut String| match stream
+                    .write_all(buf.as_bytes())
+                    .and_then(|()| stream.flush())
+                {
+                    Ok(()) => {
+                        buf.clear();
+                        true
+                    }
+                    Err(_) => {
+                        io_ok = false;
+                        false
+                    }
+                })
         };
-        if reader.get_mut().write_all(out.as_bytes()).is_err() {
+        if !io_ok || reader.get_mut().write_all(out.as_bytes()).is_err() {
             break;
         }
         if !keep_serving {
@@ -1597,6 +1884,41 @@ impl Client {
         }
         debug_assert!(response.len() >= start);
         Ok(())
+    }
+
+    /// Sends a `sweep` request and appends the whole response stream —
+    /// every `sweep_point` line plus the terminating summary (or error)
+    /// line — into `response`, newline-separated with the final newline
+    /// trimmed. Returns how many `sweep_point` lines were streamed.
+    pub fn sweep_into(&mut self, request: &str, response: &mut String) -> io::Result<usize> {
+        self.wbuf.clear();
+        self.wbuf.push_str(request);
+        if !request.ends_with('\n') {
+            self.wbuf.push('\n');
+        }
+        let stream = self.reader.get_mut();
+        stream.write_all(self.wbuf.as_bytes())?;
+        stream.flush()?;
+        let mut points = 0;
+        loop {
+            let start = response.len();
+            let n = self.reader.read_line(response)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "serve: connection closed mid-sweep",
+                ));
+            }
+            // Any line that is not a point line — the summary, or a
+            // whole-request error — terminates the stream.
+            if !response[start..].contains("\"op\":\"sweep_point\"") {
+                while response.ends_with('\n') || response.ends_with('\r') {
+                    response.pop();
+                }
+                return Ok(points);
+            }
+            points += 1;
+        }
     }
 }
 
@@ -2001,5 +2323,246 @@ mod tests {
         let bye = client.roundtrip(r#"{"id":4,"op":"shutdown"}"#).unwrap();
         assert!(bye.contains("\"op\":\"shutdown\""));
         server.join(); // must not hang: second client's read EOFs
+    }
+
+    // -- admission queue under contention (fairness) -----------------------
+
+    #[test]
+    fn queue_is_fifo_per_submitter_among_equal_priorities_under_contention() {
+        // 4 threads concurrently submit their own ordered sequences at
+        // one priority. Global order is racy, but each submitter's items
+        // must pop in that submitter's order: FIFO-by-seq may never
+        // reorder two jobs one thread submitted back to back.
+        const THREADS: usize = 4;
+        const PER: usize = 64;
+        let q = AdmissionQueue::new(THREADS * PER);
+        let barrier = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (q, barrier) = (&q, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER {
+                        q.submit((t, i), 0).unwrap();
+                    }
+                });
+            }
+        });
+        q.close();
+        let mut next = [0usize; THREADS];
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            assert_eq!(
+                i, next[t],
+                "submitter {t}'s items popped out of submission order"
+            );
+            next[t] += 1;
+            popped += 1;
+        }
+        assert_eq!(popped, THREADS * PER);
+    }
+
+    #[test]
+    fn full_queue_rejects_exactly_the_overflow_under_contention() {
+        // Capacity C, T*PER concurrent submits, no poppers: exactly
+        // C submits land and exactly T*PER - C come back as Full — no
+        // double-counting, no lost jobs, depth pinned at capacity.
+        const CAP: usize = 8;
+        const THREADS: usize = 4;
+        const PER: usize = 8;
+        let q = AdmissionQueue::new(CAP);
+        let rejected = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (q, rejected, barrier) = (&q, &rejected, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER {
+                        match q.submit((t, i), 0) {
+                            Ok(()) => {}
+                            Err(SubmitError::Full((rt, ri))) => {
+                                // The rejected job rides back intact.
+                                assert_eq!((rt, ri), (t, i));
+                                rejected.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(SubmitError::Closed(_)) => unreachable!("queue never closed"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(rejected.load(Ordering::SeqCst), THREADS * PER - CAP);
+        assert_eq!(q.depth(), CAP);
+        // The admitted jobs all drain.
+        q.close();
+        let mut drained = 0;
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, CAP);
+    }
+
+    // -- sweep (inline engine) ---------------------------------------------
+
+    #[test]
+    fn sweep_streams_point_lines_in_order_plus_a_deterministic_summary() {
+        let (engine, executions) = inline_engine();
+        let mut out = String::new();
+        let req = r#"{"id":9,"op":"sweep","scenario":"t90-triple","seeds":4,"seed":10}"#;
+        assert!(engine.handle_line(req, &mut out));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "4 points + summary: {out}");
+        for (p, line) in lines[..4].iter().enumerate() {
+            assert!(line.contains("\"op\":\"sweep_point\""), "{line}");
+            assert!(line.contains(&format!("\"point\":{p},")), "{line}");
+            assert!(line.contains(&format!("\"seed\":{}", 10 + p)), "{line}");
+            assert!(line.contains("\"tables\":[{\"title\":\"triple\""), "{line}");
+        }
+        assert_eq!(
+            lines[4],
+            "{\"id\":9,\"ok\":true,\"op\":\"sweep\",\"scenario\":\"t90-triple\",\"points\":4,\"failed\":0}"
+        );
+        assert_eq!(executions.load(Ordering::SeqCst), 4);
+        let stats = engine.stats();
+        assert_eq!((stats.sweeps, stats.sweep_points), (1, 4));
+        assert_eq!(stats.sim_runs, 4);
+        // A cache-hot replay is byte-identical and runs nothing.
+        let mut again = String::new();
+        assert!(engine.handle_line(req, &mut again));
+        assert_eq!(again, out);
+        assert_eq!(executions.load(Ordering::SeqCst), 4);
+        assert_eq!(engine.stats().memory_hits, 4);
+    }
+
+    #[test]
+    fn sweep_shares_points_with_run_requests_and_overlapping_sweeps() {
+        let (engine, executions) = inline_engine();
+        let mut out = String::new();
+        // A point run seeds the store...
+        engine.handle_line(
+            r#"{"id":1,"op":"run","scenario":"t90-triple","seed":12}"#,
+            &mut out,
+        );
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+        // ...and the sweep covering seeds 10..14 only simulates the
+        // other three points.
+        out.clear();
+        engine.handle_line(
+            r#"{"id":2,"op":"sweep","scenario":"t90-triple","seeds":4,"seed":10}"#,
+            &mut out,
+        );
+        assert_eq!(executions.load(Ordering::SeqCst), 4);
+        // An overlapping sweep (seeds 12..16) re-simulates only 14, 15.
+        out.clear();
+        engine.handle_line(
+            r#"{"id":3,"op":"sweep","scenario":"t90-triple","seeds":4,"seed":12}"#,
+            &mut out,
+        );
+        assert_eq!(executions.load(Ordering::SeqCst), 6);
+        assert!(out.contains("\"points\":4,\"failed\":0"), "{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_grids_with_one_error_line() {
+        let (engine, _) = inline_engine();
+        for req in [
+            r#"{"id":1,"op":"sweep","scenario":"t90-triple"}"#, // no seeds
+            r#"{"id":1,"op":"sweep","scenario":"t90-triple","seeds":0}"#,
+            r#"{"id":1,"op":"sweep","scenario":"t90-triple","seeds":5000}"#, // > cap
+            r#"{"id":1,"op":"sweep","seeds":4}"#,                            // no scenario
+        ] {
+            let mut out = String::new();
+            assert!(engine.handle_line(req, &mut out));
+            assert_eq!(
+                out, "{\"id\":1,\"ok\":false,\"error\":\"bad_request\"}\n",
+                "{req}"
+            );
+        }
+        let mut out = String::new();
+        engine.handle_line(
+            r#"{"id":2,"op":"sweep","scenario":"no-such","seeds":4}"#,
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            "{\"id\":2,\"ok\":false,\"error\":\"unknown_scenario\"}\n"
+        );
+    }
+
+    #[test]
+    fn sweep_streaming_emit_sees_every_point_line_and_can_abort() {
+        let (engine, _) = inline_engine();
+        // Streaming sink: collect each flushed chunk like a transport.
+        let mut chunks: Vec<String> = Vec::new();
+        let mut out = String::new();
+        let req = r#"{"id":4,"op":"sweep","scenario":"t90-triple","seeds":3}"#;
+        engine.handle_line_streaming(req, &mut out, &mut |buf| {
+            chunks.push(std::mem::take(buf));
+            true
+        });
+        assert_eq!(chunks.len(), 3, "one flush per point line");
+        assert!(chunks.iter().all(|c| c.contains("\"op\":\"sweep_point\"")));
+        assert!(
+            out.contains("\"op\":\"sweep\""),
+            "summary stays for the caller: {out}"
+        );
+        // An aborting sink stops the stream; nothing more lands in out.
+        let mut seen = 0;
+        out.clear();
+        engine.handle_line_streaming(req, &mut out, &mut |buf| {
+            seen += 1;
+            buf.clear();
+            false
+        });
+        assert_eq!(seen, 1);
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
+    fn sweep_round_trips_over_tcp_with_client_streaming() {
+        let executions = Arc::new(AtomicUsize::new(0));
+        let spec = ScenarioSpec::paper_link("t92-sweep", "serve sweep socket test")
+            .with_axis("x", AxisKind::Values(vec![0.0, 1.0, 2.0]));
+        let mut registry = Registry::new();
+        registry.register(Box::new(Counting {
+            spec,
+            executions: Arc::clone(&executions),
+        }));
+        let server = Server::builder(registry)
+            .tcp("127.0.0.1:0")
+            .config(EngineConfig {
+                executors: 2,
+                job_threads: 1,
+                queue_capacity: 4,
+                memory_capacity: 16,
+            })
+            .start()
+            .unwrap();
+        let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+        let req = r#"{"id":1,"op":"sweep","scenario":"t92-sweep","seeds":6,"seed":3}"#;
+        let mut stream = String::new();
+        let points = client.sweep_into(req, &mut stream).unwrap();
+        assert_eq!(points, 6);
+        assert_eq!(stream.lines().count(), 7, "{stream}");
+        assert!(stream.ends_with("\"points\":6,\"failed\":0}"), "{stream}");
+        assert_eq!(executions.load(Ordering::SeqCst), 6);
+        // Cache-hot replay: byte-identical stream, no new executions.
+        let mut hot = String::new();
+        assert_eq!(client.sweep_into(req, &mut hot).unwrap(), 6);
+        assert_eq!(hot, stream);
+        assert_eq!(executions.load(Ordering::SeqCst), 6);
+        // Interleaved point ops still work on the same connection.
+        let run = client
+            .roundtrip(r#"{"id":2,"op":"run","scenario":"t92-sweep","seed":4}"#)
+            .unwrap();
+        assert!(run.contains("\"ok\":true"), "{run}");
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            6,
+            "seed 4 was swept already"
+        );
+        client.roundtrip(r#"{"id":3,"op":"shutdown"}"#).unwrap();
+        server.join();
     }
 }

@@ -69,12 +69,40 @@ for _ in $(seq 1 100); do
 done
 [ -S "$serve_dir/mmtag.sock" ]
 cargo run -q --release -p mmtag-bench --bin loadgen -- \
-    --socket "$serve_dir/mmtag.sock" --requests 40 --trials 2000 --shutdown \
+    --socket "$serve_dir/mmtag.sock" --requests 40 --trials 2000 \
     > "$serve_dir/loadgen.txt"
 cat "$serve_dir/loadgen.txt"
 grep -q 'cache hit ratio \(0\.[5-9]\|1\.\)' "$serve_dir/loadgen.txt"
+
+# Sweep smoke against the same daemon: one 6-point sweep request must
+# stream exactly 6 "sweep_point" lines, and a second (cache-hot) request
+# must produce a byte-identical response stream — the sweep op's
+# determinism contract over a real socket.
+cargo run -q --release -p mmtag-bench --bin loadgen -- \
+    --socket "$serve_dir/mmtag.sock" --one-sweep 6 --trials 2000 \
+    > "$serve_dir/sweep-cold.txt"
+cargo run -q --release -p mmtag-bench --bin loadgen -- \
+    --socket "$serve_dir/mmtag.sock" --one-sweep 6 --trials 2000 --shutdown \
+    > "$serve_dir/sweep-hot.txt"
+[ "$(grep -c '"op":"sweep_point"' "$serve_dir/sweep-cold.txt")" = 6 ]
+grep -q '"op":"sweep".*"points":6,"failed":0' "$serve_dir/sweep-cold.txt"
+# The hot run appends the shutdown line; compare only the sweep stream.
+head -n 7 "$serve_dir/sweep-cold.txt" > "$serve_dir/stream-cold.txt"
+head -n 7 "$serve_dir/sweep-hot.txt" > "$serve_dir/stream-hot.txt"
+cmp "$serve_dir/stream-cold.txt" "$serve_dir/stream-hot.txt"
 wait "$serve_pid"
 rm -rf "$serve_dir"
+
+# Executors-scaling smoke: only meaningful when the host can actually run
+# two executors in parallel — skip (with an annotation) on 1-core hosts,
+# mirroring the report schema's null-skipped serving_scaling_efficiency.
+available_cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$available_cores" -ge 2 ]; then
+    cargo run -q --release -p mmtag-bench --bin loadgen -- \
+        --executors 2 --requests 24 --trials 2000
+else
+    echo "check.sh: skipping loadgen --executors 2 (cores=$available_cores < 2)"
+fi
 
 # Perf-trajectory gate: regenerate BENCH_report.json with cheap timing
 # rounds at a pinned 4-thread budget (exercises the pool, the per-thread
@@ -82,8 +110,11 @@ rm -rf "$serve_dir"
 # then run the schema gate: --verify fails on a missing/unparsable report,
 # a par{t} ratio measured on fewer than t cores, any gated kernel row
 # (*_lanes_vs_batch, fft1024_radix4_vs_radix2, city_calendar_vs_heap_des)
-# below the 0.9 floor, or missing city throughput rows (*_tags_per_sec,
-# *_events_per_sec).
+# below the 0.9 floor, missing city throughput rows (*_tags_per_sec,
+# *_events_per_sec), missing sweep serving rows (sweep_jobs_per_sec,
+# points_per_sec), a serving_scaling_efficiency or
+# sweep_fanout_vs_pointwise row that is numeric on a 1-core host or
+# below its floor (0.55 / 2.0) on a multi-core one.
 MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --quick
 MMTAG_THREADS=4 cargo run -q --release -p mmtag-bench --bin bench_report -- --verify
 

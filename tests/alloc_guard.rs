@@ -432,16 +432,21 @@ fn city_event_loop_is_allocation_free_in_steady_state() {
 
 #[test]
 fn serve_cache_hit_query_path_is_allocation_free_in_steady_state() {
+    use mmtag_sim::cache::{CachePolicy, RunCache};
     use mmtag_sim::experiment::Table;
     use mmtag_sim::scenario::{AxisKind, Registry, RunContext, Scenario, ScenarioSpec};
     use mmtag_sim::serve::{Engine, EngineConfig};
     use std::sync::Arc;
+    use std::time::Duration;
 
     // The serve contract (DESIGN.md §13): once a run is pinned in the
     // in-memory store, answering a point query touches no heap — the
     // request scanner borrows from the line, the request-tuple index
     // resolves without building a spec, the surface is prebuilt, and
-    // the response is written into a reused buffer.
+    // the response is written into a reused buffer. The disk cache runs
+    // with a *bounded* lifecycle policy here: eviction bookkeeping is
+    // store-side and amortized, so enabling it must not put the hit
+    // path back on the heap.
     struct Line(ScenarioSpec);
     impl Scenario for Line {
         fn spec(&self) -> &ScenarioSpec {
@@ -469,11 +474,18 @@ fn serve_cache_hit_query_path_is_allocation_free_in_steady_state() {
     );
     let mut registry = Registry::new();
     registry.register(Box::new(Line(spec)));
-    // Inline mode: the calling thread executes its own (single, warm-up)
-    // job, so the whole measurement stays on this thread's counter.
+    let cache_dir =
+        std::env::temp_dir().join(format!("mmtag-alloc-guard-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = RunCache::at(&cache_dir).with_policy(CachePolicy {
+        max_bytes: Some(1 << 20),
+        max_age: Some(Duration::from_secs(3600)),
+    });
+    // Inline mode: the calling thread executes its own (warm-up) jobs,
+    // so the whole measurement stays on this thread's counter.
     let engine = Engine::new(
         Arc::new(registry),
-        None,
+        Some(cache.clone()),
         EngineConfig {
             executors: 0,
             job_threads: 1,
@@ -481,10 +493,21 @@ fn serve_cache_hit_query_path_is_allocation_free_in_steady_state() {
             memory_capacity: 4,
         },
     );
-    let query = r#"{"id":7,"op":"query","scenario":"t99-line","x":3.25}"#;
     let mut out = String::new();
-    // Warm-up: the first query simulates, stores, and builds the
+    // Warm-up, part 1: push 16 distinct-seed runs through the store so
+    // the amortized evictor actually fires its enforcement scan (every
+    // 16th store under a bounded policy) before the measurement.
+    for seed in 1..=16u64 {
+        out.clear();
+        let run =
+            format!("{{\"id\":{seed},\"op\":\"run\",\"scenario\":\"t99-line\",\"seed\":{seed}}}");
+        engine.handle_line(&run, &mut out);
+        assert!(out.contains("\"ok\":true"), "{out}");
+    }
+    let query = r#"{"id":7,"op":"query","scenario":"t99-line","x":3.25}"#;
+    // Warm-up, part 2: the first query simulates, stores, and builds the
     // surface; a second hit settles the response buffer's capacity.
+    out.clear();
     engine.handle_line(query, &mut out);
     out.clear();
     engine.handle_line(query, &mut out);
@@ -502,5 +525,11 @@ fn serve_cache_hit_query_path_is_allocation_free_in_steady_state() {
         "warm cache-hit query path allocated {allocs} times over 64 requests"
     );
     assert_eq!(out, expected, "steady-state responses must not drift");
-    assert_eq!(engine.stats().sim_runs, 1, "only the warm-up simulated");
+    assert_eq!(engine.stats().sim_runs, 17, "only the warm-ups simulated");
+    assert_eq!(
+        cache.evicted(),
+        (0, 0),
+        "the 1 MiB budget must not have evicted these small runs"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }
